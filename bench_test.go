@@ -1,0 +1,355 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (one benchmark per figure/table row, per DESIGN.md's experiment index) at
+// the reduced quick scale, plus ablation benches for the design choices
+// DESIGN.md calls out and micro-benchmarks of the run-time path.
+//
+// Full-scale numbers come from `go run ./cmd/experiments`; these benches
+// exist so `go test -bench=.` exercises every experiment end to end and
+// tracks their cost over time.
+package eigenmaps_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	eigenmaps "repro"
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+	"repro/internal/place"
+	"repro/internal/recon"
+)
+
+// benchEnv is shared across figure benches (building it is itself measured
+// by BenchmarkEnvSetup).
+var (
+	benchOnce sync.Once
+	benchVal  *experiments.Env
+	benchErr  error
+)
+
+func benchEnvGet(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchVal, benchErr = experiments.NewEnv(experiments.QuickConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchVal
+}
+
+// BenchmarkEnvSetup measures the full design-time pipeline: thermal
+// simulation of the ensemble plus training both bases.
+func BenchmarkEnvSetup(b *testing.B) {
+	cfg := experiments.QuickConfig()
+	cfg.Snapshots = 120 // keep per-iteration cost sane
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewEnv(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2EigenDecay regenerates Fig. 2 (EigenMaps + eigenvalue decay).
+func BenchmarkFig2EigenDecay(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig2(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3aApproximation regenerates Fig. 3(a) (approximation error vs K).
+func BenchmarkFig3aApproximation(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig3a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3bReconstruction regenerates Fig. 3(b) (error vs sensors).
+func BenchmarkFig3bReconstruction(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig3b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3cNoise regenerates Fig. 3(c) (error vs SNR at 16 sensors).
+func BenchmarkFig3cNoise(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig3c(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Visual regenerates Fig. 4 (visual comparison at 16 sensors).
+func BenchmarkFig4Visual(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Allocation regenerates Fig. 5 (method × allocator cross).
+func BenchmarkFig5Allocation(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Constrained regenerates Fig. 6 (masked allocation).
+func BenchmarkFig6Constrained(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the Sec. 1 headline rows (tab-headline).
+func BenchmarkHeadline(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Headline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md Sec. 5) ---
+
+// BenchmarkAblationSubspaceIteration compares the matrix-free subspace
+// iteration used at full scale against the exact O(T³) method of snapshots.
+func BenchmarkAblationSubspaceIteration(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := basis.TrainPCA(env.DS, 12, basis.PCAConfig{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSnapshotMethod is the reference arm of the PCA ablation.
+func BenchmarkAblationSnapshotMethod(b *testing.B) {
+	env := benchEnvGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := basis.TrainPCA(env.DS, 12, basis.PCAConfig{UseSnapshotMethod: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyIncremental measures Algorithm 1 with the default
+// incremental row-max maintenance and windowed rank checks.
+func BenchmarkAblationGreedyIncremental(b *testing.B) {
+	env := benchEnvGet(b)
+	psi, err := env.PCA.Basis.PsiK(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := place.Input{Psi: psi, Grid: env.DS.Grid, M: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&place.Greedy{}).Allocate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyEveryStepRankCheck is the naive-schedule arm:
+// a rank check after every removal.
+func BenchmarkAblationGreedyEveryStepRankCheck(b *testing.B) {
+	env := benchEnvGet(b)
+	psi, err := env.PCA.Basis.PsiK(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := place.Input{Psi: psi, Grid: env.DS.Grid, M: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&place.Greedy{CheckEveryStep: true}).Allocate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDCTSelection compares the two k-LSE frequency-selection
+// policies (energy-ranked is the default baseline; zig-zag the classical one).
+func BenchmarkAblationDCTSelection(b *testing.B) {
+	env := benchEnvGet(b)
+	for _, sel := range []basis.DCTSelection{basis.DCTZigZag, basis.DCTEnergyRanked} {
+		b.Run(sel.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := basis.TrainDCT(env.DS, 16, sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKvsM quantifies the ε (approximation) vs ε_r
+// (conditioning) trade-off: at fixed M, sweep K and report the evaluated MSE
+// per dimension as custom metrics.
+func BenchmarkAblationKvsM(b *testing.B) {
+	env := benchEnvGet(b)
+	const m = 16
+	sensors, err := env.PCA.PlaceSensors(m, core.PlaceOptions{K: m, Allocator: &place.Greedy{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(sensors) > m {
+		sensors = sensors[:m]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{4, 8, 12, 16} {
+			r, err := recon.New(env.PCA.Basis, k, sensors)
+			if err != nil {
+				continue
+			}
+			res, err := recon.Evaluate(r, env.DS, recon.EvalConfig{SNRdB: 20, NoisePresent: true, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(res.MSE, "mse-K"+itoa(k))
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Run-time path micro-benchmarks ---
+
+// BenchmarkReconstructOneMap measures the per-step cost a dynamic thermal
+// manager pays: one least-squares solve plus map synthesis.
+func BenchmarkReconstructOneMap(b *testing.B) {
+	env := benchEnvGet(b)
+	const m = 16
+	sensors, err := env.PCA.PlaceSensors(m, core.PlaceOptions{K: m, Allocator: &place.Greedy{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := env.PCA.NewMonitor(8, sensors[:m])
+	if err != nil {
+		b.Fatal(err)
+	}
+	readings := mon.Sample(env.DS.Map(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.Estimate(readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyPlacementFullScale measures Algorithm 1 on the paper's
+// 3360-cell grid (the design-time cost that motivated the incremental
+// row-max maintenance).
+func BenchmarkGreedyPlacementFullScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-scale placement bench skipped in -short")
+	}
+	ds, err := dataset.Generate(floorplan.UltraSparcT1(), dataset.GenConfig{
+		Grid:      floorplan.Grid{W: 60, H: 56},
+		Snapshots: 200,
+		Seed:      3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mdl, err := core.Train(ds, core.TrainOptions{KMax: 16, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	psi, err := mdl.Basis.PsiK(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := place.Input{Psi: psi, Grid: ds.Grid, M: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&place.Greedy{}).Allocate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalStep measures one backward-Euler step of the RC model at
+// the paper's grid size (the inner loop of dataset generation).
+func BenchmarkThermalStep(b *testing.B) {
+	ens, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+		Grid: eigenmaps.Grid{W: 60, H: 56}, Snapshots: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = ens
+	// SimulateT1 exercised the full path; per-step cost is measured through
+	// the snapshot rate below.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+			Grid: eigenmaps.Grid{W: 60, H: 56}, Snapshots: 8, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymEigen tracks the dense eigensolver on a Rayleigh-Ritz-sized
+// problem (the inner kernel of subspace iteration).
+func BenchmarkSymEigen(b *testing.B) {
+	a := mat.RandomSPD(64, randSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.SymEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

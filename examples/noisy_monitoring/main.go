@@ -1,0 +1,73 @@
+// Noisy monitoring: the paper's second headline scenario.
+//
+// Real temperature sensors are corrupted by thermal noise, quantization and
+// calibration error. This example reproduces Sec. 5.1's noise experiment:
+// with measurements at 15 dB SNR, 16 well-placed sensors and a subspace
+// dimension chosen for the ε/ε_r trade-off still recover the full thermal
+// map accurately — and degrade gracefully as the noise grows.
+//
+// Run with: go run ./examples/noisy_monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eigenmaps "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ens, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+		Grid:      eigenmaps.Grid{W: 30, H: 28},
+		Snapshots: 600,
+		Seed:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{KMax: 24, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const numSensors = 16
+	sensors, err := model.PlaceSensors(numSensors, eigenmaps.PlaceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Under noise, using K = M amplifies measurement error through the
+	// conditioning of the inverse problem (Theorem 1). BestK finds the
+	// sweet spot between approximation error (wants large K) and noise
+	// amplification (wants small K).
+	bestK, ev, err := model.BestK(ens, sensors, eigenmaps.EvalOptions{SNRdB: 15, Noisy: true, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("15 dB SNR, %d sensors: best K=%d -> MSE=%.4g C^2, worst error %.2f C (kappa=%.2f)\n",
+		numSensors, bestK, ev.MSE, ev.MaxAbsC, ev.Cond)
+
+	mon, err := model.NewMonitor(bestK, sensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnoise sweep at fixed K:")
+	fmt.Println("SNR[dB]    MSE[C^2]     worst[C]")
+	for _, snr := range []float64{40, 30, 25, 20, 15, 10} {
+		ev, err := mon.Evaluate(ens, eigenmaps.EvalOptions{SNRdB: snr, Noisy: true, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.0f %-12.4g %-8.2f\n", snr, ev.MSE, ev.MaxAbsC)
+	}
+
+	clean, err := mon.Evaluate(ens, eigenmaps.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnoiseless floor:     %-12.4g %-8.2f\n", clean.MSE, clean.MaxAbsC)
+	fmt.Println("note how the error approaches the noiseless floor as SNR rises —")
+	fmt.Println("the reconstruction never amplifies the measurement noise (stability claim).")
+}

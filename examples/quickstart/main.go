@@ -1,0 +1,91 @@
+// Quickstart: the paper's headline scenario end to end.
+//
+// Simulate the UltraSPARC T1 at design time, learn the EigenMaps basis,
+// place four sensors with the greedy algorithm, and reconstruct full thermal
+// maps from just those four readings — within about a degree of the truth.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eigenmaps "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Design-time simulation. A reduced grid keeps the example snappy;
+	//    drop the Grid/Snapshots overrides to run the paper's full 60×56,
+	//    T=2652 setup.
+	fmt.Println("simulating design-time thermal maps...")
+	ens, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+		Grid:      eigenmaps.Grid{W: 30, H: 28},
+		Snapshots: 600,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d maps of %d cells\n", ens.T(), ens.N())
+
+	// 2. Learn the EigenMaps basis (PCA of the snapshot ensemble).
+	model, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{KMax: 24, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := model.Spectrum()
+	fmt.Printf("trained basis: lambda_1=%.3g, lambda_8=%.3g (fast decay => few sensors suffice)\n",
+		spec[0], spec[7])
+
+	// 3. Place M=4 sensors with the paper's greedy Algorithm 1.
+	const numSensors = 4
+	sensors, err := model.PlaceSensors(numSensors, eigenmaps.PlaceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy sensor cells: %v\n", sensors)
+
+	// 4. Build the run-time monitor (K = M = 4) and check the layout quality.
+	mon, err := model.NewMonitor(numSensors, sensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if kappa, err := mon.ConditionNumber(); err == nil {
+		fmt.Printf("layout condition number kappa = %.2f (1 is perfect)\n", kappa)
+	}
+
+	// 5. Reconstruct one thermal map from its four sensor readings.
+	truth := ens.Map(ens.T() / 2)
+	readings := mon.Sample(truth) // in deployment these come from the sensors
+	estimate, err := mon.Estimate(readings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range truth {
+		if d := abs(truth[i] - estimate[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("single-map worst-cell error from %d readings: %.2f C\n", numSensors, worst)
+
+	// 6. Evaluate over the whole ensemble — the paper's MSE / MAX metrics.
+	ev, err := mon.Evaluate(ens, eigenmaps.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ensemble: MSE=%.4g C^2, worst error %.2f C over %d maps\n", ev.MSE, ev.MaxAbsC, ens.T())
+
+	fmt.Println("\nreconstruction vs truth (ASCII, S = sensor):")
+	fmt.Println(eigenmaps.RenderASCII(ens.Grid(), estimate, sensors))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,121 @@
+// Runtime tracking: deploy-time behaviour on unseen workloads.
+//
+// The basis and the sensor layout are fixed at design time, from simulated
+// traces. At run time the chip executes workloads that were never part of
+// the training set. This example trains on one trace ensemble, then tracks a
+// *different* ensemble (new seed => new task arrivals and migrations) map by
+// map, the way a dynamic thermal manager would consume the estimates:
+//
+//   - per-step full-map estimate from 8 sensor readings,
+//   - hot-spot localization (does the estimated hottest cell match reality?),
+//   - worst tracking error over the run.
+//
+// Run with: go run ./examples/runtime_tracking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	eigenmaps "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	grid := eigenmaps.Grid{W: 30, H: 28}
+
+	// Design time: train on seed 10.
+	train, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{Grid: grid, Snapshots: 600, Seed: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := eigenmaps.Train(train, eigenmaps.TrainOptions{KMax: 24, Seed: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const numSensors = 8
+	sensors, err := model.PlaceSensors(numSensors, eigenmaps.PlaceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := model.NewMonitor(numSensors, sensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run time: an unseen trace (different seed, compute-heavy mix).
+	live, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+		Grid: grid, Snapshots: 400, Seed: 77,
+		Workloads: []eigenmaps.Workload{eigenmaps.WorkloadCompute, eigenmaps.WorkloadWeb},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		worstErr    float64
+		sumSq       float64
+		hotHits     int
+		hotDistSum  float64
+		cells       = float64(live.N())
+		stepsLogged = 0
+	)
+	for j := 0; j < live.T(); j++ {
+		truth := live.Map(j)
+		estimate, err := mon.Estimate(mon.Sample(truth))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stepErr := 0.0
+		for i := range truth {
+			d := truth[i] - estimate[i]
+			sumSq += d * d
+			if d < 0 {
+				d = -d
+			}
+			if d > stepErr {
+				stepErr = d
+			}
+		}
+		if stepErr > worstErr {
+			worstErr = stepErr
+		}
+		// Hot-spot localization.
+		ti, ei := argmax(truth), argmax(estimate)
+		if ti == ei {
+			hotHits++
+		}
+		hotDistSum += cellDistance(grid, ti, ei)
+		if j%100 == 0 {
+			fmt.Printf("step %-4d truth max %.2f C at cell %-5d estimate max %.2f C at cell %-5d (step worst err %.2f C)\n",
+				j, truth[ti], ti, estimate[ei], ei, stepErr)
+			stepsLogged++
+		}
+	}
+	t := float64(live.T())
+	fmt.Printf("\ntracked %d unseen maps with %d sensors:\n", live.T(), numSensors)
+	fmt.Printf("  tracking MSE:            %.4g C^2\n", sumSq/(t*cells))
+	fmt.Printf("  worst cell error:        %.2f C\n", worstErr)
+	fmt.Printf("  hottest cell exact hits: %d/%d\n", hotHits, live.T())
+	fmt.Printf("  mean hot-spot distance:  %.2f cells\n", hotDistSum/t)
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// cellDistance is the Euclidean distance between two cells in grid units.
+func cellDistance(g eigenmaps.Grid, a, b int) float64 {
+	ra, ca := a%g.H, a/g.H
+	rb, cb := b%g.H, b/g.H
+	dr, dc := float64(ra-rb), float64(ca-cb)
+	return math.Sqrt(dr*dr + dc*dc)
+}

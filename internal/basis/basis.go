@@ -1,0 +1,247 @@
+// Package basis builds the low-dimensional thermal-map subspaces at the core
+// of the paper: the optimal PCA basis ("EigenMaps", Proposition 1) trained
+// from design-time simulations, and the low-frequency DCT basis used by the
+// k-LSE baseline. Both expose the same Basis type so reconstruction and
+// placement code is agnostic to the choice of subspace.
+package basis
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/dct"
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+)
+
+// Basis is an ordered orthonormal dictionary for thermal maps plus the
+// ensemble mean. Columns of Psi are ranked by decreasing importance, so a
+// K-dimensional approximation uses the first K columns (the paper's Ψ_K).
+type Basis struct {
+	Name string
+	Grid floorplan.Grid
+
+	// Mean is the training ensemble mean map; approximations and
+	// reconstructions add it back (the paper's zero-mean footnote).
+	Mean []float64
+
+	// Psi holds the basis vectors as columns (N×KMax).
+	Psi *mat.Matrix
+
+	// Importance[k] orders the columns: for PCA it is the k-th eigenvalue of
+	// the covariance (Proposition 1); for DCT it is the mean squared training
+	// coefficient of the k-th selected frequency.
+	Importance []float64
+}
+
+// ErrKRange reports a requested subspace dimension outside [1, KMax].
+var ErrKRange = errors.New("basis: K outside [1, KMax]")
+
+// KMax returns the number of stored basis vectors.
+func (b *Basis) KMax() int { return b.Psi.Cols() }
+
+// N returns the map dimension.
+func (b *Basis) N() int { return b.Psi.Rows() }
+
+// PsiK returns the first k columns (the paper's Ψ_K) as a copy.
+func (b *Basis) PsiK(k int) (*mat.Matrix, error) {
+	if k < 1 || k > b.KMax() {
+		return nil, fmt.Errorf("%w: K=%d, KMax=%d", ErrKRange, k, b.KMax())
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return b.Psi.SelectCols(idx), nil
+}
+
+// Coefficients projects map x onto the first k basis vectors:
+// α = Ψ_Kᵀ(x − mean).
+func (b *Basis) Coefficients(x []float64, k int) ([]float64, error) {
+	if k < 1 || k > b.KMax() {
+		return nil, fmt.Errorf("%w: K=%d, KMax=%d", ErrKRange, k, b.KMax())
+	}
+	if len(x) != b.N() {
+		return nil, fmt.Errorf("basis: map length %d != N %d", len(x), b.N())
+	}
+	cx := mat.SubVec(x, b.Mean)
+	alpha := make([]float64, k)
+	for j := 0; j < k; j++ {
+		var s float64
+		for i := 0; i < b.N(); i++ {
+			s += b.Psi.At(i, j) * cx[i]
+		}
+		alpha[j] = s
+	}
+	return alpha, nil
+}
+
+// Synthesize maps coefficients back to a thermal map:
+// x̂ = mean + Ψ_K α (equation (1) with the mean restored).
+func (b *Basis) Synthesize(alpha []float64) []float64 {
+	k := len(alpha)
+	if k > b.KMax() {
+		panic(fmt.Sprintf("basis: %d coefficients for KMax %d", k, b.KMax()))
+	}
+	out := mat.CopyVec(b.Mean)
+	for j := 0; j < k; j++ {
+		a := alpha[j]
+		for i := 0; i < b.N(); i++ {
+			out[i] += a * b.Psi.At(i, j)
+		}
+	}
+	return out
+}
+
+// Approximate is the K-term approximation x̂ = mean + Ψ_K Ψ_Kᵀ (x − mean):
+// the orthogonal projection of Problem 1.
+func (b *Basis) Approximate(x []float64, k int) ([]float64, error) {
+	alpha, err := b.Coefficients(x, k)
+	if err != nil {
+		return nil, err
+	}
+	return b.Synthesize(alpha), nil
+}
+
+// TailImportance returns Σ_{n≥K} Importance[n] — for PCA this is the
+// expected approximation MSE·N of Proposition 1, eq. (2).
+func (b *Basis) TailImportance(k int) float64 {
+	var s float64
+	for i := k; i < len(b.Importance); i++ {
+		s += b.Importance[i]
+	}
+	return s
+}
+
+// PCAConfig tunes TrainPCA.
+type PCAConfig struct {
+	// Seed drives the subspace-iteration starting block. The trained basis
+	// is deterministic given the seed (and essentially seed-independent, up
+	// to numerical tolerance, thanks to sign normalization).
+	Seed int64
+	// Subspace forwards to mat.TopCovarianceEigen (Rand is overwritten).
+	Subspace mat.SubspaceOptions
+	// UseSnapshotMethod switches to the exact O(T³) method of snapshots —
+	// the ablation reference, only sensible for modest T.
+	UseSnapshotMethod bool
+}
+
+// TrainPCA learns the EigenMaps basis from the training ensemble: the kmax
+// leading eigenvectors of the sample covariance of the centered maps
+// (Proposition 1). Importance holds the corresponding eigenvalues.
+func TrainPCA(ds *dataset.Dataset, kmax int, cfg PCAConfig) (*Basis, error) {
+	if kmax < 1 {
+		return nil, fmt.Errorf("basis: kmax %d < 1", kmax)
+	}
+	x, mean := ds.Centered()
+	var (
+		vals []float64
+		vecs *mat.Matrix
+		err  error
+	)
+	if cfg.UseSnapshotMethod {
+		vals, vecs, err = mat.SnapshotPOD(x, kmax)
+	} else {
+		opts := cfg.Subspace
+		opts.Rand = rand.New(rand.NewSource(cfg.Seed))
+		vals, vecs, err = mat.TopCovarianceEigen(x, kmax, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("basis: PCA training: %w", err)
+	}
+	return &Basis{
+		Name:       "eigenmaps",
+		Grid:       ds.Grid,
+		Mean:       mean,
+		Psi:        vecs,
+		Importance: vals,
+	}, nil
+}
+
+// DCTSelection chooses how TrainDCT picks its kmax frequencies.
+type DCTSelection int
+
+const (
+	// DCTZigZag takes the kmax lowest frequencies in zig-zag order — the
+	// classical data-independent low-pass prior.
+	DCTZigZag DCTSelection = iota
+	// DCTEnergyRanked ranks all frequencies by mean squared training
+	// coefficient and keeps the kmax strongest — the stronger, data-adaptive
+	// variant of the k-LSE prior (our default baseline).
+	DCTEnergyRanked
+)
+
+// String names the selection mode.
+func (s DCTSelection) String() string {
+	switch s {
+	case DCTZigZag:
+		return "zigzag"
+	case DCTEnergyRanked:
+		return "energy-ranked"
+	}
+	return fmt.Sprintf("DCTSelection(%d)", int(s))
+}
+
+// TrainDCT builds the k-LSE baseline basis on the dataset's grid.
+// For DCTZigZag the dataset is used only for the mean and per-frequency
+// energies; for DCTEnergyRanked it also drives frequency selection.
+func TrainDCT(ds *dataset.Dataset, kmax int, sel DCTSelection) (*Basis, error) {
+	if kmax < 1 {
+		return nil, fmt.Errorf("basis: kmax %d < 1", kmax)
+	}
+	g := ds.Grid
+	if kmax > g.N() {
+		kmax = g.N()
+	}
+	x, mean := ds.Centered()
+
+	// Per-frequency mean squared coefficient over the training set.
+	energy := make([]float64, g.N())
+	for j := 0; j < x.Rows(); j++ {
+		coef := dct.Transform2D(g, x.Row(j))
+		for i, c := range coef {
+			energy[i] += c * c
+		}
+	}
+	mat.ScaleVec(1/float64(x.Rows()), energy)
+
+	var freqs []dct.Freq
+	switch sel {
+	case DCTZigZag:
+		freqs = dct.ZigZag(g, kmax)
+	case DCTEnergyRanked:
+		type fe struct {
+			f dct.Freq
+			e float64
+		}
+		all := make([]fe, 0, g.N())
+		for u := 0; u < g.H; u++ {
+			for v := 0; v < g.W; v++ {
+				f := dct.Freq{U: u, V: v}
+				all = append(all, fe{f: f, e: energy[dct.Coefficient(g, f)]})
+			}
+		}
+		sort.SliceStable(all, func(a, b int) bool { return all[a].e > all[b].e })
+		freqs = make([]dct.Freq, kmax)
+		for i := range freqs {
+			freqs[i] = all[i].f
+		}
+	default:
+		return nil, fmt.Errorf("basis: unknown DCT selection %v", sel)
+	}
+
+	imp := make([]float64, len(freqs))
+	for i, f := range freqs {
+		imp[i] = energy[dct.Coefficient(g, f)]
+	}
+	return &Basis{
+		Name:       "k-lse-dct-" + sel.String(),
+		Grid:       g,
+		Mean:       mean,
+		Psi:        dct.BasisMatrix(g, freqs),
+		Importance: imp,
+	}, nil
+}

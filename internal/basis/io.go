@@ -1,0 +1,117 @@
+package basis
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+)
+
+// Binary basis format: magic, version, name, grid, K, then mean, importance
+// and the basis matrix. Training at paper scale costs minutes; serialization
+// lets deployments train once and ship the basis.
+const (
+	basisMagic   = "EMBS"
+	basisVersion = uint32(1)
+)
+
+// Save writes the basis in the library's binary format.
+func (b *Basis) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(basisMagic); err != nil {
+		return err
+	}
+	name := []byte(b.Name)
+	if len(name) > 255 {
+		name = name[:255]
+	}
+	header := []uint32{basisVersion, uint32(len(name)), uint32(b.Grid.W), uint32(b.Grid.H), uint32(b.KMax())}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	for _, payload := range [][]float64{b.Mean, b.Importance, b.Psi.Data()} {
+		if err := binary.Write(bw, binary.LittleEndian, payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a basis written by Save.
+func Load(r io.Reader) (*Basis, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("basis: reading magic: %w", err)
+	}
+	if string(head) != basisMagic {
+		return nil, fmt.Errorf("basis: bad magic %q", head)
+	}
+	var ver, nameLen, w, h, k uint32
+	for _, p := range []*uint32{&ver, &nameLen, &w, &h, &k} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("basis: reading header: %w", err)
+		}
+	}
+	if ver != basisVersion {
+		return nil, fmt.Errorf("basis: unsupported version %d", ver)
+	}
+	const maxDim = 1 << 20
+	if w == 0 || h == 0 || w > maxDim || h > maxDim || k == 0 || nameLen > 255 ||
+		uint64(k)*uint64(w)*uint64(h) > 1<<32 {
+		return nil, fmt.Errorf("basis: implausible header W=%d H=%d K=%d nameLen=%d", w, h, k, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("basis: reading name: %w", err)
+	}
+	grid := floorplan.Grid{W: int(w), H: int(h)}
+	n := grid.N()
+	mean := make([]float64, n)
+	imp := make([]float64, k)
+	psi := make([]float64, n*int(k))
+	for _, payload := range [][]float64{mean, imp, psi} {
+		if err := binary.Read(br, binary.LittleEndian, payload); err != nil {
+			return nil, fmt.Errorf("basis: reading payload: %w", err)
+		}
+	}
+	return &Basis{
+		Name:       string(name),
+		Grid:       grid,
+		Mean:       mean,
+		Psi:        mat.NewFromData(n, int(k), psi),
+		Importance: imp,
+	}, nil
+}
+
+// SaveFile writes the basis to path.
+func (b *Basis) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a basis from path.
+func LoadFile(path string) (*Basis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,230 @@
+// Package core wires the substrates into the paper's end-to-end pipeline:
+//
+//	design-time:  simulate maps → train a basis (EigenMaps or DCT) →
+//	              allocate sensors (greedy / energy-center, optionally masked)
+//	run-time:     reconstruct the full thermal map from sensor readings
+//
+// It is the implementation behind the repository's public eigenmaps package.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/dataset"
+	"repro/internal/floorplan"
+	"repro/internal/place"
+	"repro/internal/recon"
+)
+
+// BasisKind selects the approximation subspace family.
+type BasisKind int
+
+// Supported basis families.
+const (
+	// BasisEigenMaps is the paper's PCA subspace (Proposition 1).
+	BasisEigenMaps BasisKind = iota
+	// BasisDCT is the k-LSE baseline subspace (energy-ranked DCT).
+	BasisDCT
+	// BasisDCTZigZag is the data-independent low-pass DCT subspace.
+	BasisDCTZigZag
+)
+
+// String names the basis kind.
+func (k BasisKind) String() string {
+	switch k {
+	case BasisEigenMaps:
+		return "eigenmaps"
+	case BasisDCT:
+		return "dct-energy"
+	case BasisDCTZigZag:
+		return "dct-zigzag"
+	}
+	return fmt.Sprintf("BasisKind(%d)", int(k))
+}
+
+// TrainOptions parameterize Train.
+type TrainOptions struct {
+	// KMax is the number of basis vectors to learn (the largest K any
+	// reconstructor built from this model may use). Default 40.
+	KMax int
+	// Kind selects the subspace family. Default BasisEigenMaps.
+	Kind BasisKind
+	// Seed drives PCA subspace iteration. Results are seed-insensitive up to
+	// numerical tolerance.
+	Seed int64
+	// UseSnapshotMethod forwards to basis.PCAConfig (ablation).
+	UseSnapshotMethod bool
+}
+
+// Model is a trained thermal-map model for one grid: the ordered basis plus
+// the per-cell training energy map used by the energy-center allocator.
+type Model struct {
+	Basis  *basis.Basis
+	Energy []float64 // per-cell mean squared centered temperature
+	Grid   floorplan.Grid
+}
+
+// Train learns a Model from the design-time ensemble. The dataset is
+// validated first: non-finite temperatures or a grid/map mismatch fail fast
+// instead of propagating NaNs into the basis.
+func Train(ds *dataset.Dataset, opt TrainOptions) (*Model, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opt.KMax == 0 {
+		opt.KMax = 40
+	}
+	if t := ds.T(); opt.KMax > t {
+		opt.KMax = t
+	}
+	var (
+		b   *basis.Basis
+		err error
+	)
+	switch opt.Kind {
+	case BasisEigenMaps:
+		b, err = basis.TrainPCA(ds, opt.KMax, basis.PCAConfig{
+			Seed:              opt.Seed,
+			UseSnapshotMethod: opt.UseSnapshotMethod,
+		})
+	case BasisDCT:
+		b, err = basis.TrainDCT(ds, opt.KMax, basis.DCTEnergyRanked)
+	case BasisDCTZigZag:
+		b, err = basis.TrainDCT(ds, opt.KMax, basis.DCTZigZag)
+	default:
+		return nil, fmt.Errorf("core: unknown basis kind %v", opt.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: training: %w", err)
+	}
+	// Energy map: mean squared centered temperature per cell.
+	x, _ := ds.Centered()
+	energy := make([]float64, ds.N())
+	for j := 0; j < x.Rows(); j++ {
+		row := x.Row(j)
+		for i, v := range row {
+			energy[i] += v * v
+		}
+	}
+	for i := range energy {
+		energy[i] /= float64(x.Rows())
+	}
+	return &Model{Basis: b, Energy: energy, Grid: ds.Grid}, nil
+}
+
+// PlaceOptions parameterize PlaceSensors.
+type PlaceOptions struct {
+	// K is the subspace dimension the sensors must observe; defaults to M
+	// (the paper's operating point K = M for noiseless reconstruction).
+	K int
+	// Mask restricts placement (nil = whole die).
+	Mask []bool
+	// Allocator overrides the strategy; nil = the paper's greedy Algorithm 1.
+	Allocator place.Allocator
+}
+
+// PlaceSensors allocates m sensor locations for the model.
+func (mdl *Model) PlaceSensors(m int, opt PlaceOptions) ([]int, error) {
+	k := opt.K
+	if k == 0 {
+		k = m
+	}
+	if k > mdl.Basis.KMax() {
+		k = mdl.Basis.KMax()
+	}
+	if k > m {
+		return nil, fmt.Errorf("core: K=%d exceeds sensor budget M=%d", k, m)
+	}
+	psi, err := mdl.Basis.PsiK(k)
+	if err != nil {
+		return nil, err
+	}
+	alloc := opt.Allocator
+	if alloc == nil {
+		alloc = &place.Greedy{}
+	}
+	sensors, err := alloc.Allocate(place.Input{
+		Psi:    psi,
+		Energy: mdl.Energy,
+		Grid:   mdl.Grid,
+		M:      m,
+		Mask:   opt.Mask,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s allocation: %w", alloc.Name(), err)
+	}
+	return sensors, nil
+}
+
+// Monitor is the run-time estimator: it owns a reconstructor for a fixed
+// sensor set and subspace dimension.
+type Monitor struct {
+	rec *recon.Reconstructor
+}
+
+// NewMonitor builds the run-time estimator for k basis vectors observed at
+// the given sensors.
+func (mdl *Model) NewMonitor(k int, sensors []int) (*Monitor, error) {
+	r, err := recon.New(mdl.Basis, k, sensors)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{rec: r}, nil
+}
+
+// Estimate reconstructs the full map from sensor readings (°C), ordered like
+// the sensor slice the monitor was built with.
+func (m *Monitor) Estimate(readings []float64) ([]float64, error) {
+	return m.rec.Reconstruct(readings)
+}
+
+// Sample extracts this monitor's sensor readings from a full map (testing
+// and simulation convenience).
+func (m *Monitor) Sample(x []float64) []float64 { return m.rec.Sample(x) }
+
+// Sensors returns the monitored cell indices.
+func (m *Monitor) Sensors() []int { return m.rec.Sensors() }
+
+// K returns the subspace dimension.
+func (m *Monitor) K() int { return m.rec.K() }
+
+// Cond returns κ(Ψ̃_K), the layout quality metric of eq. (5).
+func (m *Monitor) Cond() (float64, error) { return m.rec.Cond() }
+
+// Reconstructor exposes the underlying estimator for evaluation code.
+func (m *Monitor) Reconstructor() *recon.Reconstructor { return m.rec }
+
+// ErrNoUsableK is returned by BestK when no K in range yields a full-rank
+// sensing matrix.
+var ErrNoUsableK = errors.New("core: no usable subspace dimension for this sensor set")
+
+// BestK picks the subspace dimension K ∈ [1, min(M, KMax)] minimizing the
+// evaluated MSE on ds — the ε (approximation) versus ε_r (conditioning)
+// balance discussed after Theorem 1.
+func (mdl *Model) BestK(ds *dataset.Dataset, sensors []int, cfg recon.EvalConfig) (int, recon.Result, error) {
+	maxK := len(sensors)
+	if mdl.Basis.KMax() < maxK {
+		maxK = mdl.Basis.KMax()
+	}
+	bestK := 0
+	var best recon.Result
+	for k := 1; k <= maxK; k++ {
+		r, err := recon.New(mdl.Basis, k, sensors)
+		if err != nil {
+			continue // e.g. rank deficient at this K
+		}
+		res, err := recon.Evaluate(r, ds, cfg)
+		if err != nil {
+			continue
+		}
+		if bestK == 0 || res.MSE < best.MSE {
+			bestK, best = k, res
+		}
+	}
+	if bestK == 0 {
+		return 0, recon.Result{}, ErrNoUsableK
+	}
+	return bestK, best, nil
+}

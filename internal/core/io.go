@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/basis"
+)
+
+// Model serialization: the basis in its own format followed by the per-cell
+// training energy map (needed by the energy-center allocator). Training at
+// paper scale costs minutes; a deployment trains once and ships the model.
+
+// Save writes the model.
+func (mdl *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := mdl.Basis.Save(bw); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(mdl.Energy))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, mdl.Energy); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	b, err := basis.Load(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading basis: %w", err)
+	}
+	var ne uint32
+	if err := binary.Read(br, binary.LittleEndian, &ne); err != nil {
+		return nil, fmt.Errorf("core: reading energy length: %w", err)
+	}
+	if int(ne) != b.N() {
+		return nil, fmt.Errorf("core: energy length %d does not match N=%d", ne, b.N())
+	}
+	energy := make([]float64, ne)
+	if err := binary.Read(br, binary.LittleEndian, energy); err != nil {
+		return nil, fmt.Errorf("core: reading energy: %w", err)
+	}
+	return &Model{Basis: b, Energy: energy, Grid: b.Grid}, nil
+}
+
+// SaveFile writes the model to path.
+func (mdl *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mdl.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile reads a model from path.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

@@ -1,0 +1,216 @@
+// Package dataset produces and manages the ensembles of thermal snapshots
+// that EigenMaps is trained and evaluated on: it drives the power → thermal
+// simulation pipeline, vectorizes maps with the paper's column-stacking
+// convention, handles mean removal, and (de)serializes datasets so the
+// full-scale ensemble can be cached between runs.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+	"repro/internal/power"
+	"repro/internal/thermal"
+)
+
+// Dataset is an ensemble of T vectorized thermal maps on a common grid.
+// Rows of Maps are snapshots (length N = W·H, in °C).
+type Dataset struct {
+	Grid floorplan.Grid
+	Maps *mat.Matrix
+}
+
+// T returns the number of snapshots.
+func (d *Dataset) T() int { return d.Maps.Rows() }
+
+// N returns the number of cells per map.
+func (d *Dataset) N() int { return d.Maps.Cols() }
+
+// Map returns snapshot j as a view (do not mutate).
+func (d *Dataset) Map(j int) []float64 { return d.Maps.Row(j) }
+
+// Mean returns the per-cell ensemble mean map.
+func (d *Dataset) Mean() []float64 {
+	n := d.N()
+	mean := make([]float64, n)
+	for j := 0; j < d.T(); j++ {
+		mat.AXPY(1, d.Map(j), mean)
+	}
+	mat.ScaleVec(1/float64(d.T()), mean)
+	return mean
+}
+
+// Centered returns a centered copy of the snapshot matrix (each row minus the
+// ensemble mean) together with the mean map. The paper assumes zero-mean
+// vectors throughout Sec. 3; this is the "subtract the mean" footnote made
+// explicit.
+func (d *Dataset) Centered() (*mat.Matrix, []float64) {
+	mean := d.Mean()
+	x := d.Maps.Clone()
+	for j := 0; j < x.Rows(); j++ {
+		row := x.Row(j)
+		for i := range row {
+			row[i] -= mean[i]
+		}
+	}
+	return x, mean
+}
+
+// Split partitions the dataset into train/eval subsets by interleaving
+// (every k-th snapshot goes to eval, k chosen from evalFrac), preserving
+// temporal diversity in both halves. evalFrac must lie in (0, 1).
+func (d *Dataset) Split(evalFrac float64) (train, eval *Dataset) {
+	if evalFrac <= 0 || evalFrac >= 1 {
+		panic(fmt.Sprintf("dataset: evalFrac %v outside (0,1)", evalFrac))
+	}
+	k := int(1 / evalFrac)
+	if k < 2 {
+		k = 2
+	}
+	var trIdx, evIdx []int
+	for j := 0; j < d.T(); j++ {
+		if j%k == k-1 {
+			evIdx = append(evIdx, j)
+		} else {
+			trIdx = append(trIdx, j)
+		}
+	}
+	return &Dataset{Grid: d.Grid, Maps: d.Maps.SelectRows(trIdx)},
+		&Dataset{Grid: d.Grid, Maps: d.Maps.SelectRows(evIdx)}
+}
+
+// Validate checks the dataset for non-finite values and inconsistent
+// dimensions, returning a descriptive error for the first problem found.
+// Training rejects invalid datasets up front rather than producing NaN
+// bases.
+func (d *Dataset) Validate() error {
+	if d.Grid.N() != d.N() {
+		return fmt.Errorf("dataset: grid %dx%d (N=%d) does not match map length %d",
+			d.Grid.H, d.Grid.W, d.Grid.N(), d.N())
+	}
+	for j := 0; j < d.T(); j++ {
+		for i, v := range d.Map(j) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("dataset: map %d cell %d is %v", j, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a dataset for reporting.
+type Stats struct {
+	T, N       int
+	MinC, MaxC float64
+	MeanC      float64
+}
+
+// Stats computes ensemble statistics.
+func (d *Dataset) Stats() Stats {
+	s := Stats{T: d.T(), N: d.N()}
+	if s.T == 0 || s.N == 0 {
+		return s
+	}
+	lo, hi := mat.MinMax(d.Map(0))
+	var sum float64
+	for j := 0; j < s.T; j++ {
+		row := d.Map(j)
+		l, h := mat.MinMax(row)
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+		sum += mat.Mean(row)
+	}
+	s.MinC, s.MaxC = lo, hi
+	s.MeanC = sum / float64(s.T)
+	return s
+}
+
+// GenConfig parameterizes Generate.
+type GenConfig struct {
+	Grid      floorplan.Grid
+	Snapshots int // total maps to produce; default 2652 (the paper's T)
+
+	// Scenarios are run back-to-back, splitting Snapshots equally; the
+	// resulting ensemble mixes workload regimes like the paper's trace set.
+	// Default: web, compute, mixed, idle.
+	Scenarios []power.Scenario
+
+	// StepsPerSnapshot inserts extra un-recorded simulation steps between
+	// snapshots (decorrelates consecutive maps). Default 1 (record every
+	// step, like 3D-ICE's per-interval output).
+	StepsPerSnapshot int
+
+	Seed    int64
+	Thermal thermal.Config
+	Power   power.Config // Scenario and Seed fields are overridden per segment
+}
+
+func (c *GenConfig) defaults() {
+	if c.Grid.W == 0 || c.Grid.H == 0 {
+		c.Grid = floorplan.Grid{W: 60, H: 56}
+	}
+	if c.Snapshots == 0 {
+		c.Snapshots = 2652
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []power.Scenario{
+			power.ScenarioWeb, power.ScenarioCompute, power.ScenarioMixed, power.ScenarioIdle,
+		}
+	}
+	if c.StepsPerSnapshot <= 0 {
+		c.StepsPerSnapshot = 1
+	}
+}
+
+// Generate runs the full design-time pipeline: for each scenario segment it
+// builds a workload generator, starts the thermal model at the steady state
+// of the first power map, and records the die temperature after every
+// StepsPerSnapshot transient steps.
+func Generate(fp *floorplan.Floorplan, cfg GenConfig) (*Dataset, error) {
+	cfg.defaults()
+	if err := fp.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	raster := fp.Rasterize(cfg.Grid)
+	model := thermal.NewModel(cfg.Grid, cfg.Thermal)
+
+	maps := mat.New(cfg.Snapshots, cfg.Grid.N())
+	perSeg := cfg.Snapshots / len(cfg.Scenarios)
+	row := 0
+	for si, sc := range cfg.Scenarios {
+		segSnaps := perSeg
+		if si == len(cfg.Scenarios)-1 {
+			segSnaps = cfg.Snapshots - row // absorb remainder
+		}
+		pcfg := cfg.Power
+		pcfg.Scenario = sc
+		pcfg.Seed = cfg.Seed + int64(si)*7919
+		gen := power.NewGenerator(fp, pcfg)
+
+		tr := model.NewTransient()
+		first := power.SpreadToCells(raster, gen.Step())
+		if err := tr.SetSteadyState(first); err != nil {
+			return nil, fmt.Errorf("dataset: scenario %v warm start: %w", sc, err)
+		}
+		for s := 0; s < segSnaps; s++ {
+			var temps []float64
+			var err error
+			for k := 0; k < cfg.StepsPerSnapshot; k++ {
+				cellP := power.SpreadToCells(raster, gen.Step())
+				temps, err = tr.Step(cellP)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: scenario %v step: %w", sc, err)
+				}
+			}
+			maps.SetRow(row, temps)
+			row++
+		}
+	}
+	return &Dataset{Grid: cfg.Grid, Maps: maps}, nil
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+)
+
+// Binary format: magic, version, W, H, T as uint32 little-endian, followed by
+// T·N float64 map values in row (snapshot) order.
+const (
+	magic   = "EMDS"
+	version = uint32(1)
+)
+
+// Save writes the dataset in the compact binary format.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	for _, v := range []uint32{version, uint32(d.Grid.W), uint32(d.Grid.H), uint32(d.T())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, d.Maps.Data()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", head)
+	}
+	var ver, w, h, t uint32
+	for _, p := range []*uint32{&ver, &w, &h, &t} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("dataset: reading header: %w", err)
+		}
+	}
+	if ver != version {
+		return nil, fmt.Errorf("dataset: unsupported version %d", ver)
+	}
+	const maxDim = 1 << 20
+	if w == 0 || h == 0 || w > maxDim || h > maxDim || uint64(t)*uint64(w)*uint64(h) > 1<<32 {
+		return nil, fmt.Errorf("dataset: implausible header W=%d H=%d T=%d", w, h, t)
+	}
+	grid := floorplan.Grid{W: int(w), H: int(h)}
+	data := make([]float64, int(t)*grid.N())
+	if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+		return nil, fmt.Errorf("dataset: reading maps: %w", err)
+	}
+	return &Dataset{Grid: grid, Maps: mat.NewFromData(int(t), grid.N(), data)}, nil
+}
+
+// SaveFile writes the dataset to path (creating or truncating it).
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

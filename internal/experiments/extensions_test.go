@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStabilityClaim(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Stability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.M) != len(e.Cfg.Ms) {
+		t.Fatalf("swept %d points", len(r.M))
+	}
+	for i := range r.M {
+		if r.Calibration[i] < r.Clean[i] {
+			t.Fatalf("M=%d: calibrated MSE %v below clean %v", r.M[i], r.Calibration[i], r.Clean[i])
+		}
+	}
+	// The abstract's stability claim: calibration error is not amplified.
+	// The added reconstruction error must stay within a small factor of the
+	// sensor error budget itself.
+	if r.AmplificationMax > 10 {
+		t.Fatalf("calibration error amplified %vx — stability claim violated", r.AmplificationMax)
+	}
+	if !strings.Contains(r.String(), "amplification") {
+		t.Fatal("report malformed")
+	}
+}
+
+func TestTrackingBeatsLSUnderNoise(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.Tracking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ReadNoiseC) == 0 {
+		t.Fatal("no sweep points")
+	}
+	// At every noise level the temporal filter must beat memoryless LS.
+	for i, sigma := range r.ReadNoiseC {
+		if r.KalmanMSE[i] >= r.LSMSE[i] {
+			t.Fatalf("noise %v °C: Kalman %v not below LS %v", sigma, r.KalmanMSE[i], r.LSMSE[i])
+		}
+	}
+	// And LS error must grow with noise (sanity of the harness).
+	last := len(r.ReadNoiseC) - 1
+	if r.LSMSE[last] <= r.LSMSE[0] {
+		t.Fatal("LS error did not grow with read noise")
+	}
+}
+
+func TestCrossFloorplanGapShrinksOnAthlon(t *testing.T) {
+	e := quickEnv(t)
+	r, err := e.CrossFloorplan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EigenMaps must dominate k-LSE on both floorplans.
+	for _, fp := range []string{"t1", "athlon"} {
+		if g := r.GapRatio(fp); g <= 1 {
+			t.Fatalf("%s gap ratio %v — EigenMaps should dominate", fp, g)
+		}
+	}
+	// The paper's remark: the T1 generates more spatial high-frequency
+	// content than the Athlon dual-core, so k-LSE's *absolute* error is
+	// worse on the T1.
+	if t1, athlon := r.KLSEMean("t1"), r.KLSEMean("athlon"); athlon >= t1 {
+		t.Fatalf("k-LSE on Athlon (%v) not better than on T1 (%v)", athlon, t1)
+	}
+	if r.GapRatio("bogus") != 0 || r.KLSEMean("bogus") != 0 {
+		t.Fatal("unknown floorplan should yield 0")
+	}
+	if !strings.Contains(r.String(), "Athlon") {
+		t.Fatal("report malformed")
+	}
+}

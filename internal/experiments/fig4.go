@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/place"
+	"repro/internal/render"
+)
+
+// Fig4Result reproduces Fig. 4's visual comparison: two representative
+// thermal maps, each shown as original / EigenMaps reconstruction / k-LSE
+// reconstruction, all with 16 sensors.
+type Fig4Result struct {
+	MapIndices [2]int
+	Originals  [2][]float64
+	Eigen      [2][]float64
+	KLSE       [2][]float64
+	// MaxAbsEigen/MaxAbsKLSE record the worst per-cell error of each
+	// reconstruction [°C].
+	MaxAbsEigen [2]float64
+	MaxAbsKLSE  [2]float64
+	ascii       string
+}
+
+// Fig4 picks the hottest map and the map with the largest spatial gradient
+// (two visually distinct regimes) and reconstructs both.
+func (e *Env) Fig4() (*Fig4Result, error) {
+	const m = 16
+	k := m
+	if k > e.Cfg.KMax {
+		k = e.Cfg.KMax
+	}
+	hot, grad := e.pickShowcaseMaps()
+	res := &Fig4Result{MapIndices: [2]int{hot, grad}}
+
+	sensorsE, err := e.PCA.PlaceSensors(m, core.PlaceOptions{K: k, Allocator: &place.Greedy{}})
+	if err != nil {
+		return nil, fmt.Errorf("fig4 eigen placement: %w", err)
+	}
+	if len(sensorsE) > m {
+		sensorsE = sensorsE[:m]
+	}
+	monE, err := chooseStableK(e.PCA, sensorsE, k)
+	if err != nil {
+		return nil, err
+	}
+	sensorsD, err := e.KLSE.PlaceSensors(m, core.PlaceOptions{K: k, Allocator: &place.EnergyCenter{}})
+	if err != nil {
+		return nil, fmt.Errorf("fig4 k-LSE placement: %w", err)
+	}
+	monD, err := chooseStableK(e.KLSE, sensorsD, k)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, idx := range res.MapIndices {
+		x := e.DS.Map(idx)
+		recE, err := monE.Estimate(monE.Sample(x))
+		if err != nil {
+			return nil, fmt.Errorf("fig4 eigen map %d: %w", idx, err)
+		}
+		recD, err := monD.Estimate(monD.Sample(x))
+		if err != nil {
+			return nil, fmt.Errorf("fig4 k-LSE map %d: %w", idx, err)
+		}
+		res.Originals[i] = append([]float64(nil), x...)
+		res.Eigen[i] = recE
+		res.KLSE[i] = recD
+		res.MaxAbsEigen[i] = metrics.MaxAbsErr(x, recE)
+		res.MaxAbsKLSE[i] = metrics.MaxAbsErr(x, recD)
+	}
+
+	var b strings.Builder
+	for i := range res.MapIndices {
+		fmt.Fprintf(&b, "map %d (row %d):\n", i+1, res.MapIndices[i])
+		b.WriteString(render.SideBySide(e.DS.Grid,
+			[]string{"(a) original", "(b) EigenMaps", "(c) k-LSE"},
+			[][]float64{res.Originals[i], res.Eigen[i], res.KLSE[i]},
+			render.Options{}))
+		b.WriteByte('\n')
+	}
+	res.ascii = b.String()
+	return res, nil
+}
+
+// pickShowcaseMaps returns the index of the hottest map and of the map with
+// the largest internal temperature spread.
+func (e *Env) pickShowcaseMaps() (hottest, steepest int) {
+	var bestMax, bestSpread float64
+	for j := 0; j < e.DS.T(); j++ {
+		row := e.DS.Map(j)
+		lo, hi := row[0], row[0]
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > bestMax {
+			bestMax, hottest = hi, j
+		}
+		if hi-lo > bestSpread {
+			bestSpread, steepest = hi-lo, j
+		}
+	}
+	if hottest == steepest && e.DS.T() > 1 {
+		// Ensure two distinct rows for the figure.
+		steepest = (hottest + e.DS.T()/2) % e.DS.T()
+	}
+	return hottest, steepest
+}
+
+// String prints the ASCII side-by-side panels plus the per-map worst errors.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("== Fig. 4: visual comparison, 16 sensors ==\n")
+	b.WriteString(r.ascii)
+	for i := range r.MapIndices {
+		fmt.Fprintf(&b, "map %d worst-cell error: EigenMaps %.3f C, k-LSE %.3f C\n",
+			i+1, r.MaxAbsEigen[i], r.MaxAbsKLSE[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/place"
+)
+
+// Fig5Result crosses the two reconstruction methods with the two allocation
+// algorithms — Fig. 5's four MSE curves versus M.
+type Fig5Result struct {
+	M               []int
+	EigenGreedy     []float64
+	EigenEnergy     []float64
+	KLSEGreedy      []float64
+	KLSEEnergy      []float64
+	CondEigenGreedy []float64
+	CondEigenEnergy []float64
+}
+
+// Fig5 sweeps M over Cfg.Ms for all four combinations.
+func (e *Env) Fig5() (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, m := range e.Cfg.Ms {
+		k := m
+		if k > e.Cfg.KMax {
+			k = e.Cfg.KMax
+		}
+		eg, err := e.evalCombo(e.PCA, &place.Greedy{}, k, m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 M=%d eigen+greedy: %w", m, err)
+		}
+		ee, err := e.evalCombo(e.PCA, &place.EnergyCenter{}, k, m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 M=%d eigen+energy: %w", m, err)
+		}
+		dg, err := e.evalCombo(e.KLSE, &place.Greedy{}, k, m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 M=%d klse+greedy: %w", m, err)
+		}
+		de, err := e.evalCombo(e.KLSE, &place.EnergyCenter{}, k, m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 M=%d klse+energy: %w", m, err)
+		}
+		res.M = append(res.M, m)
+		res.EigenGreedy = append(res.EigenGreedy, eg.MSE)
+		res.EigenEnergy = append(res.EigenEnergy, ee.MSE)
+		res.KLSEGreedy = append(res.KLSEGreedy, dg.MSE)
+		res.KLSEEnergy = append(res.KLSEEnergy, de.MSE)
+		res.CondEigenGreedy = append(res.CondEigenGreedy, eg.Cond)
+		res.CondEigenEnergy = append(res.CondEigenEnergy, ee.Cond)
+	}
+	return res, nil
+}
+
+// String prints Fig. 5's four curves.
+func (r *Fig5Result) String() string {
+	xs := make([]float64, len(r.M))
+	for i, m := range r.M {
+		xs[i] = float64(m)
+	}
+	return formatSeries("Fig. 5: MSE vs M for reconstruction x allocation", "M", []Series{
+		{Name: "EigenMaps+greedy", X: xs, Y: r.EigenGreedy},
+		{Name: "EigenMaps+energy", X: xs, Y: r.EigenEnergy},
+		{Name: "k-LSE+greedy", X: xs, Y: r.KLSEGreedy},
+		{Name: "k-LSE+energy", X: xs, Y: r.KLSEEnergy},
+	})
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/place"
+	"repro/internal/render"
+)
+
+// Fig6Result studies design-constrained allocation — Fig. 6: greedy
+// EigenMaps placement with and without the "no sensors in caches" mask,
+// error curves versus M plus rendered sensor layouts.
+type Fig6Result struct {
+	M                []int
+	MSEFree          []float64
+	MSEConstrained   []float64
+	MaxSqFree        []float64
+	MaxSqConstrained []float64
+
+	// LayoutM is the sensor count of the rendered layouts (the paper shows 32).
+	LayoutM           int
+	LayoutFree        string
+	LayoutConstrained string
+	MaskRender        string
+}
+
+// Fig6 sweeps M over Cfg.Ms with the cache mask of the T1 floorplan.
+func (e *Env) Fig6() (*Fig6Result, error) {
+	mask := e.Raster.MaskExcludingKinds(floorplan.KindCache)
+	res := &Fig6Result{}
+	for _, m := range e.Cfg.Ms {
+		k := m
+		if k > e.Cfg.KMax {
+			k = e.Cfg.KMax
+		}
+		free, err := e.evalCombo(e.PCA, &place.Greedy{}, k, m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 M=%d free: %w", m, err)
+		}
+		con, err := e.evalCombo(e.PCA, &place.Greedy{}, k, m, mask)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 M=%d constrained: %w", m, err)
+		}
+		res.M = append(res.M, m)
+		res.MSEFree = append(res.MSEFree, free.MSE)
+		res.MSEConstrained = append(res.MSEConstrained, con.MSE)
+		res.MaxSqFree = append(res.MaxSqFree, free.MaxSq)
+		res.MaxSqConstrained = append(res.MaxSqConstrained, con.MaxSq)
+	}
+
+	// Render the layouts at the largest swept M (paper: 32 sensors).
+	layoutM := res.M[len(res.M)-1]
+	res.LayoutM = layoutM
+	kL := layoutM
+	if kL > e.Cfg.KMax {
+		kL = e.Cfg.KMax
+	}
+	freeS, err := e.PCA.PlaceSensors(layoutM, core.PlaceOptions{K: kL, Allocator: &place.Greedy{}})
+	if err != nil {
+		return nil, err
+	}
+	conS, err := e.PCA.PlaceSensors(layoutM, core.PlaceOptions{K: kL, Mask: mask, Allocator: &place.Greedy{}})
+	if err != nil {
+		return nil, err
+	}
+	res.LayoutFree = render.SensorMap(e.Raster, freeS)
+	res.LayoutConstrained = render.SensorMap(e.Raster, conS)
+	res.MaskRender = renderMask(e.DS.Grid, mask)
+	return res, nil
+}
+
+func renderMask(g floorplan.Grid, mask []bool) string {
+	var b strings.Builder
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			if mask[g.Index(row, col)] {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte('#') // forbidden zone (the paper's striped red)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String prints Fig. 6(d)'s curves and the (a)/(b)/(c) layout panels.
+func (r *Fig6Result) String() string {
+	xs := make([]float64, len(r.M))
+	for i, m := range r.M {
+		xs[i] = float64(m)
+	}
+	var b strings.Builder
+	b.WriteString(formatSeries("Fig. 6(d): constrained vs free allocation (EigenMaps+greedy)", "M", []Series{
+		{Name: "MSE free", X: xs, Y: r.MSEFree},
+		{Name: "MSE constrained", X: xs, Y: r.MSEConstrained},
+		{Name: "MAX free", X: xs, Y: r.MaxSqFree},
+		{Name: "MAX constrained", X: xs, Y: r.MaxSqConstrained},
+	}))
+	fmt.Fprintf(&b, "\nFig. 6(a): %d sensors, unconstrained\n%s", r.LayoutM, r.LayoutFree)
+	fmt.Fprintf(&b, "\nFig. 6(b): mask (# = forbidden)\n%s", r.MaskRender)
+	fmt.Fprintf(&b, "\nFig. 6(c): %d sensors, constrained\n%s", r.LayoutM, r.LayoutConstrained)
+	return b.String()
+}

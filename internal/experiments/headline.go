@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/recon"
+)
+
+// HeadlineResult checks the paper's two headline claims (Sec. 1, Sec. 5.1):
+//
+//  1. an entire thermal map is estimated within 1 °C (MSE and MAX below
+//     1 °C²/1 °C) using only 4–5 sensors, and
+//  2. the same precision holds at 15 dB SNR with 16 sensors.
+type HeadlineResult struct {
+	// Clean4 and Clean5 are noiseless evaluations at M=4 and M=5 (K=M).
+	Clean4, Clean5 recon.Result
+	// Noisy16 is the 15 dB evaluation at M=16 with the MSE-optimal K.
+	Noisy16 recon.Result
+	// Noisy16K is the K chosen for the noisy run.
+	Noisy16K int
+}
+
+// Headline runs both claims on the environment.
+func (e *Env) Headline() (*HeadlineResult, error) {
+	res := &HeadlineResult{}
+	for _, m := range []int{4, 5} {
+		r, err := e.evalCombo(e.PCA, &place.Greedy{}, m, m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("headline M=%d: %w", m, err)
+		}
+		if m == 4 {
+			res.Clean4 = r
+		} else {
+			res.Clean5 = r
+		}
+	}
+	sensors, err := e.PCA.PlaceSensors(16, core.PlaceOptions{K: min16(e.Cfg.KMax), Allocator: &place.Greedy{}})
+	if err != nil {
+		return nil, fmt.Errorf("headline M=16 placement: %w", err)
+	}
+	if len(sensors) > 16 {
+		sensors = sensors[:16]
+	}
+	k, r, err := e.PCA.BestK(e.DS, sensors, recon.EvalConfig{
+		SNRdB: 15, NoisePresent: true, Seed: mixSeed(e.Cfg.Seed, 15),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("headline M=16 noisy: %w", err)
+	}
+	res.Noisy16 = r
+	res.Noisy16K = k
+	return res, nil
+}
+
+func min16(kmax int) int {
+	if kmax < 16 {
+		return kmax
+	}
+	return 16
+}
+
+// WithinOneDegree reports whether a result meets the paper's "<1 °C" bar on
+// both MSE (interpreted in °C², i.e. MSE < 1) and worst-case absolute error.
+func WithinOneDegree(r recon.Result) bool {
+	return r.MSE < 1 && r.MaxAbs < 1
+}
+
+// String prints the three headline rows.
+func (h *HeadlineResult) String() string {
+	var b strings.Builder
+	b.WriteString("== Headline claims (Sec. 1 / Sec. 5.1) ==\n")
+	row := func(name string, r recon.Result, k int, note string) {
+		fmt.Fprintf(&b, "%-28s M=%-3d K=%-3d MSE=%-12.4g MAX|e|=%-8.3f kappa=%-8.3g %s\n",
+			name, r.M, k, r.MSE, r.MaxAbs, r.Cond, note)
+	}
+	ok := func(r recon.Result) string {
+		if WithinOneDegree(r) {
+			return "[<1C: PASS]"
+		}
+		return "[<1C: miss]"
+	}
+	row("noiseless, 4 sensors", h.Clean4, h.Clean4.K, ok(h.Clean4))
+	row("noiseless, 5 sensors", h.Clean5, h.Clean5.K, ok(h.Clean5))
+	row("15 dB SNR, 16 sensors", h.Noisy16, h.Noisy16K, ok(h.Noisy16))
+	return b.String()
+}

@@ -1,0 +1,25 @@
+package floorplan
+
+// AthlonDualCore returns a dual-core Athlon-64-X2-class floorplan: two large
+// cores along the top edge, a private L2 bank under each, and the
+// northbridge/interconnect column on the right flank.
+//
+// This is the processor the k-LSE paper (Nowroz et al. [12]) evaluated on.
+// The EigenMaps paper attributes part of k-LSE's weaker showing to the T1
+// generating "more high frequency content" than the Athlon; this floorplan
+// exists so that cross-floorplan comparison can be reproduced (see
+// experiments.CrossFloorplan): with two big cores the maps are smoother and
+// the DCT baseline closes part of its gap.
+func AthlonDualCore() *Floorplan {
+	return &Floorplan{
+		Name: "athlon-dual-core",
+		Blocks: []Block{
+			{Name: "core0", Kind: KindCore, X: 0, Y: 0, W: 0.35, H: 0.45},
+			{Name: "core1", Kind: KindCore, X: 0.35, Y: 0, W: 0.35, H: 0.45},
+			{Name: "l2b0", Kind: KindCache, X: 0, Y: 0.45, W: 0.35, H: 0.50},
+			{Name: "l2b1", Kind: KindCache, X: 0.35, Y: 0.45, W: 0.35, H: 0.50},
+			{Name: "northbridge", Kind: KindCrossbar, X: 0.70, Y: 0, W: 0.30, H: 1},
+			{Name: "io", Kind: KindOther, X: 0, Y: 0.95, W: 0.70, H: 0.05},
+		},
+	}
+}

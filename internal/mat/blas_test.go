@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulVecKnown(t *testing.T) {
+	m := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := MulVec(m, []float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestMulVecTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandomMatrix(5, 3, rng)
+	x := []float64{1, -2, 0.5, 3, -1}
+	got := MulVecT(m, x)
+	want := MulVec(m.T(), x)
+	for i := range got {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("MulVecT mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromData(2, 2, []float64{5, 6, 7, 8})
+	got := Mul(a, b)
+	want := NewFromData(2, 2, []float64{19, 22, 43, 50})
+	if !got.Equal(want, 1e-14) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomMatrix(4, 6, rng)
+	if !Mul(Identity(4), a).Equal(a, 1e-14) {
+		t.Fatal("I·A != A")
+	}
+	if !Mul(a, Identity(6)).Equal(a, 1e-14) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestMulTAMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandomMatrix(6, 3, rng)
+	b := RandomMatrix(6, 4, rng)
+	if !MulTA(a, b).Equal(Mul(a.T(), b), 1e-12) {
+		t.Fatal("MulTA != AᵀB")
+	}
+}
+
+func TestMulTBMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := RandomMatrix(3, 6, rng)
+	b := RandomMatrix(4, 6, rng)
+	if !MulTB(a, b).Equal(Mul(a, b.T()), 1e-12) {
+		t.Fatal("MulTB != ABᵀ")
+	}
+}
+
+func TestGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := RandomMatrix(7, 4, rng)
+	g := Gram(a)
+	if !g.Equal(Mul(a.T(), a), 1e-12) {
+		t.Fatal("Gram != AᵀA")
+	}
+	if !g.IsSymmetric(0) {
+		t.Fatal("Gram must be exactly symmetric")
+	}
+}
+
+func TestRowGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := RandomMatrix(4, 7, rng)
+	g := RowGram(a)
+	if !g.Equal(Mul(a, a.T()), 1e-12) {
+		t.Fatal("RowGram != AAᵀ")
+	}
+	if !g.IsSymmetric(0) {
+		t.Fatal("RowGram must be exactly symmetric")
+	}
+}
+
+// Property: matrix multiplication is associative on random triples.
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s, u := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := RandomMatrix(p, q, r)
+		b := RandomMatrix(q, s, r)
+		c := RandomMatrix(s, u, r)
+		return Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c)), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ⟨A·x, y⟩ == ⟨x, Aᵀ·y⟩ (adjoint identity).
+func TestAdjointIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(6), 1+r.Intn(6)
+		a := RandomMatrix(m, n, r)
+		x := RandomMatrix(1, n, r).Row(0)
+		y := RandomMatrix(1, m, r).Row(0)
+		return almostEqual(Dot(MulVec(a, x), y), Dot(x, MulVecT(a, y)), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package mat
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// It returns ErrSingular if a is not positive definite to working precision.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic("mat: Cholesky requires a square matrix")
+	}
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		lrow := l.Row(j)
+		for k := 0; k < j; k++ {
+			var s float64
+			krow := l.Row(k)
+			for i := 0; i < k; i++ {
+				s += krow[i] * lrow[i]
+			}
+			s = (a.At(j, k) - s) / krow[k]
+			lrow[k] = s
+			d += s * s
+		}
+		d = a.At(j, j) - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		lrow[j] = math.Sqrt(d)
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns the lower-triangular factor (a copy).
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// Solve returns x with A·x = b via forward/back substitution.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows()
+	if len(b) != n {
+		panic(ErrShape)
+	}
+	x := CopyVec(b)
+	// L y = b
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	// Lᵀ x = y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD is a convenience wrapper: factor a and solve a·x = b.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	c, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return c.Solve(b), nil
+}

@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate flop count below which the products
+// stay single-threaded (goroutine fan-out costs more than it saves).
+const parallelThreshold = 1 << 22
+
+// parallelRows splits [0, n) into contiguous chunks and runs fn on each from
+// its own goroutine. fn must only write to rows in its own range.
+func parallelRows(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulPar returns a·b, computing row blocks of the result concurrently when
+// the product is large enough to amortize the goroutines.
+func MulPar(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(ErrShape)
+	}
+	if a.rows*a.cols*b.cols < parallelThreshold {
+		return Mul(a, b)
+	}
+	out := New(a.rows, b.cols)
+	parallelRows(a.rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				AXPY(av, b.Row(k), orow)
+			}
+		}
+	})
+	return out
+}
+
+// MulTAPar returns aᵀ·b concurrently. Unlike MulTA's row-streaming order, it
+// parallelizes over *output* rows (columns of a), so each goroutine owns its
+// output slice.
+func MulTAPar(a, b *Matrix) *Matrix {
+	if a.rows != b.rows {
+		panic(ErrShape)
+	}
+	if a.rows*a.cols*b.cols < parallelThreshold {
+		return MulTA(a, b)
+	}
+	out := New(a.cols, b.cols)
+	parallelRows(a.cols, func(lo, hi int) {
+		for r := 0; r < a.rows; r++ {
+			arow := a.Row(r)
+			brow := b.Row(r)
+			for i := lo; i < hi; i++ {
+				if av := arow[i]; av != 0 {
+					AXPY(av, brow, out.Row(i))
+				}
+			}
+		}
+	})
+	return out
+}
+
+// RowGramPar returns a·aᵀ concurrently (see RowGram).
+func RowGramPar(a *Matrix) *Matrix {
+	if a.rows*a.rows*a.cols/2 < parallelThreshold {
+		return RowGram(a)
+	}
+	out := New(a.rows, a.rows)
+	parallelRows(a.rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := a.Row(i)
+			for j := i; j < a.rows; j++ {
+				out.data[i*out.cols+j] = Dot(ri, a.Row(j))
+			}
+		}
+	})
+	// Mirror the upper triangle (sequential; cheap).
+	for i := 0; i < out.rows; i++ {
+		for j := i + 1; j < out.cols; j++ {
+			out.data[j*out.cols+i] = out.data[i*out.cols+j]
+		}
+	}
+	return out
+}

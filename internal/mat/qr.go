@@ -1,0 +1,192 @@
+package mat
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix A with m ≥ n:
+// A = Q·R with Q m×n having orthonormal columns (thin Q) and R n×n upper
+// triangular.
+type QR struct {
+	qr   *Matrix   // packed factors: R in the upper triangle, reflectors below
+	tau  []float64 // reflector scalars
+	m, n int
+}
+
+// NewQR factors a (which must have Rows ≥ Cols) by Householder reflections.
+// a is not modified.
+func NewQR(a *Matrix) *QR {
+	m, n := a.Dims()
+	if m < n {
+		panic("mat: QR requires rows >= cols")
+	}
+	f := &QR{qr: a.Clone(), tau: make([]float64, n), m: m, n: n}
+	q := f.qr
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector annihilating column k below the
+		// diagonal: v = x ± ‖x‖e₁, H = I − 2vvᵀ/‖v‖².
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, q.At(i, k))
+		}
+		if norm == 0 {
+			f.tau[k] = 0
+			continue
+		}
+		// Give norm the sign of the pivot so the reflector diagonal
+		// v_k = x_k/norm + 1 stays away from zero (JAMA convention).
+		if q.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			q.Set(i, k, q.At(i, k)/norm)
+		}
+		q.Add(k, k, 1)
+		f.tau[k] = q.At(k, k)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += q.At(i, k) * q.At(i, j)
+			}
+			s = -s / q.At(k, k)
+			for i := k; i < m; i++ {
+				q.Add(i, j, s*q.At(i, k))
+			}
+		}
+		q.Set(k, k, -norm) // store R's diagonal (negated signed column norm)
+	}
+	return f
+}
+
+// R returns the n×n upper-triangular factor. Note the diagonal entries carry
+// the sign produced by the factorization (not necessarily positive).
+func (f *QR) R() *Matrix {
+	r := New(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		for j := i; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Q returns the thin m×n orthonormal factor.
+func (f *QR) Q() *Matrix {
+	q := New(f.m, f.n)
+	for j := 0; j < f.n; j++ {
+		q.Set(j, j, 1)
+		f.applyQ(q, j)
+	}
+	return q
+}
+
+// applyQ applies the stored reflectors (in reverse order) to column col of
+// dst, turning the unit vector e_col into Q's col-th column.
+func (f *QR) applyQ(dst *Matrix, col int) {
+	for k := f.n - 1; k >= 0; k-- {
+		if f.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			vik := f.reflector(i, k)
+			s += vik * dst.At(i, col)
+		}
+		s = -s / f.tau[k]
+		for i := k; i < f.m; i++ {
+			dst.Add(i, col, s*f.reflector(i, k))
+		}
+	}
+}
+
+// reflector returns element i of reflector k (diagonal element is tau[k]).
+func (f *QR) reflector(i, k int) float64 {
+	if i == k {
+		return f.tau[k]
+	}
+	return f.qr.At(i, k)
+}
+
+// QTVec returns Qᵀb for a length-m vector b (the first n entries are the
+// coefficients used by least-squares solves; the remainder is the residual
+// part). The returned slice has length m.
+func (f *QR) QTVec(b []float64) []float64 {
+	if len(b) != f.m {
+		panic(ErrShape)
+	}
+	y := CopyVec(b)
+	for k := 0; k < f.n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.reflector(i, k) * y[i]
+		}
+		s = -s / f.tau[k]
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.reflector(i, k)
+		}
+	}
+	return y
+}
+
+// Solve returns the least-squares solution x of A·x ≈ b.
+// It returns ErrSingular if R is rank-deficient to working precision.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	y := f.QTVec(b)
+	x := y[:f.n]
+	// Back-substitution on R.
+	tol := f.rankTol()
+	for i := f.n - 1; i >= 0; i-- {
+		d := f.qr.At(i, i)
+		if math.Abs(d) <= tol {
+			return nil, ErrSingular
+		}
+		s := x[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return CopyVec(x), nil
+}
+
+// Rank returns the numerical rank estimated from R's diagonal.
+func (f *QR) Rank() int {
+	tol := f.rankTol()
+	rank := 0
+	for i := 0; i < f.n; i++ {
+		if math.Abs(f.qr.At(i, i)) > tol {
+			rank++
+		}
+	}
+	return rank
+}
+
+// rankTol returns the diagonal magnitude below which R is treated as
+// rank-deficient: max(m,n)·ε·max|R_ii|.
+func (f *QR) rankTol() float64 {
+	var maxDiag float64
+	for i := 0; i < f.n; i++ {
+		if a := math.Abs(f.qr.At(i, i)); a > maxDiag {
+			maxDiag = a
+		}
+	}
+	dim := f.m
+	if f.n > dim {
+		dim = f.n
+	}
+	return float64(dim) * 2.220446049250313e-16 * maxDiag
+}
+
+// LeastSquares solves min‖A·x − b‖₂ by Householder QR.
+// A must have Rows ≥ Cols and full column rank.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return NewQR(a).Solve(b)
+}
+
+// Orthonormalize replaces the columns of a with an orthonormal basis of their
+// span (thin Q of the QR factorization). Returns the basis as a new matrix.
+func Orthonormalize(a *Matrix) *Matrix {
+	return NewQR(a).Q()
+}

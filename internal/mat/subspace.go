@@ -1,0 +1,202 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SubspaceOptions tune TopCovarianceEigen.
+type SubspaceOptions struct {
+	// Oversample extra basis columns carried during iteration beyond the
+	// requested K; improves convergence of the trailing requested pairs.
+	// Default 16.
+	Oversample int
+	// MaxIter bounds the number of block power iterations. Default 300.
+	MaxIter int
+	// Tol is the relative eigenvalue-change convergence threshold on the
+	// requested K pairs. Default 1e-10.
+	Tol float64
+	// Rand seeds the starting block. Required.
+	Rand *rand.Rand
+}
+
+func (o *SubspaceOptions) defaults() {
+	if o.Oversample <= 0 {
+		o.Oversample = 16
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+}
+
+// TopCovarianceEigen returns the k leading eigenpairs of the sample
+// covariance C = XᵀX/T of the T×N data matrix x (rows are observations,
+// assumed centered), without ever forming C. It uses block orthogonal
+// iteration with a final Rayleigh–Ritz rotation.
+//
+// Eigenvalues are returned descending; eigenvectors are the columns of the
+// returned N×k matrix. Each eigenvector's sign is normalized so its
+// largest-magnitude entry is positive, making results reproducible across
+// random starts.
+func TopCovarianceEigen(x *Matrix, k int, opts SubspaceOptions) ([]float64, *Matrix, error) {
+	opts.defaults()
+	if opts.Rand == nil {
+		panic("mat: SubspaceOptions.Rand is required")
+	}
+	t, n := x.Dims()
+	if t == 0 || n == 0 {
+		return nil, New(n, 0), nil
+	}
+	if k > n {
+		k = n
+	}
+	if k > t {
+		// Covariance rank is at most T; extra pairs would be spurious.
+		k = t
+	}
+	if k <= 0 {
+		return nil, New(n, 0), nil
+	}
+	p := k + opts.Oversample
+	if p > n {
+		p = n
+	}
+	if p > t {
+		p = t
+	}
+	if p < k {
+		p = k
+	}
+
+	applyCov := func(v *Matrix) *Matrix {
+		xv := MulPar(x, v)   // T×p
+		w := MulTAPar(x, xv) // N×p
+		return w.Scale(1 / float64(t))
+	}
+
+	v := RandomMatrix(n, p, opts.Rand)
+	v = Orthonormalize(v)
+	prev := make([]float64, k)
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		w := applyCov(v)
+		// Rayleigh–Ritz on the current subspace: H = VᵀW is VᵀCV.
+		h := MulTA(v, w)
+		eg, err := SymEigen(h)
+		if err != nil {
+			return nil, nil, fmt.Errorf("subspace iteration: %w", err)
+		}
+		// Convergence on the requested top-k eigenvalues.
+		maxRel := 0.0
+		for i := 0; i < k; i++ {
+			den := math.Abs(eg.Values[i])
+			if den < 1e-300 {
+				den = 1e-300
+			}
+			rel := math.Abs(eg.Values[i]-prev[i]) / den
+			if rel > maxRel {
+				maxRel = rel
+			}
+			prev[i] = eg.Values[i]
+		}
+		v = Orthonormalize(w)
+		if maxRel < opts.Tol {
+			break
+		}
+		// Hitting MaxIter is not fatal: the final Rayleigh–Ritz step below
+		// still yields the best approximation found, and thermal spectra
+		// decay fast enough that the requested pairs converge long before
+		// MaxIter in practice.
+	}
+	// Final Rayleigh–Ritz rotation to align columns with eigenvectors.
+	w := applyCov(v)
+	h := MulTA(v, w)
+	eg, err := SymEigen(h)
+	if err != nil {
+		return nil, nil, fmt.Errorf("subspace iteration (final rotation): %w", err)
+	}
+	ritz := Mul(v, eg.Vectors) // N×p, columns ordered by descending eigenvalue
+	vals := make([]float64, k)
+	vecs := New(n, k)
+	for j := 0; j < k; j++ {
+		vals[j] = eg.Values[j]
+		if vals[j] < 0 {
+			vals[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, ritz.At(i, j))
+		}
+	}
+	normalizeSigns(vecs)
+	return vals, vecs, nil
+}
+
+// SnapshotPOD computes the same leading eigenpairs by the classical "method
+// of snapshots": eigendecompose the T×T row Gram matrix XXᵀ/T and lift the
+// eigenvectors back through Xᵀ. Exact (up to the dense eigensolver) but
+// O(T³); intended for modest T and as the ablation reference for
+// TopCovarianceEigen.
+func SnapshotPOD(x *Matrix, k int) ([]float64, *Matrix, error) {
+	t, n := x.Dims()
+	if k > t {
+		k = t
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil, New(n, 0), nil
+	}
+	g := RowGram(x).Scale(1 / float64(t)) // T×T
+	eg, err := SymEigen(g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot POD: %w", err)
+	}
+	vals := make([]float64, k)
+	vecs := New(n, k)
+	for j := 0; j < k; j++ {
+		lam := eg.Values[j]
+		if lam < 0 {
+			lam = 0
+		}
+		vals[j] = lam
+		// Lift: u_j = Xᵀ w_j / ‖Xᵀ w_j‖ (equals Xᵀw_j / √(Tλ_j)).
+		w := eg.Vectors.Col(j)
+		u := MulVecT(x, w)
+		if Normalize(u) == 0 {
+			// Zero eigenvalue direction: leave the zero column; callers
+			// requesting k beyond the data rank get padding they can detect
+			// via the zero eigenvalue.
+			continue
+		}
+		vecs.SetCol(j, u)
+	}
+	normalizeSigns(vecs)
+	return vals, vecs, nil
+}
+
+// normalizeSigns flips each column so its largest-magnitude element is
+// positive, resolving the inherent sign ambiguity of eigenvectors.
+func normalizeSigns(v *Matrix) {
+	n, k := v.Dims()
+	for j := 0; j < k; j++ {
+		best, bestAbs := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if a := math.Abs(v.At(i, j)); a > bestAbs {
+				bestAbs = a
+				best = v.At(i, j)
+			}
+		}
+		if best < 0 {
+			for i := 0; i < n; i++ {
+				v.Set(i, j, -v.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package mat
+
+import "math"
+
+// SingularValues returns the singular values of a (rows ≥ cols or not) in
+// descending order. They are computed as the square roots of the eigenvalues
+// of the smaller Gram matrix (AᵀA or AAᵀ), which is accurate to ~√ε relative
+// error — ample for the condition-number comparisons this repository makes.
+func SingularValues(a *Matrix) ([]float64, error) {
+	m, n := a.Dims()
+	var g *Matrix
+	if m >= n {
+		g = Gram(a) // n×n
+	} else {
+		g = RowGram(a) // m×m
+	}
+	eg, err := SymEigen(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(eg.Values))
+	for i, v := range eg.Values {
+		if v < 0 {
+			v = 0 // clamp tiny negative round-off
+		}
+		out[i] = math.Sqrt(v)
+	}
+	return out, nil
+}
+
+// Cond returns the 2-norm condition number σ_max/σ_min of a.
+// It returns +Inf when the smallest singular value is zero (rank deficient).
+func Cond(a *Matrix) (float64, error) {
+	sv, err := SingularValues(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(sv) == 0 {
+		return 0, nil
+	}
+	smax, smin := sv[0], sv[len(sv)-1]
+	// Gram-based singular values are accurate to ~√ε relative error, so a
+	// σ_min at that level is indistinguishable from exact singularity.
+	dim := a.Rows()
+	if a.Cols() > dim {
+		dim = a.Cols()
+	}
+	if smin <= float64(dim)*1.49e-8*smax {
+		return math.Inf(1), nil
+	}
+	return smax / smin, nil
+}
+
+// Rank returns the numerical rank of a: the number of singular values above
+// max(m,n)·ε·σ_max.
+func Rank(a *Matrix) (int, error) {
+	sv, err := SingularValues(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(sv) == 0 || sv[0] == 0 {
+		return 0, nil
+	}
+	dim := a.Rows()
+	if a.Cols() > dim {
+		dim = a.Cols()
+	}
+	// Gram-based singular values carry ~√ε relative error, so use a looser
+	// threshold than the usual dim·ε·σ_max.
+	tol := float64(dim) * 1.49e-8 * sv[0]
+	r := 0
+	for _, s := range sv {
+		if s > tol {
+			r++
+		}
+	}
+	return r, nil
+}
+
+// SVDThin computes a thin singular value decomposition A = U·diag(σ)·Vᵀ for
+// an m×n matrix with m ≥ n: U is m×n with orthonormal columns, V is n×n.
+// Left vectors for near-zero singular values are completed by
+// orthonormalization so U always has exactly orthonormal columns.
+func SVDThin(a *Matrix) (u *Matrix, sigma []float64, v *Matrix, err error) {
+	m, n := a.Dims()
+	if m < n {
+		panic("mat: SVDThin requires rows >= cols")
+	}
+	eg, err := SymEigen(Gram(a))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v = eg.Vectors
+	sigma = make([]float64, n)
+	for i, lam := range eg.Values {
+		if lam < 0 {
+			lam = 0
+		}
+		sigma[i] = math.Sqrt(lam)
+	}
+	// U = A·V·Σ⁻¹ for the well-conditioned part.
+	av := Mul(a, v)
+	u = New(m, n)
+	dim := m
+	tol := float64(dim) * 1.49e-8 * sigma[0] // matches the Rank threshold
+	var degenerate []int
+	for j := 0; j < n; j++ {
+		if sigma[j] > tol {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, av.At(i, j)/sigma[j])
+			}
+		} else {
+			degenerate = append(degenerate, j)
+		}
+	}
+	// Complete degenerate columns by Gram–Schmidt against the good (and
+	// previously completed) columns, so U has exactly orthonormal columns.
+	// A full re-orthonormalization via QR would risk flipping the signs of
+	// good columns and breaking A = UΣVᵀ.
+	for _, j := range degenerate {
+		filled := false
+		for e := 0; e < m && !filled; e++ {
+			cand := make([]float64, m)
+			cand[e] = 1
+			for jj := 0; jj < n; jj++ {
+				if jj == j || (sigma[jj] <= tol && jj > j) {
+					continue // skip self and not-yet-filled columns
+				}
+				col := u.Col(jj)
+				AXPY(-Dot(cand, col), col, cand)
+			}
+			if Norm2(cand) > 0.5 {
+				Normalize(cand)
+				u.SetCol(j, cand)
+				filled = true
+			}
+		}
+		if !filled {
+			return nil, nil, nil, ErrNoConvergence
+		}
+	}
+	return u, sigma, v, nil
+}

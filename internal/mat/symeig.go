@@ -1,0 +1,260 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Eigen holds a full eigendecomposition of a real symmetric matrix:
+// A = V·diag(λ)·Vᵀ with orthonormal V. Eigenvalues are sorted descending,
+// eigenvectors are the corresponding columns of V.
+type Eigen struct {
+	Values  []float64 // descending
+	Vectors *Matrix   // n×n, column i pairs with Values[i]
+}
+
+// ErrNoConvergence reports that an iterative decomposition failed to converge.
+var ErrNoConvergence = errors.New("mat: eigensolver failed to converge")
+
+// SymEigen computes the eigendecomposition of symmetric a by Householder
+// tridiagonalization followed by the implicit-shift QL algorithm
+// (the classical tred2/tql2 pair). a is not modified.
+//
+// Symmetry is assumed, not checked; only the lower triangle feeds the result
+// through the symmetrized copy made here.
+func SymEigen(a *Matrix) (*Eigen, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic("mat: SymEigen requires a square matrix")
+	}
+	if n == 0 {
+		return &Eigen{Values: nil, Vectors: New(0, 0)}, nil
+	}
+	// Work on a symmetrized copy so tiny asymmetries don't bias the result.
+	v := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v.Set(i, j, 0.5*(a.At(i, j)+a.At(j, i)))
+		}
+	}
+	d := make([]float64, n) // diagonal of the tridiagonal form
+	e := make([]float64, n) // sub-diagonal
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return nil, err
+	}
+	// tql2 leaves eigenvalues ascending-ish but unsorted in general; sort
+	// descending and permute columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(p, q int) bool { return d[idx[p]] > d[idx[q]] })
+	values := make([]float64, n)
+	vectors := New(n, n)
+	for k, i := range idx {
+		values[k] = d[i]
+		for r := 0; r < n; r++ {
+			vectors.Set(r, k, v.At(r, i))
+		}
+	}
+	return &Eigen{Values: values, Vectors: vectors}, nil
+}
+
+// tred2 reduces the symmetric matrix stored in v to tridiagonal form by
+// Householder similarity transformations, accumulating the transform in v.
+// On return d holds the diagonal and e the sub-diagonal (e[0] = 0).
+func tred2(v *Matrix, d, e []float64) {
+	n := v.Rows()
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow.
+		var scale, h float64
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			// Apply the similarity transformation to the remaining rows.
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v.Set(j, i, f)
+				g = e[j] + v.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v.At(k, j) * d[k]
+					e[k] += v.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v.Set(k, j, v.At(k, j)-(f*e[k]+g*d[k]))
+				}
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				var g float64
+				for k := 0; k <= i; k++ {
+					g += v.At(k, i+1) * v.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					v.Set(k, j, v.At(k, j)-g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 diagonalizes the symmetric tridiagonal matrix (d, e) by the implicit
+// QL method with Wilkinson shifts, accumulating eigenvectors into v.
+func tql2(v *Matrix, d, e []float64) error {
+	const maxIter = 64
+	n := v.Rows()
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	var f, tst1 float64
+	eps := math.Pow(2, -52)
+	for l := 0; l < n; l++ {
+		// Find a small sub-diagonal element to split the problem.
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter >= maxIter {
+					return ErrNoConvergence
+				}
+				// Compute the implicit Wilkinson shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL sweep.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				var s, s2 float64
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate the rotation into the eigenvectors.
+					for k := 0; k < n; k++ {
+						h = v.At(k, i+1)
+						v.Set(k, i+1, s*v.At(k, i)+c*h)
+						v.Set(k, i, c*v.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}
+
+// TopK returns the leading k eigenpairs (largest eigenvalues) as a K-column
+// matrix of eigenvectors plus the eigenvalue slice.
+func (eg *Eigen) TopK(k int) ([]float64, *Matrix) {
+	n := eg.Vectors.Rows()
+	if k > len(eg.Values) {
+		k = len(eg.Values)
+	}
+	vals := CopyVec(eg.Values[:k])
+	vecs := New(n, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, eg.Vectors.At(i, j))
+		}
+	}
+	return vals, vecs
+}

@@ -1,0 +1,209 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	eg, err := SymEigen(Diag([]float64{3, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if !almostEqual(eg.Values[i], v, 1e-12) {
+			t.Fatalf("values = %v, want %v", eg.Values, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewFromData(2, 2, []float64{2, 1, 1, 2})
+	eg, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(eg.Values[0], 3, 1e-12) || !almostEqual(eg.Values[1], 1, 1e-12) {
+		t.Fatalf("values = %v, want [3 1]", eg.Values)
+	}
+	// Eigenvector for λ=3 is (1,1)/√2 up to sign.
+	v0 := eg.Vectors.Col(0)
+	if !almostEqual(math.Abs(v0[0]), math.Sqrt2/2, 1e-12) || !almostEqual(v0[0], v0[1], 1e-12) {
+		t.Fatalf("v0 = %v", v0)
+	}
+}
+
+func TestSymEigenReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := RandomSymmetric(8, rng)
+	eg, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A = V Λ Vᵀ
+	rec := Mul(Mul(eg.Vectors, Diag(eg.Values)), eg.Vectors.T())
+	if !rec.Equal(a, 1e-10) {
+		t.Fatalf("VΛVᵀ != A, maxdiff = %v", rec.Clone().SubMatrix(a).MaxAbs())
+	}
+}
+
+func TestSymEigenOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := RandomSymmetric(10, rng)
+	eg, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Gram(eg.Vectors).Equal(Identity(10), 1e-10) {
+		t.Fatal("VᵀV != I")
+	}
+}
+
+func TestSymEigenValuesSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	eg, err := SymEigen(RandomSymmetric(12, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(eg.Values))) {
+		t.Fatalf("values not descending: %v", eg.Values)
+	}
+}
+
+func TestSymEigenTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := RandomSymmetric(9, rng)
+	eg, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, sum float64
+	for i := 0; i < 9; i++ {
+		trace += a.At(i, i)
+	}
+	for _, v := range eg.Values {
+		sum += v
+	}
+	if !almostEqual(trace, sum, 1e-10) {
+		t.Fatalf("trace %v != Σλ %v", trace, sum)
+	}
+}
+
+func TestSymEigenSPDPositiveValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	eg, err := SymEigen(RandomSPD(7, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eg.Values {
+		if v <= 0 {
+			t.Fatalf("SPD matrix produced non-positive eigenvalue %v", v)
+		}
+	}
+}
+
+func TestSymEigenEmpty(t *testing.T) {
+	eg, err := SymEigen(New(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eg.Values) != 0 {
+		t.Fatal("empty matrix should yield no eigenvalues")
+	}
+}
+
+func TestSymEigenNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SymEigen(New(2, 3)) //nolint:errcheck
+}
+
+func TestTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := RandomSymmetric(6, rng)
+	eg, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, vecs := eg.TopK(3)
+	if len(vals) != 3 || vecs.Cols() != 3 || vecs.Rows() != 6 {
+		t.Fatalf("TopK shapes wrong: %d values, %v vectors", len(vals), vecs)
+	}
+	for j := 0; j < 3; j++ {
+		// A v = λ v for each retained pair.
+		av := MulVec(a, vecs.Col(j))
+		for i := range av {
+			if !almostEqual(av[i], vals[j]*vecs.At(i, j), 1e-9) {
+				t.Fatalf("pair %d violates Av=λv", j)
+			}
+		}
+	}
+	// Requesting more than n clamps.
+	vals, _ = eg.TopK(100)
+	if len(vals) != 6 {
+		t.Fatalf("TopK clamp failed: %d", len(vals))
+	}
+}
+
+// Property: every eigenpair satisfies A·v = λ·v on random symmetric matrices.
+func TestSymEigenPairsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		a := RandomSymmetric(n, r)
+		eg, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		scale := a.MaxAbs() + 1
+		for j := 0; j < n; j++ {
+			v := eg.Vectors.Col(j)
+			av := MulVec(a, v)
+			for i := range av {
+				if math.Abs(av[i]-eg.Values[j]*v[i]) > 1e-9*scale*float64(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(26))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eigenvalues of A+cI are eigenvalues of A shifted by c.
+func TestSymEigenShiftProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		c := r.NormFloat64() * 3
+		a := RandomSymmetric(n, r)
+		shifted := a.Clone()
+		for i := 0; i < n; i++ {
+			shifted.Add(i, i, c)
+		}
+		e1, err1 := SymEigen(a)
+		e2, err2 := SymEigen(shifted)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range e1.Values {
+			if math.Abs(e1.Values[i]+c-e2.Values[i]) > 1e-9*(math.Abs(c)+a.MaxAbs()+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(27))}); err != nil {
+		t.Fatal(err)
+	}
+}

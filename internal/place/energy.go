@@ -1,0 +1,218 @@
+package place
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EnergyCenter reimplements the sensor-allocation heuristic of the k-LSE
+// paper [12]: recursively bisect the die into M regions of (approximately)
+// equal thermal energy and drop one sensor at the energy centroid of each
+// region. If a centroid lands on a masked cell, the nearest allowed cell of
+// the region (or, failing that, of the whole die) is used instead.
+type EnergyCenter struct{}
+
+// Name implements Allocator.
+func (e *EnergyCenter) Name() string { return "energy" }
+
+// region is a half-open cell rectangle [r0,r1)×[c0,c1).
+type region struct {
+	r0, r1, c0, c1 int
+}
+
+// Allocate implements Allocator.
+func (e *EnergyCenter) Allocate(in Input) ([]int, error) {
+	g := in.Grid
+	if g.N() == 0 {
+		return nil, fmt.Errorf("%w: energy-center needs Grid", ErrBadInput)
+	}
+	if len(in.Energy) != g.N() {
+		return nil, fmt.Errorf("%w: energy map length %d for %d cells", ErrBadInput, len(in.Energy), g.N())
+	}
+	cells, err := allowedCells(g.N(), in.Mask)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateCount(in.M, len(cells)); err != nil {
+		return nil, err
+	}
+
+	energyAt := func(row, col int) float64 {
+		v := in.Energy[g.Index(row, col)]
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	regionEnergy := func(rg region) float64 {
+		var s float64
+		for r := rg.r0; r < rg.r1; r++ {
+			for c := rg.c0; c < rg.c1; c++ {
+				s += energyAt(r, c)
+			}
+		}
+		return s
+	}
+
+	taken := make(map[int]bool, in.M)
+	var sensors []int
+
+	var place func(rg region, m int)
+	place = func(rg region, m int) {
+		if m <= 0 || rg.r1 <= rg.r0 || rg.c1 <= rg.c0 {
+			return
+		}
+		if m == 1 {
+			if idx, ok := e.centroidCell(in, rg, taken); ok {
+				sensors = append(sensors, idx)
+				taken[idx] = true
+			}
+			return
+		}
+		// Split along the longer axis at the energy median, then divide the
+		// sensor budget in proportion to the two halves' energies.
+		var a, b region
+		if rg.r1-rg.r0 >= rg.c1-rg.c0 {
+			cut := e.energyMedianRow(rg, energyAt)
+			a = region{rg.r0, cut, rg.c0, rg.c1}
+			b = region{cut, rg.r1, rg.c0, rg.c1}
+		} else {
+			cut := e.energyMedianCol(rg, energyAt)
+			a = region{rg.r0, rg.r1, rg.c0, cut}
+			b = region{rg.r0, rg.r1, cut, rg.c1}
+		}
+		ea, eb := regionEnergy(a), regionEnergy(b)
+		ma := m / 2
+		if ea+eb > 0 {
+			ma = int(float64(m)*ea/(ea+eb) + 0.5)
+		}
+		if ma < 1 {
+			ma = 1
+		}
+		if ma > m-1 {
+			ma = m - 1
+		}
+		place(a, ma)
+		place(b, m-ma)
+	}
+	place(region{0, g.H, 0, g.W}, in.M)
+
+	// Mask conflicts or degenerate regions can leave a shortfall; fill it
+	// with the highest-energy allowed cells not yet taken.
+	if len(sensors) < in.M {
+		rest := make([]int, 0, len(cells))
+		for _, c := range cells {
+			if !taken[c] {
+				rest = append(rest, c)
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool { return in.Energy[rest[a]] > in.Energy[rest[b]] })
+		for _, c := range rest {
+			if len(sensors) == in.M {
+				break
+			}
+			sensors = append(sensors, c)
+			taken[c] = true
+		}
+	}
+	if len(sensors) != in.M {
+		return nil, fmt.Errorf("%w: placed %d of %d", ErrTooFewCells, len(sensors), in.M)
+	}
+	sort.Ints(sensors)
+	return sensors, nil
+}
+
+// energyMedianRow returns the row cut (exclusive upper bound of the first
+// half) closest to splitting the region's energy in two.
+func (e *EnergyCenter) energyMedianRow(rg region, energyAt func(r, c int) float64) int {
+	var total float64
+	rowSums := make([]float64, rg.r1-rg.r0)
+	for r := rg.r0; r < rg.r1; r++ {
+		for c := rg.c0; c < rg.c1; c++ {
+			rowSums[r-rg.r0] += energyAt(r, c)
+		}
+		total += rowSums[r-rg.r0]
+	}
+	half := total / 2
+	var acc float64
+	for r := rg.r0; r < rg.r1-1; r++ {
+		acc += rowSums[r-rg.r0]
+		if acc >= half {
+			return r + 1
+		}
+	}
+	return rg.r0 + (rg.r1-rg.r0)/2
+}
+
+func (e *EnergyCenter) energyMedianCol(rg region, energyAt func(r, c int) float64) int {
+	var total float64
+	colSums := make([]float64, rg.c1-rg.c0)
+	for c := rg.c0; c < rg.c1; c++ {
+		for r := rg.r0; r < rg.r1; r++ {
+			colSums[c-rg.c0] += energyAt(r, c)
+		}
+		total += colSums[c-rg.c0]
+	}
+	half := total / 2
+	var acc float64
+	for c := rg.c0; c < rg.c1-1; c++ {
+		acc += colSums[c-rg.c0]
+		if acc >= half {
+			return c + 1
+		}
+	}
+	return rg.c0 + (rg.c1-rg.c0)/2
+}
+
+// centroidCell returns the allowed, untaken cell nearest the region's
+// energy-weighted centroid (preferring cells inside the region).
+func (e *EnergyCenter) centroidCell(in Input, rg region, taken map[int]bool) (int, bool) {
+	g := in.Grid
+	var er, ec, tot float64
+	for r := rg.r0; r < rg.r1; r++ {
+		for c := rg.c0; c < rg.c1; c++ {
+			w := in.Energy[g.Index(r, c)]
+			if w < 0 {
+				w = 0
+			}
+			er += w * float64(r)
+			ec += w * float64(c)
+			tot += w
+		}
+	}
+	var cr, cc float64
+	if tot > 0 {
+		cr, cc = er/tot, ec/tot
+	} else {
+		cr = float64(rg.r0+rg.r1-1) / 2
+		cc = float64(rg.c0+rg.c1-1) / 2
+	}
+	allowed := func(idx int) bool {
+		if taken[idx] {
+			return false
+		}
+		return in.Mask == nil || in.Mask[idx]
+	}
+	// Nearest allowed cell inside the region, then anywhere.
+	best, bestD := -1, 0.0
+	scan := func(r0, r1, c0, c1 int) {
+		for r := r0; r < r1; r++ {
+			for c := c0; c < c1; c++ {
+				idx := g.Index(r, c)
+				if !allowed(idx) {
+					continue
+				}
+				dr, dc := float64(r)-cr, float64(c)-cc
+				d := dr*dr + dc*dc
+				if best < 0 || d < bestD {
+					best, bestD = idx, d
+				}
+			}
+		}
+	}
+	scan(rg.r0, rg.r1, rg.c0, rg.c1)
+	if best < 0 {
+		scan(0, g.H, 0, g.W)
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,388 @@
+// Package power synthesizes per-block power traces for a floorplan.
+//
+// The paper drives its thermal simulations with measured UltraSPARC T1 power
+// traces (Leon et al. [7]); those are proprietary, so this package generates
+// the closest synthetic equivalent: block-granularity powers evolving under a
+// Markov task-activity model with OS-style task migration, cache and crossbar
+// power coupled to core activity, and occasional FPU bursts. What the
+// EigenMaps method actually depends on is the *ensemble diversity* of
+// spatially structured power patterns, which this engine provides.
+package power
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/floorplan"
+)
+
+// Scenario selects a workload preset.
+type Scenario int
+
+// Workload presets.
+const (
+	// ScenarioWeb models a throughput server: bursty per-core activity and
+	// frequent OS rebalancing (the T1's design point).
+	ScenarioWeb Scenario = iota
+	// ScenarioCompute models sustained compute: most cores busy most of the
+	// time, long phases, heavy FPU use.
+	ScenarioCompute
+	// ScenarioMixed alternates between web-like and compute-like phases.
+	ScenarioMixed
+	// ScenarioIdle models a lightly loaded machine with sporadic tasks.
+	ScenarioIdle
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioWeb:
+		return "web"
+	case ScenarioCompute:
+		return "compute"
+	case ScenarioMixed:
+		return "mixed"
+	case ScenarioIdle:
+		return "idle"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// Config parameterizes a Generator. The zero value plus a Seed is a usable
+// web-scenario configuration.
+type Config struct {
+	Scenario Scenario
+	Seed     int64
+
+	// CoreIdleW / CoreBusyW bound each core's power draw [watts].
+	// Defaults: 1.0 / 6.5 (T1-class core budgets).
+	CoreIdleW float64
+	CoreBusyW float64
+	// CacheBaseW is each L2 bank's standby power; CacheActiveW is added in
+	// proportion to the activity of the cores it serves. Defaults: 0.6 / 1.8.
+	CacheBaseW   float64
+	CacheActiveW float64
+	// CrossbarBaseW/CrossbarActiveW: interconnect power, scaling with mean
+	// core utilization. Defaults: 1.0 / 4.0.
+	CrossbarBaseW   float64
+	CrossbarActiveW float64
+	// FPUBaseW/FPUActiveW: shared FPU power, scaling with the fraction of
+	// cores running FPU-heavy tasks. Defaults: 0.2 / 5.0.
+	FPUBaseW   float64
+	FPUActiveW float64
+	// OtherW is the power density assigned to blocks of KindOther. Default 0.5.
+	OtherW float64
+
+	// MigrationPeriod is the number of steps between OS rebalancing events.
+	// Default depends on scenario.
+	MigrationPeriod int
+
+	// LoadCoupling ∈ [0,1] blends each core's utilization target with a
+	// shared, slowly varying system-load level: 0 leaves the cores fully
+	// independent, 1 makes them track the global load exactly. Throughput
+	// machines like the T1 run strongly correlated cores (every core serves
+	// the same request mix), which concentrates the thermal ensemble's
+	// energy in fewer principal components.
+	LoadCoupling float64
+}
+
+func (c *Config) defaults() {
+	if c.CoreIdleW == 0 {
+		c.CoreIdleW = 1.0
+	}
+	if c.CoreBusyW == 0 {
+		c.CoreBusyW = 6.5
+	}
+	if c.CacheBaseW == 0 {
+		c.CacheBaseW = 0.6
+	}
+	if c.CacheActiveW == 0 {
+		c.CacheActiveW = 1.8
+	}
+	if c.CrossbarBaseW == 0 {
+		c.CrossbarBaseW = 1.0
+	}
+	if c.CrossbarActiveW == 0 {
+		c.CrossbarActiveW = 4.0
+	}
+	if c.FPUBaseW == 0 {
+		c.FPUBaseW = 0.2
+	}
+	if c.FPUActiveW == 0 {
+		c.FPUActiveW = 5.0
+	}
+	if c.OtherW == 0 {
+		c.OtherW = 0.5
+	}
+	if c.MigrationPeriod == 0 {
+		switch c.Scenario {
+		case ScenarioWeb:
+			c.MigrationPeriod = 20
+		case ScenarioCompute:
+			c.MigrationPeriod = 120
+		case ScenarioMixed:
+			c.MigrationPeriod = 40
+		case ScenarioIdle:
+			c.MigrationPeriod = 60
+		}
+	}
+}
+
+// coreState is the per-core Markov state.
+type coreState int
+
+const (
+	coreIdle coreState = iota
+	coreBusy
+	coreFPU // busy with FPU-heavy work
+)
+
+// transition probabilities per scenario: {idle→busy, busy→idle, busy→fpu, fpu→busy}
+type rates struct {
+	idleToBusy, busyToIdle, busyToFPU, fpuToBusy float64
+}
+
+func scenarioRates(s Scenario) rates {
+	switch s {
+	case ScenarioWeb:
+		return rates{idleToBusy: 0.15, busyToIdle: 0.10, busyToFPU: 0.02, fpuToBusy: 0.20}
+	case ScenarioCompute:
+		return rates{idleToBusy: 0.30, busyToIdle: 0.02, busyToFPU: 0.10, fpuToBusy: 0.05}
+	case ScenarioMixed:
+		return rates{idleToBusy: 0.20, busyToIdle: 0.06, busyToFPU: 0.05, fpuToBusy: 0.10}
+	case ScenarioIdle:
+		return rates{idleToBusy: 0.04, busyToIdle: 0.25, busyToFPU: 0.01, fpuToBusy: 0.30}
+	}
+	return rates{idleToBusy: 0.1, busyToIdle: 0.1, busyToFPU: 0.02, fpuToBusy: 0.2}
+}
+
+// Generator produces a per-block power vector at each step.
+type Generator struct {
+	cfg   Config
+	plan  *floorplan.Floorplan
+	rng   *rand.Rand
+	rates rates
+
+	cores  []int // block indices of cores, layout order
+	caches []int
+	xbars  []int
+	fpus   []int
+	others []int
+
+	state      []coreState // per core
+	util       []float64   // per core, smoothed utilization in [0,1]
+	globalLoad float64     // shared system-load level in [0,1]
+	step       int
+}
+
+// NewGenerator builds a Generator for fp under cfg. The generator is
+// deterministic given cfg.Seed.
+func NewGenerator(fp *floorplan.Floorplan, cfg Config) *Generator {
+	cfg.defaults()
+	g := &Generator{
+		cfg:   cfg,
+		plan:  fp,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rates: scenarioRates(cfg.Scenario),
+	}
+	for i, b := range fp.Blocks {
+		switch b.Kind {
+		case floorplan.KindCore:
+			g.cores = append(g.cores, i)
+		case floorplan.KindCache:
+			g.caches = append(g.caches, i)
+		case floorplan.KindCrossbar:
+			g.xbars = append(g.xbars, i)
+		case floorplan.KindFPU:
+			g.fpus = append(g.fpus, i)
+		default:
+			g.others = append(g.others, i)
+		}
+	}
+	g.state = make([]coreState, len(g.cores))
+	g.util = make([]float64, len(g.cores))
+	g.globalLoad = 0.5
+	// Start a representative subset of cores busy so traces don't all begin
+	// from a cold idle map.
+	for c := range g.state {
+		if g.rng.Float64() < 0.5 {
+			g.state[c] = coreBusy
+			g.util[c] = 0.5 + 0.5*g.rng.Float64()
+		}
+	}
+	return g
+}
+
+// NumBlocks returns the number of blocks (the length of Step's result).
+func (g *Generator) NumBlocks() int { return len(g.plan.Blocks) }
+
+// Step advances the workload one time step and returns the per-block power
+// vector in watts (indexed like fp.Blocks).
+func (g *Generator) Step() []float64 {
+	g.advanceStates()
+	if g.cfg.MigrationPeriod > 0 && g.step > 0 && g.step%g.cfg.MigrationPeriod == 0 {
+		g.migrate()
+	}
+	g.step++
+	return g.blockPowers()
+}
+
+// advanceStates runs the per-core Markov transitions and smooths utilization.
+func (g *Generator) advanceStates() {
+	r := g.rates
+	if g.cfg.Scenario == ScenarioMixed {
+		// Alternate regime every 300 steps.
+		if (g.step/300)%2 == 1 {
+			r = scenarioRates(ScenarioCompute)
+		} else {
+			r = scenarioRates(ScenarioWeb)
+		}
+	}
+	// Shared system load: bounded random walk, slower than per-core churn.
+	g.globalLoad += 0.08 * (g.rng.Float64() - 0.5)
+	if g.globalLoad < 0 {
+		g.globalLoad = 0
+	}
+	if g.globalLoad > 1 {
+		g.globalLoad = 1
+	}
+	for c := range g.state {
+		p := g.rng.Float64()
+		switch g.state[c] {
+		case coreIdle:
+			if p < r.idleToBusy {
+				g.state[c] = coreBusy
+			}
+		case coreBusy:
+			switch {
+			case p < r.busyToIdle:
+				g.state[c] = coreIdle
+			case p < r.busyToIdle+r.busyToFPU:
+				g.state[c] = coreFPU
+			}
+		case coreFPU:
+			if p < r.fpuToBusy {
+				g.state[c] = coreBusy
+			}
+		}
+		// Smooth utilization toward the state target (AR(1) with jitter),
+		// blended with the shared load by LoadCoupling.
+		target := 0.0
+		switch g.state[c] {
+		case coreBusy:
+			target = 0.75 + 0.25*g.rng.Float64()
+		case coreFPU:
+			target = 0.85 + 0.15*g.rng.Float64()
+		}
+		if cpl := g.cfg.LoadCoupling; cpl > 0 {
+			target = (1-cpl)*target + cpl*g.globalLoad
+		}
+		const alpha = 0.35
+		g.util[c] += alpha * (target - g.util[c])
+		if g.util[c] < 0 {
+			g.util[c] = 0
+		}
+		if g.util[c] > 1 {
+			g.util[c] = 1
+		}
+	}
+}
+
+// migrate emulates OS rebalancing: move the hottest task to the idlest core.
+func (g *Generator) migrate() {
+	busiest, idlest := -1, -1
+	for c := range g.util {
+		if g.state[c] != coreIdle && (busiest < 0 || g.util[c] > g.util[busiest]) {
+			busiest = c
+		}
+		if g.state[c] == coreIdle && (idlest < 0 || g.util[c] < g.util[idlest]) {
+			idlest = c
+		}
+	}
+	if busiest < 0 || idlest < 0 {
+		return
+	}
+	g.state[busiest], g.state[idlest] = g.state[idlest], g.state[busiest]
+	g.util[busiest], g.util[idlest] = g.util[idlest], g.util[busiest]
+}
+
+// blockPowers maps the current workload state to per-block watts.
+func (g *Generator) blockPowers() []float64 {
+	c := g.cfg
+	p := make([]float64, len(g.plan.Blocks))
+	var meanUtil, fpuShare float64
+	for ci, b := range g.cores {
+		u := g.util[ci]
+		p[b] = c.CoreIdleW + (c.CoreBusyW-c.CoreIdleW)*u
+		meanUtil += u
+		if g.state[ci] == coreFPU {
+			fpuShare++
+		}
+	}
+	if len(g.cores) > 0 {
+		meanUtil /= float64(len(g.cores))
+		fpuShare /= float64(len(g.cores))
+	}
+	// Each cache bank couples to the utilization of the cores sharing its
+	// column position (nearest cores by layout order).
+	for k, b := range g.caches {
+		act := g.cacheActivity(k)
+		p[b] = c.CacheBaseW + c.CacheActiveW*act
+	}
+	for _, b := range g.xbars {
+		p[b] = c.CrossbarBaseW + c.CrossbarActiveW*meanUtil
+	}
+	for _, b := range g.fpus {
+		p[b] = c.FPUBaseW + c.FPUActiveW*fpuShare
+	}
+	for _, b := range g.others {
+		p[b] = c.OtherW
+	}
+	return p
+}
+
+// cacheActivity estimates the utilization seen by cache bank k by averaging
+// the cores at the matching position in layout order. With the T1 layout
+// (4+4 cores, 4+4 banks) bank k pairs with core k.
+func (g *Generator) cacheActivity(k int) float64 {
+	if len(g.cores) == 0 {
+		return 0
+	}
+	if len(g.caches) == len(g.cores) {
+		return g.util[k]
+	}
+	// General fallback: proportionally map banks onto cores.
+	ci := k * len(g.cores) / len(g.caches)
+	return g.util[ci]
+}
+
+// TotalPower sums a per-block power vector.
+func TotalPower(blockPowers []float64) float64 {
+	var s float64
+	for _, v := range blockPowers {
+		s += v
+	}
+	return s
+}
+
+// SpreadToCells converts per-block watts into per-cell watts on the raster:
+// each block's power is divided uniformly over the cells it covers
+// (the paper's "large blocks having the same average power consumption").
+// Cells not covered by any block receive zero.
+func SpreadToCells(r *floorplan.Raster, blockPowers []float64) []float64 {
+	if len(blockPowers) != len(r.Plan.Blocks) {
+		panic(fmt.Sprintf("power: %d block powers for %d blocks", len(blockPowers), len(r.Plan.Blocks)))
+	}
+	out := make([]float64, r.Grid.N())
+	for b, watts := range blockPowers {
+		cells := r.CellsOf(b)
+		if len(cells) == 0 {
+			continue
+		}
+		per := watts / float64(len(cells))
+		for _, i := range cells {
+			out[i] = per
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func t1gen(t *testing.T, s Scenario, seed int64) (*floorplan.Floorplan, *Generator) {
+	t.Helper()
+	fp := floorplan.UltraSparcT1()
+	return fp, NewGenerator(fp, Config{Scenario: s, Seed: seed})
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	_, g1 := t1gen(t, ScenarioWeb, 7)
+	_, g2 := t1gen(t, ScenarioWeb, 7)
+	for i := 0; i < 50; i++ {
+		p1, p2 := g1.Step(), g2.Step()
+		for b := range p1 {
+			if p1[b] != p2[b] {
+				t.Fatalf("step %d block %d: %v vs %v", i, b, p1[b], p2[b])
+			}
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	_, g1 := t1gen(t, ScenarioWeb, 1)
+	_, g2 := t1gen(t, ScenarioWeb, 2)
+	same := true
+	for i := 0; i < 50 && same; i++ {
+		p1, p2 := g1.Step(), g2.Step()
+		for b := range p1 {
+			if p1[b] != p2[b] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestPowersWithinBounds(t *testing.T) {
+	fp, g := t1gen(t, ScenarioMixed, 3)
+	cfg := Config{}
+	cfg.defaults()
+	for i := 0; i < 1000; i++ {
+		p := g.Step()
+		if len(p) != len(fp.Blocks) {
+			t.Fatalf("power vector length %d, want %d", len(p), len(fp.Blocks))
+		}
+		for b, w := range p {
+			if w < 0 {
+				t.Fatalf("negative power %v on block %d", w, b)
+			}
+			if fp.Blocks[b].Kind == floorplan.KindCore {
+				if w < cfg.CoreIdleW-1e-9 || w > cfg.CoreBusyW+1e-9 {
+					t.Fatalf("core power %v outside [%v,%v]", w, cfg.CoreIdleW, cfg.CoreBusyW)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioActivityOrdering(t *testing.T) {
+	// Compute workload must dissipate clearly more than idle workload.
+	avg := func(s Scenario) float64 {
+		_, g := t1gen(t, s, 11)
+		var tot float64
+		const steps = 2000
+		for i := 0; i < steps; i++ {
+			tot += TotalPower(g.Step())
+		}
+		return tot / steps
+	}
+	idle, web, compute := avg(ScenarioIdle), avg(ScenarioWeb), avg(ScenarioCompute)
+	if !(idle < web && web < compute) {
+		t.Fatalf("expected idle < web < compute, got %v < %v < %v", idle, web, compute)
+	}
+}
+
+func TestComputeScenarioPowerBudget(t *testing.T) {
+	// Sustained compute should land in a T1-class envelope (tens of watts).
+	_, g := t1gen(t, ScenarioCompute, 5)
+	var tot float64
+	const steps = 2000
+	for i := 0; i < steps; i++ {
+		tot += TotalPower(g.Step())
+	}
+	avg := tot / steps
+	if avg < 30 || avg > 90 {
+		t.Fatalf("compute average power %v W, want within [30,90]", avg)
+	}
+}
+
+func TestTraceVariesOverTime(t *testing.T) {
+	_, g := t1gen(t, ScenarioWeb, 13)
+	first := g.Step()
+	varied := false
+	for i := 0; i < 200; i++ {
+		p := g.Step()
+		for b := range p {
+			if math.Abs(p[b]-first[b]) > 0.5 {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("trace never varied — Markov dynamics broken")
+	}
+}
+
+func TestCoresVaryIndependently(t *testing.T) {
+	// Over a long run, per-core powers must not be perfectly correlated;
+	// otherwise there is no spatial diversity for PCA to exploit.
+	fp, g := t1gen(t, ScenarioWeb, 17)
+	cores := fp.KindBlocks(floorplan.KindCore)
+	const steps = 1500
+	series := make([][]float64, len(cores))
+	for i := range series {
+		series[i] = make([]float64, steps)
+	}
+	for s := 0; s < steps; s++ {
+		p := g.Step()
+		for ci, b := range cores {
+			series[ci][s] = p[b]
+		}
+	}
+	corr := correlation(series[0], series[1])
+	if corr > 0.9 {
+		t.Fatalf("core0/core1 correlation %v — too synchronized", corr)
+	}
+	varOK := 0
+	for _, s := range series {
+		if variance(s) > 0.1 {
+			varOK++
+		}
+	}
+	if varOK < len(series)/2 {
+		t.Fatalf("only %d of %d cores show activity variance", varOK, len(series))
+	}
+}
+
+func variance(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		m += x
+	}
+	m /= float64(len(v))
+	var s float64
+	for _, x := range v {
+		s += (x - m) * (x - m)
+	}
+	return s / float64(len(v))
+}
+
+func correlation(a, b []float64) float64 {
+	va, vb := variance(a), variance(b)
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var cov float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+	}
+	cov /= float64(len(a))
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestSpreadToCellsConservesPower(t *testing.T) {
+	fp, g := t1gen(t, ScenarioWeb, 19)
+	grid := floorplan.Grid{W: 60, H: 56}
+	r := fp.Rasterize(grid)
+	for i := 0; i < 20; i++ {
+		bp := g.Step()
+		cp := SpreadToCells(r, bp)
+		var tot float64
+		for _, w := range cp {
+			tot += w
+		}
+		if math.Abs(tot-TotalPower(bp)) > 1e-9 {
+			t.Fatalf("cell power %v != block power %v", tot, TotalPower(bp))
+		}
+	}
+}
+
+func TestSpreadToCellsUniformWithinBlock(t *testing.T) {
+	fp, g := t1gen(t, ScenarioCompute, 23)
+	grid := floorplan.Grid{W: 30, H: 28}
+	r := fp.Rasterize(grid)
+	bp := g.Step()
+	cp := SpreadToCells(r, bp)
+	for b := range fp.Blocks {
+		cells := r.CellsOf(b)
+		if len(cells) == 0 {
+			continue
+		}
+		want := bp[b] / float64(len(cells))
+		for _, i := range cells {
+			if math.Abs(cp[i]-want) > 1e-12 {
+				t.Fatalf("block %d cell %d: %v, want %v", b, i, cp[i], want)
+			}
+		}
+	}
+}
+
+func TestSpreadToCellsLengthMismatchPanics(t *testing.T) {
+	fp := floorplan.UltraSparcT1()
+	r := fp.Rasterize(floorplan.Grid{W: 10, H: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpreadToCells(r, []float64{1, 2})
+}
+
+func TestMigrationMovesLoad(t *testing.T) {
+	// With a short migration period, a busy core's task must eventually move.
+	fp := floorplan.UltraSparcT1()
+	g := NewGenerator(fp, Config{Scenario: ScenarioCompute, Seed: 29, MigrationPeriod: 5})
+	cores := fp.KindBlocks(floorplan.KindCore)
+	argmax := func(p []float64) int {
+		best := cores[0]
+		for _, b := range cores {
+			if p[b] > p[best] {
+				best = b
+			}
+		}
+		return best
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 400; i++ {
+		seen[argmax(g.Step())] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("hottest core visited only %d distinct cores; migration not working", len(seen))
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	for s, want := range map[Scenario]string{
+		ScenarioWeb: "web", ScenarioCompute: "compute",
+		ScenarioMixed: "mixed", ScenarioIdle: "idle", Scenario(9): "Scenario(9)",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestLoadCouplingCorrelatesCores(t *testing.T) {
+	fp := floorplan.UltraSparcT1()
+	cores := fp.KindBlocks(floorplan.KindCore)
+	run := func(coupling float64) float64 {
+		g := NewGenerator(fp, Config{Scenario: ScenarioWeb, Seed: 31, LoadCoupling: coupling})
+		const steps = 1500
+		a := make([]float64, steps)
+		b := make([]float64, steps)
+		for s := 0; s < steps; s++ {
+			p := g.Step()
+			a[s], b[s] = p[cores[0]], p[cores[5]]
+		}
+		return correlation(a, b)
+	}
+	weak, strong := run(0), run(0.9)
+	if strong <= weak {
+		t.Fatalf("coupling 0.9 correlation %v not above coupling 0 (%v)", strong, weak)
+	}
+	if strong < 0.5 {
+		t.Fatalf("strong coupling only reaches correlation %v", strong)
+	}
+}
+
+func TestLoadCouplingKeepsPowerBounds(t *testing.T) {
+	fp := floorplan.UltraSparcT1()
+	g := NewGenerator(fp, Config{Scenario: ScenarioMixed, Seed: 37, LoadCoupling: 0.75})
+	cfg := Config{}
+	cfg.defaults()
+	for i := 0; i < 800; i++ {
+		for b, w := range g.Step() {
+			if fp.Blocks[b].Kind == floorplan.KindCore && (w < cfg.CoreIdleW-1e-9 || w > cfg.CoreBusyW+1e-9) {
+				t.Fatalf("core power %v outside bounds under coupling", w)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package render visualizes thermal maps and sensor layouts as ASCII art and
+// binary PGM images — the repository's stand-in for the paper's color plots
+// (Figs. 2, 4 and 6).
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+)
+
+// ramp is the ASCII intensity ramp, cold → hot.
+const ramp = " .:-=+*#%@"
+
+// Options control rendering.
+type Options struct {
+	// Lo/Hi fix the color scale; if Lo == Hi the map's own range is used.
+	Lo, Hi float64
+	// Sensors marks these cell indices with 'S' (ASCII) or white (PGM).
+	Sensors []int
+}
+
+// ASCII renders the vectorized map as H lines of W characters.
+func ASCII(g floorplan.Grid, values []float64, opt Options) string {
+	if len(values) != g.N() {
+		panic(fmt.Sprintf("render: %d values for %d cells", len(values), g.N()))
+	}
+	lo, hi := opt.Lo, opt.Hi
+	if lo == hi {
+		lo, hi = mat.MinMax(values)
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	sensor := sensorSet(opt.Sensors)
+	var b strings.Builder
+	b.Grow((g.W + 1) * g.H)
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			idx := g.Index(row, col)
+			if sensor[idx] {
+				b.WriteByte('S')
+				continue
+			}
+			t := (values[idx] - lo) / span
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			c := int(t * float64(len(ramp)-1))
+			b.WriteByte(ramp[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SideBySide renders multiple maps on a shared scale, separated by a gutter,
+// with a one-line caption above each.
+func SideBySide(g floorplan.Grid, labels []string, maps [][]float64, opt Options) string {
+	if len(labels) != len(maps) {
+		panic("render: labels/maps length mismatch")
+	}
+	if len(maps) == 0 {
+		return ""
+	}
+	// Common scale across all maps unless fixed.
+	if opt.Lo == opt.Hi {
+		lo, hi := mat.MinMax(maps[0])
+		for _, m := range maps[1:] {
+			l, h := mat.MinMax(m)
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		opt.Lo, opt.Hi = lo, hi
+	}
+	rendered := make([][]string, len(maps))
+	for i, m := range maps {
+		rendered[i] = strings.Split(strings.TrimRight(ASCII(g, m, opt), "\n"), "\n")
+	}
+	var b strings.Builder
+	for i, lbl := range labels {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(pad(lbl, g.W))
+	}
+	b.WriteByte('\n')
+	for row := 0; row < g.H; row++ {
+		for i := range rendered {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(rendered[i][row])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) > w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// PGM renders the map as a binary (P5) PGM image, one pixel per cell,
+// 0 = coldest, 255 = hottest. Sensor cells are forced to 255.
+func PGM(g floorplan.Grid, values []float64, opt Options) []byte {
+	if len(values) != g.N() {
+		panic(fmt.Sprintf("render: %d values for %d cells", len(values), g.N()))
+	}
+	lo, hi := opt.Lo, opt.Hi
+	if lo == hi {
+		lo, hi = mat.MinMax(values)
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	sensor := sensorSet(opt.Sensors)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "P5\n%d %d\n255\n", g.W, g.H)
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			idx := g.Index(row, col)
+			if sensor[idx] {
+				buf.WriteByte(255)
+				continue
+			}
+			t := (values[idx] - lo) / span
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			buf.WriteByte(byte(t * 255))
+		}
+	}
+	return buf.Bytes()
+}
+
+// SensorMap renders sensor locations over a floorplan block outline: block
+// kinds are letters (c=core, $=cache, x=crossbar, f=fpu, .=other), sensors
+// are 'S'.
+func SensorMap(r *floorplan.Raster, sensors []int) string {
+	sensor := sensorSet(sensors)
+	g := r.Grid
+	var b strings.Builder
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			idx := g.Index(row, col)
+			if sensor[idx] {
+				b.WriteByte('S')
+				continue
+			}
+			bi := r.BlockOf[idx]
+			if bi < 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			switch r.Plan.Blocks[bi].Kind {
+			case floorplan.KindCore:
+				b.WriteByte('c')
+			case floorplan.KindCache:
+				b.WriteByte('$')
+			case floorplan.KindCrossbar:
+				b.WriteByte('x')
+			case floorplan.KindFPU:
+				b.WriteByte('f')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sensorSet(sensors []int) map[int]bool {
+	out := make(map[int]bool, len(sensors))
+	for _, s := range sensors {
+		out[s] = true
+	}
+	return out
+}

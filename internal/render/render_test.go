@@ -1,0 +1,162 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func gradient(g floorplan.Grid) []float64 {
+	v := make([]float64, g.N())
+	for i := range v {
+		v[i] = float64(i)
+	}
+	return v
+}
+
+func TestASCIIShape(t *testing.T) {
+	g := floorplan.Grid{W: 7, H: 4}
+	s := ASCII(g, gradient(g), Options{})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 7 {
+			t.Fatalf("line %q has %d chars, want 7", l, len(l))
+		}
+	}
+}
+
+func TestASCIIExtremes(t *testing.T) {
+	g := floorplan.Grid{W: 2, H: 1}
+	s := ASCII(g, []float64{0, 100}, Options{})
+	if s[0] != ' ' || s[1] != '@' {
+		t.Fatalf("extremes rendered as %q, want \" @\"", s[:2])
+	}
+}
+
+func TestASCIIFixedScaleClamps(t *testing.T) {
+	g := floorplan.Grid{W: 3, H: 1}
+	s := ASCII(g, []float64{-10, 50, 200}, Options{Lo: 0, Hi: 100})
+	if s[0] != ' ' {
+		t.Fatal("below-scale value must clamp to coldest")
+	}
+	if s[2] != '@' {
+		t.Fatal("above-scale value must clamp to hottest")
+	}
+}
+
+func TestASCIIConstantMap(t *testing.T) {
+	g := floorplan.Grid{W: 3, H: 2}
+	s := ASCII(g, []float64{5, 5, 5, 5, 5, 5}, Options{})
+	// Must not divide by zero; any uniform rendering is fine.
+	if len(strings.TrimRight(s, "\n")) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestASCIISensorsMarked(t *testing.T) {
+	g := floorplan.Grid{W: 4, H: 4}
+	s := ASCII(g, gradient(g), Options{Sensors: []int{g.Index(2, 1)}})
+	lines := strings.Split(s, "\n")
+	if lines[2][1] != 'S' {
+		t.Fatalf("sensor not marked: %q", lines[2])
+	}
+}
+
+func TestASCIILengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ASCII(floorplan.Grid{W: 3, H: 3}, []float64{1}, Options{})
+}
+
+func TestSideBySide(t *testing.T) {
+	g := floorplan.Grid{W: 5, H: 3}
+	a, b := gradient(g), gradient(g)
+	s := SideBySide(g, []string{"left", "right"}, [][]float64{a, b}, Options{})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // caption + 3 rows
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "left") || !strings.Contains(lines[0], "right") {
+		t.Fatalf("caption line %q", lines[0])
+	}
+	// Shared scale: identical maps must render identically in both panels.
+	row := lines[1]
+	leftPart, rightPart := row[:5], row[7:12]
+	if leftPart != rightPart {
+		t.Fatalf("panels differ for identical maps: %q vs %q", leftPart, rightPart)
+	}
+}
+
+func TestSideBySideMismatchPanics(t *testing.T) {
+	g := floorplan.Grid{W: 2, H: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SideBySide(g, []string{"one"}, [][]float64{gradient(g), gradient(g)}, Options{})
+}
+
+func TestSideBySideEmpty(t *testing.T) {
+	if s := SideBySide(floorplan.Grid{W: 2, H: 2}, nil, nil, Options{}); s != "" {
+		t.Fatalf("empty input rendered %q", s)
+	}
+}
+
+func TestPGMFormat(t *testing.T) {
+	g := floorplan.Grid{W: 6, H: 5}
+	img := PGM(g, gradient(g), Options{})
+	if !bytes.HasPrefix(img, []byte("P5\n6 5\n255\n")) {
+		t.Fatalf("bad header: %q", img[:12])
+	}
+	payload := img[len("P5\n6 5\n255\n"):]
+	if len(payload) != 30 {
+		t.Fatalf("payload %d bytes, want 30", len(payload))
+	}
+	// First pixel is the coldest (0), last the hottest (255)? Column
+	// stacking: pixel order is row-major in the image, value = i = col*H+row,
+	// so the bottom-right pixel has the largest value.
+	if payload[0] != 0 {
+		t.Fatalf("first pixel %d, want 0", payload[0])
+	}
+	if payload[len(payload)-1] != 255 {
+		t.Fatalf("last pixel %d, want 255", payload[len(payload)-1])
+	}
+}
+
+func TestPGMSensorsWhite(t *testing.T) {
+	g := floorplan.Grid{W: 3, H: 3}
+	img := PGM(g, make([]float64, 9), Options{Sensors: []int{g.Index(0, 0)}})
+	payload := img[len("P5\n3 3\n255\n"):]
+	if payload[0] != 255 {
+		t.Fatal("sensor pixel not white")
+	}
+}
+
+func TestSensorMapLegend(t *testing.T) {
+	fp := floorplan.UltraSparcT1()
+	g := floorplan.Grid{W: 12, H: 14}
+	r := fp.Rasterize(g)
+	s := SensorMap(r, []int{g.Index(0, 0)})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 14 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0][0] != 'S' {
+		t.Fatal("sensor not marked")
+	}
+	joined := s
+	for _, ch := range []string{"c", "$", "x", "f"} {
+		if !strings.Contains(joined, ch) {
+			t.Fatalf("legend char %q missing (T1 has all block kinds)", ch)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package thermal implements a compact transient RC thermal model of a
+// packaged die, standing in for the 3D-ICE simulator used by the paper.
+//
+// The model is the same discretization class as 3D-ICE: the die and the heat
+// spreader are each divided into the same W×H grid of cells; every cell gets
+// a lumped thermal capacitance; neighbouring cells in a layer are joined by
+// lateral conductances; die cells connect vertically through the thermal
+// interface material (TIM) to spreader cells; spreader cells connect through
+// the per-area share of the heat-sink resistance to ambient. Power is
+// injected in the die layer. Time integration is backward Euler (always
+// stable), with the SPD linear system solved by Jacobi-preconditioned
+// conjugate gradients, warm-started from the previous step.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// Material bundles the two bulk properties the RC model needs.
+type Material struct {
+	Conductivity float64 // W/(m·K)
+	VolumetricC  float64 // J/(m³·K)
+}
+
+// Standard materials.
+var (
+	Silicon = Material{Conductivity: 120, VolumetricC: 1.63e6} // hot silicon
+	Copper  = Material{Conductivity: 390, VolumetricC: 3.40e6}
+)
+
+// Config describes the package stack. The zero value is completed by
+// defaults() to a T1-class 12 mm × 11.2 mm die with a copper spreader and a
+// forced-air sink.
+type Config struct {
+	DieWidthM  float64 // die extent along the grid's W axis [m]
+	DieHeightM float64 // die extent along the grid's H axis [m]
+
+	DieThicknessM      float64
+	SpreaderThicknessM float64
+
+	Die      Material
+	Spreader Material
+
+	TIMConductivity float64 // W/(m·K)
+	TIMThicknessM   float64
+
+	SinkResistanceKPerW float64 // junction-to-ambient tail below the spreader
+	AmbientC            float64
+
+	DtSeconds float64 // transient time step
+
+	// Leakage, if non-nil, adds temperature-dependent leakage power to every
+	// die cell, closing the electro-thermal feedback loop.
+	Leakage *LeakageModel
+
+	// CG controls for the inner solver.
+	CGTol     float64 // relative residual; default 1e-8
+	CGMaxIter int     // default 2000
+}
+
+// LeakageModel is a standard exponential leakage fit:
+// P_leak(T) = BaseWPerCell · exp((T − TRefC)/TSlopeC) per die cell.
+type LeakageModel struct {
+	BaseWPerCell float64
+	TRefC        float64
+	TSlopeC      float64
+}
+
+// Power returns the leakage power of one cell at temperature tC (°C).
+func (l *LeakageModel) Power(tC float64) float64 {
+	return l.BaseWPerCell * math.Exp((tC-l.TRefC)/l.TSlopeC)
+}
+
+func (c *Config) defaults() {
+	if c.DieWidthM == 0 {
+		c.DieWidthM = 12e-3
+	}
+	if c.DieHeightM == 0 {
+		c.DieHeightM = 11.2e-3
+	}
+	if c.DieThicknessM == 0 {
+		c.DieThicknessM = 0.35e-3
+	}
+	if c.SpreaderThicknessM == 0 {
+		c.SpreaderThicknessM = 2e-3
+	}
+	if c.Die == (Material{}) {
+		c.Die = Silicon
+	}
+	if c.Spreader == (Material{}) {
+		c.Spreader = Copper
+	}
+	if c.TIMConductivity == 0 {
+		c.TIMConductivity = 4
+	}
+	if c.TIMThicknessM == 0 {
+		c.TIMThicknessM = 40e-6
+	}
+	if c.SinkResistanceKPerW == 0 {
+		c.SinkResistanceKPerW = 0.35
+	}
+	if c.AmbientC == 0 {
+		c.AmbientC = 45
+	}
+	if c.DtSeconds == 0 {
+		c.DtSeconds = 10e-3
+	}
+	if c.CGTol == 0 {
+		c.CGTol = 1e-8
+	}
+	if c.CGMaxIter == 0 {
+		c.CGMaxIter = 2000
+	}
+}
+
+// Model is an assembled RC network for one grid. The unknown vector stacks
+// die-cell temperature rises (indices [0,n)) above spreader-cell rises
+// (indices [n,2n)), both relative to ambient.
+type Model struct {
+	Grid floorplan.Grid
+	Cfg  Config
+
+	n int // cells per layer
+
+	// Conductances [W/K].
+	gxDie, gyDie float64 // lateral, die layer
+	gxSpr, gySpr float64 // lateral, spreader layer
+	gTIM         float64 // die cell ↔ spreader cell
+	gSink        float64 // spreader cell ↔ ambient
+
+	// Capacitances [J/K].
+	cDie, cSpr float64
+
+	diag []float64 // diagonal of G (conductance matrix), length 2n
+}
+
+// NewModel assembles the RC network for grid g under cfg (zero fields take
+// defaults).
+func NewModel(g floorplan.Grid, cfg Config) *Model {
+	cfg.defaults()
+	if g.W <= 0 || g.H <= 0 {
+		panic(fmt.Sprintf("thermal: invalid grid %dx%d", g.H, g.W))
+	}
+	dx := cfg.DieWidthM / float64(g.W)
+	dy := cfg.DieHeightM / float64(g.H)
+	area := dx * dy
+	m := &Model{
+		Grid:  g,
+		Cfg:   cfg,
+		n:     g.N(),
+		gxDie: cfg.Die.Conductivity * dy * cfg.DieThicknessM / dx,
+		gyDie: cfg.Die.Conductivity * dx * cfg.DieThicknessM / dy,
+		gxSpr: cfg.Spreader.Conductivity * dy * cfg.SpreaderThicknessM / dx,
+		gySpr: cfg.Spreader.Conductivity * dx * cfg.SpreaderThicknessM / dy,
+		gTIM:  cfg.TIMConductivity * area / cfg.TIMThicknessM,
+		gSink: area / (cfg.SinkResistanceKPerW * cfg.DieWidthM * cfg.DieHeightM),
+		cDie:  cfg.Die.VolumetricC * area * cfg.DieThicknessM,
+		cSpr:  cfg.Spreader.VolumetricC * area * cfg.SpreaderThicknessM,
+	}
+	m.diag = m.conductanceDiagonal()
+	return m
+}
+
+// NumUnknowns returns the total unknown count (2 layers × N cells).
+func (m *Model) NumUnknowns() int { return 2 * m.n }
+
+// conductanceDiagonal precomputes diag(G).
+func (m *Model) conductanceDiagonal() []float64 {
+	g := m.Grid
+	d := make([]float64, 2*m.n)
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			i := g.Index(row, col)
+			var latDie, latSpr float64
+			if col > 0 {
+				latDie += m.gxDie
+				latSpr += m.gxSpr
+			}
+			if col < g.W-1 {
+				latDie += m.gxDie
+				latSpr += m.gxSpr
+			}
+			if row > 0 {
+				latDie += m.gyDie
+				latSpr += m.gySpr
+			}
+			if row < g.H-1 {
+				latDie += m.gyDie
+				latSpr += m.gySpr
+			}
+			d[i] = latDie + m.gTIM
+			d[m.n+i] = latSpr + m.gTIM + m.gSink
+		}
+	}
+	return d
+}
+
+// ApplyG computes y = G·x for the conductance matrix (the negated graph
+// Laplacian plus grounding terms); x and y have length 2n.
+func (m *Model) ApplyG(x, y []float64) {
+	if len(x) != 2*m.n || len(y) != 2*m.n {
+		panic("thermal: ApplyG length mismatch")
+	}
+	g := m.Grid
+	n := m.n
+	for i := range y {
+		y[i] = m.diag[i] * x[i]
+	}
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			i := g.Index(row, col)
+			xd := x[i]
+			xs := x[n+i]
+			// Lateral couplings: accumulate -g·x_neighbor.
+			if col > 0 {
+				j := i - g.H // column stacking: left neighbor is H back
+				y[i] -= m.gxDie * x[j]
+				y[n+i] -= m.gxSpr * x[n+j]
+			}
+			if col < g.W-1 {
+				j := i + g.H
+				y[i] -= m.gxDie * x[j]
+				y[n+i] -= m.gxSpr * x[n+j]
+			}
+			if row > 0 {
+				j := i - 1
+				y[i] -= m.gyDie * x[j]
+				y[n+i] -= m.gySpr * x[n+j]
+			}
+			if row < g.H-1 {
+				j := i + 1
+				y[i] -= m.gyDie * x[j]
+				y[n+i] -= m.gySpr * x[n+j]
+			}
+			// Vertical coupling through the TIM.
+			y[i] -= m.gTIM * xs
+			y[n+i] -= m.gTIM * xd
+		}
+	}
+}
+
+// applyA computes y = (C/dt + G)·x, the backward-Euler system matrix.
+func (m *Model) applyA(x, y []float64) {
+	m.ApplyG(x, y)
+	cd := m.cDie / m.Cfg.DtSeconds
+	cs := m.cSpr / m.Cfg.DtSeconds
+	for i := 0; i < m.n; i++ {
+		y[i] += cd * x[i]
+		y[m.n+i] += cs * x[m.n+i]
+	}
+}
+
+// SteadyState solves G·T = P for the equilibrium temperature rise under the
+// per-die-cell power vector (length n) and returns die temperatures in °C.
+func (m *Model) SteadyState(cellPowerW []float64) ([]float64, error) {
+	if len(cellPowerW) != m.n {
+		panic("thermal: SteadyState power length mismatch")
+	}
+	b := make([]float64, 2*m.n)
+	copy(b, cellPowerW)
+	x := make([]float64, 2*m.n)
+	precond := m.diag
+	if err := m.cg(m.ApplyG, b, x, precond); err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.n)
+	for i := range out {
+		out[i] = x[i] + m.Cfg.AmbientC
+	}
+	return out, nil
+}
+
+// cg solves apply(x) = b by preconditioned conjugate gradients with the
+// Jacobi preconditioner diag. x holds the warm start on entry and the
+// solution on exit.
+func (m *Model) cg(apply func(x, y []float64), b, x, diag []float64) error {
+	n := len(b)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	apply(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	var bnorm float64
+	for _, v := range b {
+		bnorm += v * v
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return nil
+	}
+	tol := m.Cfg.CGTol * bnorm
+
+	var rz float64
+	for i := range r {
+		z[i] = r[i] / diag[i]
+		rz += r[i] * z[i]
+	}
+	copy(p, z)
+	for iter := 0; iter < m.Cfg.CGMaxIter; iter++ {
+		var rnorm float64
+		for _, v := range r {
+			rnorm += v * v
+		}
+		if math.Sqrt(rnorm) <= tol {
+			return nil
+		}
+		apply(p, ap)
+		var pap float64
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		if pap <= 0 {
+			return fmt.Errorf("thermal: CG breakdown (pᵀAp = %g); matrix not SPD?", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		var rzNew float64
+		for i := range r {
+			z[i] = r[i] / diag[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return fmt.Errorf("thermal: CG did not converge in %d iterations", m.Cfg.CGMaxIter)
+}

@@ -1,0 +1,403 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// Layer is one bulk layer of a package stack (a die, an interposer, a
+// spreader...). Layers are ordered from the top of the stack (furthest from
+// the heat sink) downward.
+type Layer struct {
+	Name       string
+	ThicknessM float64
+	Material   Material
+}
+
+// Interface is the thermal joint between two adjacent layers (TIM, bonding
+// glue, micro-bump field). The vertical conductance per cell is
+// Conductivity·cellArea/ThicknessM.
+type Interface struct {
+	Conductivity float64 // W/(m·K)
+	ThicknessM   float64
+}
+
+// StackConfig describes an arbitrary vertical stack — the generalization of
+// Config that matches 3D-ICE's core capability, including 3D ICs with
+// multiple active (power-dissipating) dies.
+type StackConfig struct {
+	DieWidthM  float64
+	DieHeightM float64
+
+	// Layers from top to bottom; at least one.
+	Layers []Layer
+	// Interfaces joins layer i to layer i+1; must have len(Layers)-1
+	// entries.
+	Interfaces []Interface
+
+	// SinkResistanceKPerW grounds the bottom layer to ambient.
+	SinkResistanceKPerW float64
+	AmbientC            float64
+
+	DtSeconds float64
+	CGTol     float64
+	CGMaxIter int
+}
+
+func (c *StackConfig) defaults() error {
+	if c.DieWidthM == 0 {
+		c.DieWidthM = 12e-3
+	}
+	if c.DieHeightM == 0 {
+		c.DieHeightM = 11.2e-3
+	}
+	if len(c.Layers) == 0 {
+		return fmt.Errorf("thermal: stack needs at least one layer")
+	}
+	if len(c.Interfaces) != len(c.Layers)-1 {
+		return fmt.Errorf("thermal: %d interfaces for %d layers (need %d)",
+			len(c.Interfaces), len(c.Layers), len(c.Layers)-1)
+	}
+	for i, l := range c.Layers {
+		if l.ThicknessM <= 0 || l.Material.Conductivity <= 0 || l.Material.VolumetricC <= 0 {
+			return fmt.Errorf("thermal: layer %d (%s) has non-positive properties", i, l.Name)
+		}
+	}
+	for i, f := range c.Interfaces {
+		if f.Conductivity <= 0 || f.ThicknessM <= 0 {
+			return fmt.Errorf("thermal: interface %d has non-positive properties", i)
+		}
+	}
+	if c.SinkResistanceKPerW == 0 {
+		c.SinkResistanceKPerW = 0.35
+	}
+	if c.AmbientC == 0 {
+		c.AmbientC = 45
+	}
+	if c.DtSeconds == 0 {
+		c.DtSeconds = 10e-3
+	}
+	if c.CGTol == 0 {
+		c.CGTol = 1e-8
+	}
+	if c.CGMaxIter == 0 {
+		c.CGMaxIter = 2000
+	}
+	return nil
+}
+
+// DefaultStack returns the two-layer stack equivalent to Config's defaults:
+// a silicon die over a copper spreader joined by TIM.
+func DefaultStack() StackConfig {
+	return StackConfig{
+		Layers: []Layer{
+			{Name: "die", ThicknessM: 0.35e-3, Material: Silicon},
+			{Name: "spreader", ThicknessM: 2e-3, Material: Copper},
+		},
+		Interfaces: []Interface{{Conductivity: 4, ThicknessM: 40e-6}},
+	}
+}
+
+// StackModel is the assembled RC network of an N-layer stack. The unknown
+// vector stacks each layer's cell temperature rises: layer l occupies
+// indices [l·n, (l+1)·n).
+type StackModel struct {
+	Grid floorplan.Grid
+	Cfg  StackConfig
+
+	n      int       // cells per layer
+	layers int       // L
+	gx, gy []float64 // per layer lateral conductances [W/K]
+	gv     []float64 // per interface vertical conductance [W/K per cell]
+	gSink  float64   // bottom layer to ambient [W/K per cell]
+	cap    []float64 // per layer cell capacitance [J/K]
+
+	diag []float64 // diag(G), length L·n
+}
+
+// NewStackModel assembles the network. It returns an error for inconsistent
+// configurations (unlike NewModel, which has a fully defaulted safe space).
+func NewStackModel(g floorplan.Grid, cfg StackConfig) (*StackModel, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return nil, fmt.Errorf("thermal: invalid grid %dx%d", g.H, g.W)
+	}
+	dx := cfg.DieWidthM / float64(g.W)
+	dy := cfg.DieHeightM / float64(g.H)
+	area := dx * dy
+	m := &StackModel{
+		Grid:   g,
+		Cfg:    cfg,
+		n:      g.N(),
+		layers: len(cfg.Layers),
+		gSink:  area / (cfg.SinkResistanceKPerW * cfg.DieWidthM * cfg.DieHeightM),
+	}
+	for _, l := range cfg.Layers {
+		m.gx = append(m.gx, l.Material.Conductivity*dy*l.ThicknessM/dx)
+		m.gy = append(m.gy, l.Material.Conductivity*dx*l.ThicknessM/dy)
+		m.cap = append(m.cap, l.Material.VolumetricC*area*l.ThicknessM)
+	}
+	for _, f := range cfg.Interfaces {
+		m.gv = append(m.gv, f.Conductivity*area/f.ThicknessM)
+	}
+	m.diag = m.conductanceDiagonal()
+	return m, nil
+}
+
+// Layers returns the number of layers.
+func (m *StackModel) Layers() int { return m.layers }
+
+// NumUnknowns returns L·N.
+func (m *StackModel) NumUnknowns() int { return m.layers * m.n }
+
+func (m *StackModel) conductanceDiagonal() []float64 {
+	g := m.Grid
+	d := make([]float64, m.layers*m.n)
+	for l := 0; l < m.layers; l++ {
+		base := l * m.n
+		for row := 0; row < g.H; row++ {
+			for col := 0; col < g.W; col++ {
+				i := g.Index(row, col)
+				var lat float64
+				if col > 0 {
+					lat += m.gx[l]
+				}
+				if col < g.W-1 {
+					lat += m.gx[l]
+				}
+				if row > 0 {
+					lat += m.gy[l]
+				}
+				if row < g.H-1 {
+					lat += m.gy[l]
+				}
+				v := lat
+				if l > 0 {
+					v += m.gv[l-1]
+				}
+				if l < m.layers-1 {
+					v += m.gv[l]
+				} else {
+					v += m.gSink
+				}
+				d[base+i] = v
+			}
+		}
+	}
+	return d
+}
+
+// ApplyG computes y = G·x for the stack conductance matrix.
+func (m *StackModel) ApplyG(x, y []float64) {
+	if len(x) != m.NumUnknowns() || len(y) != m.NumUnknowns() {
+		panic("thermal: stack ApplyG length mismatch")
+	}
+	g := m.Grid
+	for i := range y {
+		y[i] = m.diag[i] * x[i]
+	}
+	for l := 0; l < m.layers; l++ {
+		base := l * m.n
+		for row := 0; row < g.H; row++ {
+			for col := 0; col < g.W; col++ {
+				i := base + g.Index(row, col)
+				if col > 0 {
+					y[i] -= m.gx[l] * x[i-g.H]
+				}
+				if col < g.W-1 {
+					y[i] -= m.gx[l] * x[i+g.H]
+				}
+				if row > 0 {
+					y[i] -= m.gy[l] * x[i-1]
+				}
+				if row < g.H-1 {
+					y[i] -= m.gy[l] * x[i+1]
+				}
+				if l > 0 {
+					y[i] -= m.gv[l-1] * x[i-m.n]
+				}
+				if l < m.layers-1 {
+					y[i] -= m.gv[l] * x[i+m.n]
+				}
+			}
+		}
+	}
+}
+
+func (m *StackModel) applyA(x, y []float64) {
+	m.ApplyG(x, y)
+	for l := 0; l < m.layers; l++ {
+		c := m.cap[l] / m.Cfg.DtSeconds
+		base := l * m.n
+		for i := 0; i < m.n; i++ {
+			y[base+i] += c * x[base+i]
+		}
+	}
+}
+
+// cg mirrors Model.cg for the stack (kept separate to avoid entangling the
+// two models' configs).
+func (m *StackModel) cg(apply func(x, y []float64), b, x, diag []float64) error {
+	n := len(b)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	apply(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	var bnorm float64
+	for _, v := range b {
+		bnorm += v * v
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return nil
+	}
+	tol := m.Cfg.CGTol * bnorm
+	var rz float64
+	for i := range r {
+		z[i] = r[i] / diag[i]
+		rz += r[i] * z[i]
+	}
+	copy(p, z)
+	for iter := 0; iter < m.Cfg.CGMaxIter; iter++ {
+		var rnorm float64
+		for _, v := range r {
+			rnorm += v * v
+		}
+		if math.Sqrt(rnorm) <= tol {
+			return nil
+		}
+		apply(p, ap)
+		var pap float64
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		if pap <= 0 {
+			return fmt.Errorf("thermal: stack CG breakdown (pᵀAp = %g)", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		var rzNew float64
+		for i := range r {
+			z[i] = r[i] / diag[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return fmt.Errorf("thermal: stack CG did not converge in %d iterations", m.Cfg.CGMaxIter)
+}
+
+// buildRHS assembles the power vector: powerByLayer[l] is the per-cell watts
+// injected in layer l (nil slices mean no power in that layer).
+func (m *StackModel) buildRHS(powerByLayer [][]float64) ([]float64, error) {
+	if len(powerByLayer) != m.layers {
+		return nil, fmt.Errorf("thermal: power for %d layers, stack has %d", len(powerByLayer), m.layers)
+	}
+	b := make([]float64, m.NumUnknowns())
+	for l, p := range powerByLayer {
+		if p == nil {
+			continue
+		}
+		if len(p) != m.n {
+			return nil, fmt.Errorf("thermal: layer %d power length %d, want %d", l, len(p), m.n)
+		}
+		copy(b[l*m.n:(l+1)*m.n], p)
+	}
+	return b, nil
+}
+
+// SteadyState solves the equilibrium for the given per-layer power maps and
+// returns per-layer temperatures in °C (layer-major, same indexing as the
+// unknown vector).
+func (m *StackModel) SteadyState(powerByLayer [][]float64) ([]float64, error) {
+	b, err := m.buildRHS(powerByLayer)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, m.NumUnknowns())
+	if err := m.cg(m.ApplyG, b, x, m.diag); err != nil {
+		return nil, err
+	}
+	for i := range x {
+		x[i] += m.Cfg.AmbientC
+	}
+	return x, nil
+}
+
+// StackTransient integrates the stack in time.
+type StackTransient struct {
+	m     *StackModel
+	t     []float64 // rises above ambient
+	b     []float64
+	diagA []float64
+}
+
+// NewTransient starts at ambient equilibrium.
+func (m *StackModel) NewTransient() *StackTransient {
+	tr := &StackTransient{
+		m:     m,
+		t:     make([]float64, m.NumUnknowns()),
+		b:     make([]float64, m.NumUnknowns()),
+		diagA: make([]float64, m.NumUnknowns()),
+	}
+	for l := 0; l < m.layers; l++ {
+		c := m.cap[l] / m.Cfg.DtSeconds
+		base := l * m.n
+		for i := 0; i < m.n; i++ {
+			tr.diagA[base+i] = m.diag[base+i] + c
+		}
+	}
+	return tr
+}
+
+// Step advances one backward-Euler step under the per-layer power maps and
+// returns the temperatures (°C) of the requested layer.
+func (tr *StackTransient) Step(powerByLayer [][]float64, layer int) ([]float64, error) {
+	m := tr.m
+	if layer < 0 || layer >= m.layers {
+		return nil, fmt.Errorf("thermal: layer %d outside [0,%d)", layer, m.layers)
+	}
+	rhs, err := m.buildRHS(powerByLayer)
+	if err != nil {
+		return nil, err
+	}
+	for l := 0; l < m.layers; l++ {
+		c := m.cap[l] / m.Cfg.DtSeconds
+		base := l * m.n
+		for i := 0; i < m.n; i++ {
+			rhs[base+i] += c * tr.t[base+i]
+		}
+	}
+	copy(tr.b, rhs)
+	if err := m.cg(m.applyA, tr.b, tr.t, tr.diagA); err != nil {
+		return nil, err
+	}
+	return tr.LayerTemperatures(layer), nil
+}
+
+// LayerTemperatures returns layer l's current temperatures in °C.
+func (tr *StackTransient) LayerTemperatures(l int) []float64 {
+	out := make([]float64, tr.m.n)
+	base := l * tr.m.n
+	for i := range out {
+		out[i] = tr.t[base+i] + tr.m.Cfg.AmbientC
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestStackConfigValidation(t *testing.T) {
+	g := floorplan.Grid{W: 4, H: 4}
+	if _, err := NewStackModel(g, StackConfig{}); err == nil {
+		t.Fatal("no layers should fail")
+	}
+	bad := DefaultStack()
+	bad.Interfaces = nil
+	if _, err := NewStackModel(g, bad); err == nil {
+		t.Fatal("interface count mismatch should fail")
+	}
+	bad = DefaultStack()
+	bad.Layers[0].ThicknessM = 0
+	if _, err := NewStackModel(g, bad); err == nil {
+		t.Fatal("zero thickness should fail")
+	}
+	bad = DefaultStack()
+	bad.Interfaces[0].Conductivity = 0
+	if _, err := NewStackModel(g, bad); err == nil {
+		t.Fatal("zero interface conductivity should fail")
+	}
+	if _, err := NewStackModel(floorplan.Grid{}, DefaultStack()); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+}
+
+// TestStackMatchesLegacyTwoLayerModel: the default 2-layer stack must be the
+// exact same network as the original Model.
+func TestStackMatchesLegacyTwoLayerModel(t *testing.T) {
+	g := floorplan.Grid{W: 10, H: 8}
+	legacy := NewModel(g, Config{})
+	stack, err := NewStackModel(g, DefaultStack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, g.N())
+	for i := range p {
+		p[i] = 0.005 + 0.002*float64(i%11)
+	}
+	want, err := legacy.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stack.SteadyState([][]float64{p, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("cell %d: stack %v vs legacy %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStackTransientMatchesLegacy(t *testing.T) {
+	g := floorplan.Grid{W: 6, H: 6}
+	legacy := NewModel(g, Config{})
+	stack, err := NewStackModel(g, DefaultStack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, g.N())
+	p[g.Index(3, 3)] = 0.8
+	trL := legacy.NewTransient()
+	trS := stack.NewTransient()
+	for step := 0; step < 30; step++ {
+		want, err := trL.Step(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trS.Step([][]float64{p, nil}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("step %d cell %d: %v vs %v", step, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStackEnergyBalance(t *testing.T) {
+	// Equilibrium: everything injected anywhere in the stack leaves through
+	// the sink.
+	g := floorplan.Grid{W: 6, H: 5}
+	cfg := StackConfig{
+		Layers: []Layer{
+			{Name: "die1", ThicknessM: 0.3e-3, Material: Silicon},
+			{Name: "die0", ThicknessM: 0.3e-3, Material: Silicon},
+			{Name: "spreader", ThicknessM: 2e-3, Material: Copper},
+		},
+		Interfaces: []Interface{
+			{Conductivity: 1.5, ThicknessM: 20e-6}, // die-to-die bond
+			{Conductivity: 4, ThicknessM: 40e-6},   // TIM
+		},
+	}
+	m, err := NewStackModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := make([]float64, g.N())
+	p1 := make([]float64, g.N())
+	var total float64
+	for i := range p0 {
+		p0[i] = 0.01
+		p1[i] = 0.02
+		total += p0[i] + p1[i]
+	}
+	rhs, err := m.buildRHS([][]float64{p0, p1, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.NumUnknowns())
+	if err := m.cg(m.ApplyG, rhs, x, m.diag); err != nil {
+		t.Fatal(err)
+	}
+	var out float64
+	bottom := (m.layers - 1) * m.n
+	for i := 0; i < m.n; i++ {
+		out += m.gSink * x[bottom+i]
+	}
+	if math.Abs(out-total) > 1e-6*total {
+		t.Fatalf("sink heat %v, injected %v", out, total)
+	}
+}
+
+func TestStack3DUpperDieRunsHotter(t *testing.T) {
+	// A 3D stack with equal power in both dies: the die further from the
+	// sink must run hotter — the classic 3D-IC thermal problem.
+	g := floorplan.Grid{W: 8, H: 8}
+	cfg := StackConfig{
+		Layers: []Layer{
+			{Name: "topdie", ThicknessM: 0.3e-3, Material: Silicon},
+			{Name: "botdie", ThicknessM: 0.3e-3, Material: Silicon},
+			{Name: "spreader", ThicknessM: 2e-3, Material: Copper},
+		},
+		Interfaces: []Interface{
+			{Conductivity: 1.5, ThicknessM: 20e-6},
+			{Conductivity: 4, ThicknessM: 40e-6},
+		},
+	}
+	m, err := NewStackModel(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, g.N())
+	for i := range p {
+		p[i] = 0.05
+	}
+	temps, err := m.SteadyState([][]float64{p, p, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top, bot float64
+	for i := 0; i < g.N(); i++ {
+		top += temps[i]
+		bot += temps[g.N()+i]
+	}
+	if top <= bot {
+		t.Fatalf("top die (%v) not hotter than bottom die (%v)", top/64, bot/64)
+	}
+}
+
+func TestStackSingleLayer(t *testing.T) {
+	g := floorplan.Grid{W: 5, H: 5}
+	m, err := NewStackModel(g, StackConfig{
+		Layers: []Layer{{Name: "die", ThicknessM: 0.4e-3, Material: Silicon}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, g.N())
+	p[12] = 1
+	temps, err := m.SteadyState([][]float64{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxI := 0
+	for i, v := range temps {
+		if v < m.Cfg.AmbientC-1e-9 {
+			t.Fatalf("below ambient at %d", i)
+		}
+		if v > temps[maxI] {
+			maxI = i
+		}
+	}
+	if maxI != 12 {
+		t.Fatalf("hottest cell %d, want 12", maxI)
+	}
+}
+
+func TestStackApplyGSymmetric(t *testing.T) {
+	g := floorplan.Grid{W: 4, H: 5}
+	m, err := NewStackModel(g, DefaultStack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.NumUnknowns()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(2*i + 1))
+		y[i] = math.Cos(float64(5*i + 3))
+	}
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	m.ApplyG(x, gx)
+	m.ApplyG(y, gy)
+	var a, b float64
+	for i := range x {
+		a += gx[i] * y[i]
+		b += x[i] * gy[i]
+	}
+	if math.Abs(a-b) > 1e-9*(math.Abs(a)+1) {
+		t.Fatalf("stack G not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestStackStepValidation(t *testing.T) {
+	g := floorplan.Grid{W: 4, H: 4}
+	m, err := NewStackModel(g, DefaultStack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.NewTransient()
+	if _, err := tr.Step([][]float64{nil, nil}, 5); err == nil {
+		t.Fatal("bad layer index should fail")
+	}
+	if _, err := tr.Step([][]float64{nil}, 0); err == nil {
+		t.Fatal("wrong power layer count should fail")
+	}
+	if _, err := tr.Step([][]float64{{1, 2}, nil}, 0); err == nil {
+		t.Fatal("wrong power length should fail")
+	}
+}

@@ -1,0 +1,331 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func smallModel() *Model {
+	return NewModel(floorplan.Grid{W: 12, H: 10}, Config{})
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := smallModel()
+	if m.Cfg.AmbientC != 45 || m.Cfg.DtSeconds != 10e-3 {
+		t.Fatalf("defaults not applied: %+v", m.Cfg)
+	}
+	if m.gTIM <= 0 || m.gSink <= 0 || m.gxDie <= 0 {
+		t.Fatal("non-positive conductances")
+	}
+}
+
+func TestSteadyStateZeroPowerIsAmbient(t *testing.T) {
+	m := smallModel()
+	temps, err := m.SteadyState(make([]float64, m.Grid.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range temps {
+		if math.Abs(v-m.Cfg.AmbientC) > 1e-9 {
+			t.Fatalf("zero-power steady state %v, want ambient %v", v, m.Cfg.AmbientC)
+		}
+	}
+}
+
+func TestSteadyStateEnergyBalance(t *testing.T) {
+	// In equilibrium all injected power must leave through the sink:
+	// Σ gSink·(T_spreader − T_amb) == Σ P.
+	m := smallModel()
+	p := make([]float64, m.Grid.N())
+	var total float64
+	for i := range p {
+		p[i] = 0.02
+		total += p[i]
+	}
+	b := make([]float64, 2*m.Grid.N())
+	copy(b, p)
+	x := make([]float64, 2*m.Grid.N())
+	if err := m.cg(m.ApplyG, b, x, m.diag); err != nil {
+		t.Fatal(err)
+	}
+	var out float64
+	for i := 0; i < m.Grid.N(); i++ {
+		out += m.gSink * x[m.Grid.N()+i]
+	}
+	if math.Abs(out-total) > 1e-6*total {
+		t.Fatalf("sink heat %v W != injected %v W", out, total)
+	}
+}
+
+func TestSteadyStateAboveAmbientAndHotterAtSource(t *testing.T) {
+	m := smallModel()
+	p := make([]float64, m.Grid.N())
+	hot := m.Grid.Index(5, 6)
+	p[hot] = 2.0
+	temps, err := m.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxI := 0
+	for i, v := range temps {
+		if v < m.Cfg.AmbientC-1e-9 {
+			t.Fatalf("cell %d below ambient: %v", i, v)
+		}
+		if v > temps[maxI] {
+			maxI = i
+		}
+	}
+	if maxI != hot {
+		t.Fatalf("hottest cell %d, want source %d", maxI, hot)
+	}
+}
+
+func TestSteadyStateMonotoneInPower(t *testing.T) {
+	// Doubling power doubles the rise (model is linear).
+	m := smallModel()
+	p := make([]float64, m.Grid.N())
+	for i := range p {
+		p[i] = 0.01 * float64(i%7)
+	}
+	t1, err := m.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		p[i] *= 2
+	}
+	t2, err := m.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := m.Cfg.AmbientC
+	for i := range t1 {
+		r1, r2 := t1[i]-amb, t2[i]-amb
+		if math.Abs(r2-2*r1) > 1e-6*(r1+1) {
+			t.Fatalf("linearity violated at %d: %v vs 2·%v", i, r2, r1)
+		}
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	m := NewModel(floorplan.Grid{W: 8, H: 8}, Config{DtSeconds: 50e-3})
+	p := make([]float64, m.Grid.N())
+	for i := range p {
+		p[i] = 0.03
+	}
+	want, err := m.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.NewTransient()
+	var got []float64
+	for step := 0; step < 400; step++ {
+		got, err = tr.Step(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Fatalf("transient cell %d = %v, steady %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransientMonotoneHeatUp(t *testing.T) {
+	m := NewModel(floorplan.Grid{W: 6, H: 6}, Config{})
+	p := make([]float64, m.Grid.N())
+	p[m.Grid.Index(3, 3)] = 1
+	tr := m.NewTransient()
+	prev := -math.MaxFloat64
+	for step := 0; step < 50; step++ {
+		temps, err := tr.Step(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := temps[m.Grid.Index(3, 3)]
+		if cur < prev-1e-9 {
+			t.Fatalf("step %d: source cooled from %v to %v under constant power", step, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTransientCoolsAfterPowerOff(t *testing.T) {
+	m := NewModel(floorplan.Grid{W: 6, H: 6}, Config{})
+	p := make([]float64, m.Grid.N())
+	for i := range p {
+		p[i] = 0.05
+	}
+	tr := m.NewTransient()
+	if err := tr.SetSteadyState(p); err != nil {
+		t.Fatal(err)
+	}
+	hot := tr.DieTemperatures()
+	zero := make([]float64, m.Grid.N())
+	var cooled []float64
+	var err error
+	for step := 0; step < 200; step++ {
+		cooled, err = tr.Step(zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range hot {
+		if cooled[i] > hot[i]+1e-9 {
+			t.Fatalf("cell %d heated after power-off", i)
+		}
+		if cooled[i] > m.Cfg.AmbientC+1 {
+			t.Fatalf("cell %d did not cool toward ambient: %v", i, cooled[i])
+		}
+	}
+}
+
+func TestSetSteadyStateMatchesSteadyState(t *testing.T) {
+	m := smallModel()
+	p := make([]float64, m.Grid.N())
+	for i := range p {
+		p[i] = 0.01 + 0.001*float64(i%13)
+	}
+	want, err := m.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.NewTransient()
+	if err := tr.SetSteadyState(p); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.DieTemperatures()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("cell %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaximumPrinciple(t *testing.T) {
+	// With a single heat source, temperature decreases with graph distance
+	// from the source along a straight line.
+	m := NewModel(floorplan.Grid{W: 16, H: 4}, Config{})
+	p := make([]float64, m.Grid.N())
+	src := m.Grid.Index(2, 0)
+	p[src] = 1.5
+	temps, err := m.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col < 16; col++ {
+		a := temps[m.Grid.Index(2, col-1)]
+		b := temps[m.Grid.Index(2, col)]
+		if b > a+1e-9 {
+			t.Fatalf("temperature rose away from source at col %d: %v > %v", col, b, a)
+		}
+	}
+}
+
+func TestSpreaderCoolerThanDie(t *testing.T) {
+	m := smallModel()
+	p := make([]float64, m.Grid.N())
+	for i := range p {
+		p[i] = 0.03
+	}
+	tr := m.NewTransient()
+	if err := tr.SetSteadyState(p); err != nil {
+		t.Fatal(err)
+	}
+	die := tr.DieTemperatures()
+	spr := tr.SpreaderTemperatures()
+	var dieMean, sprMean float64
+	for i := range die {
+		dieMean += die[i]
+		sprMean += spr[i]
+	}
+	if sprMean >= dieMean {
+		t.Fatalf("spreader (%v) not cooler than die (%v)", sprMean, dieMean)
+	}
+}
+
+func TestLeakageIncreasesTemperature(t *testing.T) {
+	g := floorplan.Grid{W: 8, H: 8}
+	p := make([]float64, g.N())
+	for i := range p {
+		p[i] = 0.02
+	}
+	run := func(lk *LeakageModel) float64 {
+		m := NewModel(g, Config{Leakage: lk})
+		tr := m.NewTransient()
+		var temps []float64
+		var err error
+		for step := 0; step < 100; step++ {
+			temps, err = tr.Step(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var mean float64
+		for _, v := range temps {
+			mean += v
+		}
+		return mean / float64(len(temps))
+	}
+	base := run(nil)
+	leaky := run(&LeakageModel{BaseWPerCell: 0.005, TRefC: 45, TSlopeC: 30})
+	if leaky <= base {
+		t.Fatalf("leakage run (%v) not hotter than baseline (%v)", leaky, base)
+	}
+}
+
+func TestApplyGSymmetric(t *testing.T) {
+	// ⟨Gx, y⟩ == ⟨x, Gy⟩ for random-ish vectors: G must be symmetric.
+	m := NewModel(floorplan.Grid{W: 5, H: 7}, Config{})
+	n := 2 * m.Grid.N()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(3*i + 1))
+		y[i] = math.Cos(float64(7*i + 2))
+	}
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	m.ApplyG(x, gx)
+	m.ApplyG(y, gy)
+	var a, b float64
+	for i := range x {
+		a += gx[i] * y[i]
+		b += x[i] * gy[i]
+	}
+	if math.Abs(a-b) > 1e-9*(math.Abs(a)+1) {
+		t.Fatalf("G not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestApplyGPositiveDefinite(t *testing.T) {
+	// xᵀGx > 0 for non-zero x (grounded Laplacian).
+	m := NewModel(floorplan.Grid{W: 4, H: 4}, Config{})
+	n := 2 * m.Grid.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 // worst case for a pure Laplacian: constant vector
+	}
+	gx := make([]float64, n)
+	m.ApplyG(x, gx)
+	var q float64
+	for i := range x {
+		q += x[i] * gx[i]
+	}
+	if q <= 0 {
+		t.Fatalf("xᵀGx = %v for constant x; grounding terms missing", q)
+	}
+}
+
+func TestLeakageModelMonotone(t *testing.T) {
+	lk := &LeakageModel{BaseWPerCell: 0.01, TRefC: 45, TSlopeC: 30}
+	if !(lk.Power(55) > lk.Power(45) && lk.Power(45) > lk.Power(35)) {
+		t.Fatal("leakage not monotone in temperature")
+	}
+	if math.Abs(lk.Power(45)-0.01) > 1e-12 {
+		t.Fatalf("leakage at TRef = %v, want base", lk.Power(45))
+	}
+}

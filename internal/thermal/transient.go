@@ -1,0 +1,89 @@
+package thermal
+
+// Transient integrates the RC model in time with backward Euler.
+type Transient struct {
+	m *Model
+	// t holds temperature *rise above ambient* for all 2n unknowns; the
+	// exported accessors convert to °C.
+	t []float64
+
+	// scratch
+	b     []float64
+	diagA []float64
+}
+
+// NewTransient starts a transient run from thermal equilibrium at ambient
+// (zero rise everywhere).
+func (m *Model) NewTransient() *Transient {
+	tr := &Transient{
+		m:     m,
+		t:     make([]float64, 2*m.n),
+		b:     make([]float64, 2*m.n),
+		diagA: make([]float64, 2*m.n),
+	}
+	cd := m.cDie / m.Cfg.DtSeconds
+	cs := m.cSpr / m.Cfg.DtSeconds
+	for i := 0; i < m.n; i++ {
+		tr.diagA[i] = m.diag[i] + cd
+		tr.diagA[m.n+i] = m.diag[m.n+i] + cs
+	}
+	return tr
+}
+
+// SetSteadyState initializes the run at the equilibrium for the given power
+// map, avoiding a long warm-up transient.
+func (tr *Transient) SetSteadyState(cellPowerW []float64) error {
+	m := tr.m
+	b := make([]float64, 2*m.n)
+	copy(b, cellPowerW)
+	for i := range tr.t {
+		tr.t[i] = 0
+	}
+	return m.cg(m.ApplyG, b, tr.t, m.diag)
+}
+
+// Step advances one time step under the per-die-cell power vector (length n)
+// and returns the die-layer temperatures in °C (a fresh slice).
+//
+// If the model has a leakage configuration, leakage power computed from the
+// *current* (pre-step) die temperatures is added to the injected power —
+// the standard explicit electro-thermal coupling.
+func (tr *Transient) Step(cellPowerW []float64) ([]float64, error) {
+	m := tr.m
+	if len(cellPowerW) != m.n {
+		panic("thermal: Step power length mismatch")
+	}
+	cd := m.cDie / m.Cfg.DtSeconds
+	cs := m.cSpr / m.Cfg.DtSeconds
+	for i := 0; i < m.n; i++ {
+		p := cellPowerW[i]
+		if lk := m.Cfg.Leakage; lk != nil {
+			p += lk.Power(tr.t[i] + m.Cfg.AmbientC)
+		}
+		tr.b[i] = cd*tr.t[i] + p
+		tr.b[m.n+i] = cs * tr.t[m.n+i]
+	}
+	// Warm start from the previous temperatures (already in tr.t).
+	if err := m.cg(m.applyA, tr.b, tr.t, tr.diagA); err != nil {
+		return nil, err
+	}
+	return tr.DieTemperatures(), nil
+}
+
+// DieTemperatures returns the current die-layer temperatures in °C.
+func (tr *Transient) DieTemperatures() []float64 {
+	out := make([]float64, tr.m.n)
+	for i := range out {
+		out[i] = tr.t[i] + tr.m.Cfg.AmbientC
+	}
+	return out
+}
+
+// SpreaderTemperatures returns the current spreader-layer temperatures in °C.
+func (tr *Transient) SpreaderTemperatures() []float64 {
+	out := make([]float64, tr.m.n)
+	for i := range out {
+		out[i] = tr.t[tr.m.n+i] + tr.m.Cfg.AmbientC
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package track adds temporal filtering on top of the paper's memoryless
+// least-squares reconstruction: a Kalman filter over the subspace
+// coefficients, in the spirit of Zhang & Srivastava's adaptive thermal
+// tracking (the paper's related work [19]). Thermal maps evolve slowly, so
+// fusing the previous state with each new sensor vector suppresses
+// measurement noise that per-snapshot least squares must swallow whole.
+//
+// State-space model, all in the K-dimensional coefficient space:
+//
+//	α_t = ρ·α_{t−1} + u_t,  u_t ~ N(0, Q),   Q = q·diag(λ)
+//	y_t = Ψ̃_K·α_t + w_t,    w_t ~ N(0, R),   R = r·I
+//
+// The stationary prior of the coefficients is exactly diag(λ) — the
+// eigenvalues from Proposition 1 — which the filter uses as its initial
+// covariance, so the PCA training doubles as the tracker's calibration.
+package track
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/mat"
+)
+
+// Config tunes the Kalman tracker.
+type Config struct {
+	// Rho is the AR(1) coefficient of the state dynamics in (0, 1].
+	// 1 (default) is a random walk.
+	Rho float64
+	// ProcessScale is q: the per-step process variance as a fraction of each
+	// coefficient's stationary variance λ_k. Default 0.05.
+	ProcessScale float64
+	// MeasurementVar is r: the per-sensor measurement noise variance [°C²].
+	// Default 0.25 (0.5 °C read noise).
+	MeasurementVar float64
+}
+
+func (c *Config) defaults() {
+	if c.Rho == 0 {
+		c.Rho = 1
+	}
+	if c.ProcessScale == 0 {
+		c.ProcessScale = 0.05
+	}
+	if c.MeasurementVar == 0 {
+		c.MeasurementVar = 0.25
+	}
+}
+
+// Errors returned by NewKalman.
+var (
+	ErrBadConfig = errors.New("track: invalid configuration")
+)
+
+// Kalman is the temporal tracker. Not safe for concurrent use (it carries
+// filter state).
+type Kalman struct {
+	cfg     Config
+	b       *basis.Basis
+	k       int
+	sensors []int
+
+	psiT  *mat.Matrix // M×K sensing matrix Ψ̃_K
+	meanS []float64   // training mean at the sensors
+
+	alpha []float64   // state estimate (K)
+	p     *mat.Matrix // state covariance (K×K)
+	prior *mat.Matrix // diag(λ_0..λ_{K-1}), the stationary covariance
+	steps int
+}
+
+// NewKalman builds a tracker for the first k basis vectors observed at the
+// given sensor cells. Unlike least squares, the filter works for any M ≥ 1
+// (even M < K): unobserved directions simply stay at their prior.
+func NewKalman(b *basis.Basis, k int, sensors []int, cfg Config) (*Kalman, error) {
+	cfg.defaults()
+	if cfg.Rho <= 0 || cfg.Rho > 1 {
+		return nil, fmt.Errorf("%w: rho %v outside (0,1]", ErrBadConfig, cfg.Rho)
+	}
+	if cfg.ProcessScale < 0 || cfg.MeasurementVar <= 0 {
+		return nil, fmt.Errorf("%w: process %v, measurement %v", ErrBadConfig, cfg.ProcessScale, cfg.MeasurementVar)
+	}
+	if k < 1 || k > b.KMax() {
+		return nil, fmt.Errorf("track: %w", basis.ErrKRange)
+	}
+	if len(sensors) == 0 {
+		return nil, fmt.Errorf("%w: no sensors", ErrBadConfig)
+	}
+	for _, s := range sensors {
+		if s < 0 || s >= b.N() {
+			return nil, fmt.Errorf("track: sensor %d outside [0,%d)", s, b.N())
+		}
+	}
+	psiK, err := b.PsiK(k)
+	if err != nil {
+		return nil, err
+	}
+	psiT := psiK.SelectRows(sensors)
+	meanS := make([]float64, len(sensors))
+	for i, s := range sensors {
+		meanS[i] = b.Mean[s]
+	}
+	prior := mat.New(k, k)
+	for i := 0; i < k; i++ {
+		lam := b.Importance[i]
+		if lam <= 0 {
+			lam = 1e-12
+		}
+		prior.Set(i, i, lam)
+	}
+	kf := &Kalman{
+		cfg:     cfg,
+		b:       b,
+		k:       k,
+		sensors: append([]int(nil), sensors...),
+		psiT:    psiT,
+		meanS:   meanS,
+	}
+	kf.Reset()
+	return kf, nil
+}
+
+// Reset returns the filter to its stationary prior (α = 0 — the mean map —
+// with covariance diag(λ)).
+func (kf *Kalman) Reset() {
+	kf.alpha = make([]float64, kf.k)
+	kf.prior = mat.New(kf.k, kf.k)
+	for i := 0; i < kf.k; i++ {
+		lam := kf.b.Importance[i]
+		if lam <= 0 {
+			lam = 1e-12
+		}
+		kf.prior.Set(i, i, lam)
+	}
+	kf.p = kf.prior.Clone()
+	kf.steps = 0
+}
+
+// K returns the subspace dimension.
+func (kf *Kalman) K() int { return kf.k }
+
+// Steps returns the number of measurement updates applied since Reset.
+func (kf *Kalman) Steps() int { return kf.steps }
+
+// Sensors returns a copy of the sensor cells.
+func (kf *Kalman) Sensors() []int { return append([]int(nil), kf.sensors...) }
+
+// Sample extracts the tracker's sensor readings from a full map.
+func (kf *Kalman) Sample(x []float64) []float64 {
+	out := make([]float64, len(kf.sensors))
+	for i, s := range kf.sensors {
+		out[i] = x[s]
+	}
+	return out
+}
+
+// Step runs one predict/update cycle on the sensor readings (°C) and
+// returns the current full-map estimate.
+func (kf *Kalman) Step(readings []float64) ([]float64, error) {
+	if len(readings) != len(kf.sensors) {
+		return nil, fmt.Errorf("track: %d readings for %d sensors", len(readings), len(kf.sensors))
+	}
+	k := kf.k
+	m := len(kf.sensors)
+	rho := kf.cfg.Rho
+
+	// Predict: α⁻ = ρ·α, P⁻ = ρ²·P + Q.
+	for i := range kf.alpha {
+		kf.alpha[i] *= rho
+	}
+	pMinus := kf.p.Clone().Scale(rho * rho)
+	for i := 0; i < k; i++ {
+		pMinus.Add(i, i, kf.cfg.ProcessScale*kf.prior.At(i, i))
+	}
+
+	// Innovation on centered readings.
+	centered := mat.SubVec(readings, kf.meanS)
+	innov := mat.SubVec(centered, mat.MulVec(kf.psiT, kf.alpha))
+
+	// S = Ψ̃ P⁻ Ψ̃ᵀ + R.
+	pht := mat.MulTB(pMinus, kf.psiT) // K×M: P⁻ Ψ̃ᵀ
+	s := mat.Mul(kf.psiT, pht)        // M×M
+	for i := 0; i < m; i++ {
+		s.Add(i, i, kf.cfg.MeasurementVar)
+	}
+	chol, err := mat.NewCholesky(s)
+	if err != nil {
+		return nil, fmt.Errorf("track: innovation covariance not SPD: %w", err)
+	}
+	// Gain G = P⁻ Ψ̃ᵀ S⁻¹, built column by column: G = (S⁻¹ (P⁻Ψ̃ᵀ)ᵀ)ᵀ.
+	gain := mat.New(k, m)
+	for row := 0; row < k; row++ {
+		sol := chol.Solve(pht.Row(row))
+		gain.SetRow(row, sol)
+	}
+
+	// Update: α += G·innov, P = (I − GΨ̃) P⁻ (Joseph-free form; S is SPD and
+	// the gain exact, so the plain form stays symmetric within round-off,
+	// and we re-symmetrize below).
+	mat.AXPY(1, mat.MulVec(gain, innov), kf.alpha)
+	gPsi := mat.Mul(gain, kf.psiT) // K×K
+	iMinus := mat.Identity(k).SubMatrix(gPsi)
+	kf.p = mat.Mul(iMinus, pMinus)
+	// Re-symmetrize to stop round-off drift.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v := 0.5 * (kf.p.At(i, j) + kf.p.At(j, i))
+			kf.p.Set(i, j, v)
+			kf.p.Set(j, i, v)
+		}
+	}
+	kf.steps++
+	return kf.b.Synthesize(kf.alpha), nil
+}
+
+// Coefficients returns a copy of the current state estimate α.
+func (kf *Kalman) Coefficients() []float64 { return mat.CopyVec(kf.alpha) }
+
+// CovarianceTrace returns tr(P) — a scalar uncertainty summary that must
+// shrink as measurements accumulate on a static scene.
+func (kf *Kalman) CovarianceTrace() float64 {
+	var tr float64
+	for i := 0; i < kf.k; i++ {
+		tr += kf.p.At(i, i)
+	}
+	return tr
+}

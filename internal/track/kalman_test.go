@@ -1,0 +1,296 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/dataset"
+	"repro/internal/floorplan"
+	"repro/internal/noise"
+	"repro/internal/place"
+	"repro/internal/recon"
+)
+
+var (
+	fixOnce sync.Once
+	fixDS   *dataset.Dataset
+	fixB    *basis.Basis
+	fixS    []int
+	fixErr  error
+)
+
+func fixture(t *testing.T) (*dataset.Dataset, *basis.Basis, []int) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixDS, fixErr = dataset.Generate(floorplan.UltraSparcT1(), dataset.GenConfig{
+			Grid:      floorplan.Grid{W: 14, H: 12},
+			Snapshots: 200,
+			Seed:      8,
+		})
+		if fixErr != nil {
+			return
+		}
+		fixB, fixErr = basis.TrainPCA(fixDS, 10, basis.PCAConfig{Seed: 8})
+		if fixErr != nil {
+			return
+		}
+		psi, err := fixB.PsiK(8)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixS, fixErr = (&place.Greedy{}).Allocate(place.Input{Psi: psi, Grid: fixDS.Grid, M: 8})
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixDS, fixB, fixS
+}
+
+func TestNewKalmanValidates(t *testing.T) {
+	_, b, sensors := fixture(t)
+	if _, err := NewKalman(b, 0, sensors, Config{}); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	if _, err := NewKalman(b, 4, nil, Config{}); err == nil {
+		t.Fatal("no sensors should fail")
+	}
+	if _, err := NewKalman(b, 4, []int{-1}, Config{}); err == nil {
+		t.Fatal("bad sensor index should fail")
+	}
+	if _, err := NewKalman(b, 4, sensors, Config{Rho: 1.5}); err == nil {
+		t.Fatal("rho > 1 should fail")
+	}
+	if _, err := NewKalman(b, 4, sensors, Config{MeasurementVar: -1}); err == nil {
+		t.Fatal("negative measurement var should fail")
+	}
+}
+
+func TestKalmanConvergesToTruthOnStaticScene(t *testing.T) {
+	ds, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 6, sensors, Config{ProcessScale: 1e-6, MeasurementVar: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ds.Map(50)
+	readings := kf.Sample(truth)
+	var est []float64
+	for i := 0; i < 200; i++ {
+		est, err = kf.Step(readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With vanishing process noise and repeated identical measurements the
+	// filter must converge to the least-squares solution for those sensors.
+	ls, err := recon.New(b, 6, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ls.Reconstruct(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := range est {
+		if d := math.Abs(est[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("static-scene estimate %v °C from the least-squares limit", worst)
+	}
+}
+
+func TestKalmanUncertaintyShrinks(t *testing.T) {
+	ds, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 6, sensors, Config{ProcessScale: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := kf.CovarianceTrace()
+	readings := kf.Sample(ds.Map(10))
+	for i := 0; i < 20; i++ {
+		if _, err := kf.Step(readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := kf.CovarianceTrace()
+	if after >= before {
+		t.Fatalf("covariance trace rose: %v → %v", before, after)
+	}
+	if kf.Steps() != 20 {
+		t.Fatalf("steps = %d", kf.Steps())
+	}
+}
+
+func TestKalmanBeatsMemorylessLSUnderNoise(t *testing.T) {
+	// On a slowly varying trace with noisy sensors, the tracker's MSE must
+	// beat per-snapshot least squares with the same sensors and K.
+	ds, b, sensors := fixture(t)
+	const k = 6
+	kf, err := NewKalman(b, k, sensors, Config{ProcessScale: 0.05, MeasurementVar: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := recon.New(b, k, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var kfSq, lsSq float64
+	var count int
+	// Skip the filter's burn-in when scoring.
+	const burnIn = 10
+	for j := 0; j < ds.T(); j++ {
+		truth := ds.Map(j)
+		clean := kf.Sample(truth)
+		noisy := make([]float64, len(clean))
+		for i := range clean {
+			noisy[i] = clean[i] + rng.NormFloat64() // 1 °C sensor noise
+		}
+		kfEst, err := kf.Step(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsEst, err := ls.Reconstruct(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j < burnIn {
+			continue
+		}
+		for i := range truth {
+			dk := truth[i] - kfEst[i]
+			dl := truth[i] - lsEst[i]
+			kfSq += dk * dk
+			lsSq += dl * dl
+		}
+		count += len(truth)
+	}
+	kfMSE := kfSq / float64(count)
+	lsMSE := lsSq / float64(count)
+	if kfMSE >= lsMSE {
+		t.Fatalf("Kalman MSE %v not below least-squares %v under noise", kfMSE, lsMSE)
+	}
+}
+
+func TestKalmanWorksWithFewerSensorsThanK(t *testing.T) {
+	ds, b, sensors := fixture(t)
+	// M=3 < K=6: least squares is impossible, the filter still runs.
+	kf, err := NewKalman(b, 6, sensors[:3], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := kf.Step(kf.Sample(ds.Map(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != ds.N() {
+		t.Fatalf("estimate length %d", len(est))
+	}
+}
+
+func TestKalmanResetRestoresPrior(t *testing.T) {
+	ds, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 5, sensors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := kf.CovarianceTrace()
+	for i := 0; i < 5; i++ {
+		if _, err := kf.Step(kf.Sample(ds.Map(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kf.Reset()
+	if math.Abs(kf.CovarianceTrace()-prior) > 1e-12 {
+		t.Fatal("Reset did not restore the prior covariance")
+	}
+	if kf.Steps() != 0 {
+		t.Fatal("Reset did not clear the step counter")
+	}
+	for _, a := range kf.Coefficients() {
+		if a != 0 {
+			t.Fatal("Reset did not clear the state")
+		}
+	}
+}
+
+func TestKalmanTracksChangingScene(t *testing.T) {
+	ds, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 6, sensors, Config{ProcessScale: 0.2, MeasurementVar: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the real evolving trace; the tracking error must stay bounded
+	// and comparable to the subspace floor.
+	var worst float64
+	for j := 0; j < 100; j++ {
+		truth := ds.Map(j)
+		est, err := kf.Step(kf.Sample(truth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j < 5 {
+			continue
+		}
+		var sq float64
+		for i := range truth {
+			d := truth[i] - est[i]
+			sq += d * d
+		}
+		sq /= float64(len(truth))
+		if sq > worst {
+			worst = sq
+		}
+	}
+	if worst > 5 {
+		t.Fatalf("per-map tracking MSE reached %v °C²", worst)
+	}
+}
+
+func TestKalmanReadingCountChecked(t *testing.T) {
+	_, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 4, sensors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kf.Step([]float64{1}); err == nil {
+		t.Fatal("expected reading-count error")
+	}
+}
+
+func TestKalmanWithSensorModel(t *testing.T) {
+	// End-to-end with the realistic sensor model: calibration error biases
+	// the estimate but the filter must remain stable (no divergence).
+	ds, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 6, sensors, Config{ProcessScale: 0.1, MeasurementVar: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := noise.TypicalSensor().NewSensors(len(sensors), rand.New(rand.NewSource(5)))
+	var lastMSE float64
+	for j := 0; j < 150; j++ {
+		truth := ds.Map(j % ds.T())
+		est, err := kf.Step(bank.Read(kf.Sample(truth)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sq float64
+		for i := range truth {
+			d := truth[i] - est[i]
+			sq += d * d
+		}
+		lastMSE = sq / float64(len(truth))
+		if math.IsNaN(lastMSE) || lastMSE > 100 {
+			t.Fatalf("filter diverged at step %d: MSE %v", j, lastMSE)
+		}
+	}
+	if lastMSE > 10 {
+		t.Fatalf("steady-state MSE %v with realistic sensors", lastMSE)
+	}
+}

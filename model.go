@@ -1,0 +1,257 @@
+package eigenmaps
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/recon"
+)
+
+// BasisFamily selects the approximation subspace.
+type BasisFamily string
+
+// Available basis families.
+const (
+	// EigenMapsBasis is the paper's PCA subspace (the default).
+	EigenMapsBasis BasisFamily = "eigenmaps"
+	// DCTBasis is the k-LSE baseline subspace (energy-ranked DCT).
+	DCTBasis BasisFamily = "dct"
+	// DCTZigZagBasis is the data-independent low-pass DCT subspace.
+	DCTZigZagBasis BasisFamily = "dct-zigzag"
+)
+
+// TrainOptions parameterize Train.
+type TrainOptions struct {
+	// KMax is the largest subspace dimension the model will support.
+	// Default 40.
+	KMax int
+	// Basis selects the subspace family. Default EigenMapsBasis.
+	Basis BasisFamily
+	// Seed drives the PCA eigensolver's starting block.
+	Seed int64
+}
+
+// Model is a trained thermal-map model: basis, mean map and training energy.
+type Model struct {
+	m *core.Model
+}
+
+// Train learns a model from a simulated ensemble.
+func Train(e *Ensemble, opt TrainOptions) (*Model, error) {
+	kind := core.BasisEigenMaps
+	switch opt.Basis {
+	case "", EigenMapsBasis:
+	case DCTBasis:
+		kind = core.BasisDCT
+	case DCTZigZagBasis:
+		kind = core.BasisDCTZigZag
+	default:
+		return nil, fmt.Errorf("eigenmaps: unknown basis family %q", opt.Basis)
+	}
+	m, err := core.Train(e.ds, core.TrainOptions{
+		KMax: opt.KMax,
+		Kind: kind,
+		Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: m}, nil
+}
+
+// Save writes the trained model (basis + training energy) in the library's
+// binary format, so full-scale training can happen once.
+func (m *Model) Save(w io.Writer) error { return m.m.Save(w) }
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error { return m.m.SaveFile(path) }
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	im, err := core.LoadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: im}, nil
+}
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string) (*Model, error) {
+	im, err := core.LoadModelFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: im}, nil
+}
+
+// KMax returns the number of trained basis vectors.
+func (m *Model) KMax() int { return m.m.Basis.KMax() }
+
+// Grid returns the model's grid.
+func (m *Model) Grid() Grid { return Grid{W: m.m.Grid.W, H: m.m.Grid.H} }
+
+// EigenMap returns basis vector k (0-based) as a map-shaped vector — the
+// pictures of the paper's Fig. 2.
+func (m *Model) EigenMap(k int) ([]float64, error) {
+	if k < 0 || k >= m.KMax() {
+		return nil, fmt.Errorf("eigenmaps: basis index %d outside [0,%d)", k, m.KMax())
+	}
+	return m.m.Basis.Psi.Col(k), nil
+}
+
+// Spectrum returns the basis importance values (eigenvalues for the PCA
+// family) — the decay plot of Fig. 2.
+func (m *Model) Spectrum() []float64 {
+	out := make([]float64, len(m.m.Basis.Importance))
+	copy(out, m.m.Basis.Importance)
+	return out
+}
+
+// ExpectedApproxMSE returns the Proposition 1 bound on per-cell
+// approximation MSE at dimension K: (Σ_{n≥K} λ_n)/N. Only meaningful for
+// the EigenMaps family.
+func (m *Model) ExpectedApproxMSE(k int) float64 {
+	return m.m.Basis.TailImportance(k) / float64(m.m.Basis.N())
+}
+
+// Allocation names a sensor-placement strategy for PlaceSensors.
+type Allocation string
+
+// Available allocation strategies.
+const (
+	// GreedyAllocation is the paper's Algorithm 1 (the default).
+	GreedyAllocation Allocation = "greedy"
+	// EnergyAllocation is the energy-center heuristic of the k-LSE paper.
+	EnergyAllocation Allocation = "energy"
+	// RandomAllocation places sensors uniformly at random (reference).
+	RandomAllocation Allocation = "random"
+	// UniformAllocation places sensors on a regular lattice (reference).
+	UniformAllocation Allocation = "uniform"
+	// DOptimalAllocation is forward greedy D-optimal design — the ablation
+	// counterpart to GreedyAllocation's backward elimination.
+	DOptimalAllocation Allocation = "d-optimal"
+)
+
+// PlaceOptions parameterize PlaceSensors.
+type PlaceOptions struct {
+	// K is the subspace dimension the layout must observe; defaults to M.
+	K int
+	// Strategy defaults to GreedyAllocation.
+	Strategy Allocation
+	// Mask, if non-nil, allows sensors only where Mask[cell] is true
+	// (see T1SensorMask).
+	Mask []bool
+	// Seed is used by RandomAllocation.
+	Seed int64
+}
+
+// PlaceSensors returns m sensor cell indices chosen by the selected
+// strategy.
+func (m *Model) PlaceSensors(count int, opt PlaceOptions) ([]int, error) {
+	var alloc place.Allocator
+	switch opt.Strategy {
+	case "", GreedyAllocation:
+		alloc = &place.Greedy{}
+	case EnergyAllocation:
+		alloc = &place.EnergyCenter{}
+	case RandomAllocation:
+		alloc = &place.Random{Seed: opt.Seed}
+	case UniformAllocation:
+		alloc = &place.Uniform{}
+	case DOptimalAllocation:
+		alloc = &place.DOptimal{}
+	default:
+		return nil, fmt.Errorf("eigenmaps: unknown allocation strategy %q", opt.Strategy)
+	}
+	return m.m.PlaceSensors(count, core.PlaceOptions{
+		K:         opt.K,
+		Mask:      opt.Mask,
+		Allocator: alloc,
+	})
+}
+
+// Monitor reconstructs full thermal maps from sensor readings at run time.
+type Monitor struct {
+	mon  *core.Monitor
+	grid Grid
+}
+
+// NewMonitor builds the run-time estimator using the first k basis vectors
+// and the given sensor cells (k ≤ len(sensors)).
+func (m *Model) NewMonitor(k int, sensors []int) (*Monitor, error) {
+	mon, err := m.m.NewMonitor(k, sensors)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{mon: mon, grid: m.Grid()}, nil
+}
+
+// Estimate reconstructs the full thermal map (°C, column-stacked) from the
+// sensor readings, ordered like Sensors().
+func (mn *Monitor) Estimate(readings []float64) ([]float64, error) {
+	return mn.mon.Estimate(readings)
+}
+
+// Sample extracts this monitor's readings from a full map (simulation
+// convenience).
+func (mn *Monitor) Sample(x []float64) []float64 { return mn.mon.Sample(x) }
+
+// Sensors returns the monitored cell indices.
+func (mn *Monitor) Sensors() []int { return mn.mon.Sensors() }
+
+// K returns the subspace dimension in use.
+func (mn *Monitor) K() int { return mn.mon.K() }
+
+// ConditionNumber returns κ(Ψ̃_K), the paper's layout quality metric:
+// smaller is better, 1 is perfect.
+func (mn *Monitor) ConditionNumber() (float64, error) { return mn.mon.Cond() }
+
+// Evaluation summarizes reconstruction quality over an ensemble.
+type Evaluation struct {
+	MSE     float64 // mean squared error over all maps and cells [°C²]
+	MaxAbsC float64 // worst per-cell absolute error [°C]
+	Cond    float64 // κ(Ψ̃_K)
+	K, M    int
+}
+
+// EvalOptions parameterize Evaluate.
+type EvalOptions struct {
+	// SNRdB corrupts sensor readings with white Gaussian noise at this SNR
+	// (paper definition ‖x‖²/‖w‖²). Use +Inf or leave Noisy false for clean
+	// measurements.
+	SNRdB float64
+	Noisy bool
+	Seed  int64
+}
+
+// Evaluate reconstructs every map of the ensemble through the monitor and
+// reports the paper's MSE and MAX metrics.
+func (mn *Monitor) Evaluate(e *Ensemble, opt EvalOptions) (Evaluation, error) {
+	res, err := recon.Evaluate(mn.mon.Reconstructor(), e.ds, recon.EvalConfig{
+		SNRdB:        opt.SNRdB,
+		NoisePresent: opt.Noisy && !math.IsInf(opt.SNRdB, 1),
+		Seed:         opt.Seed,
+	})
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{MSE: res.MSE, MaxAbsC: res.MaxAbs, Cond: res.Cond, K: res.K, M: res.M}, nil
+}
+
+// BestK selects the subspace dimension K ≤ min(M, KMax) that minimizes MSE
+// on the ensemble — the paper's ε versus ε_r trade-off — and returns it with
+// its evaluation.
+func (m *Model) BestK(e *Ensemble, sensors []int, opt EvalOptions) (int, Evaluation, error) {
+	k, res, err := m.m.BestK(e.ds, sensors, recon.EvalConfig{
+		SNRdB:        opt.SNRdB,
+		NoisePresent: opt.Noisy && !math.IsInf(opt.SNRdB, 1),
+		Seed:         opt.Seed,
+	})
+	if err != nil {
+		return 0, Evaluation{}, err
+	}
+	return k, Evaluation{MSE: res.MSE, MaxAbsC: res.MaxAbs, Cond: res.Cond, K: res.K, M: res.M}, nil
+}
