@@ -22,6 +22,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/place"
 	"repro/internal/recon"
+	"repro/internal/track"
 )
 
 // benchEnv is shared across figure benches (building it is itself measured
@@ -284,6 +285,120 @@ func BenchmarkReconstructOneMap(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Concurrent batched monitoring engine ---
+
+// batchBenchSize is the snapshot count per batch in the engine benches —
+// large enough that worker fan-out amortizes, small enough to iterate.
+const batchBenchSize = 256
+
+// engineFixture builds a shared monitor plus a reusable batch of readings
+// and preallocated outputs.
+func engineFixture(b *testing.B) (*core.Monitor, [][]float64, [][]float64) {
+	b.Helper()
+	env := benchEnvGet(b)
+	const m = 16
+	sensors, err := env.PCA.PlaceSensors(m, core.PlaceOptions{K: m, Allocator: &place.Greedy{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := env.PCA.NewMonitor(8, sensors[:m])
+	if err != nil {
+		b.Fatal(err)
+	}
+	readings := make([][]float64, batchBenchSize)
+	dst := make([][]float64, batchBenchSize)
+	for i := range readings {
+		readings[i] = mon.Sample(env.DS.Map(i % env.DS.T()))
+		dst[i] = make([]float64, mon.N())
+	}
+	return mon, readings, dst
+}
+
+// BenchmarkEstimateSequential is the baseline the tentpole is measured
+// against: one goroutine reconstructing a batch snapshot by snapshot (the
+// pre-engine Estimate loop, minus its per-call allocations).
+func BenchmarkEstimateSequential(b *testing.B) {
+	mon, readings, dst := engineFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, xS := range readings {
+			if err := mon.EstimateInto(dst[j], xS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportPerSnapshot(b)
+}
+
+// BenchmarkEstimateBatchParallel is the engine path: the same batch fanned
+// out over the worker pool with pooled scratch. Throughput must be ≥2× the
+// sequential baseline at GOMAXPROCS ≥ 4 with zero steady-state allocations
+// per snapshot (the few allocs/op here are the per-batch goroutine fan-out,
+// amortized over batchBenchSize snapshots; per-snapshot zero-alloc is pinned
+// by TestReconstructIntoZeroAlloc).
+func BenchmarkEstimateBatchParallel(b *testing.B) {
+	mon, readings, dst := engineFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mon.EstimateBatchInto(dst, readings, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerSnapshot(b)
+}
+
+// BenchmarkEstimatePerSnapshotParallel drives the zero-alloc single-snapshot
+// path from GOMAXPROCS goroutines sharing one monitor — the daemon's
+// steady-state request mix. allocs/op must be 0.
+func BenchmarkEstimatePerSnapshotParallel(b *testing.B) {
+	mon, readings, _ := engineFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]float64, mon.N())
+		j := 0
+		for pb.Next() {
+			if err := mon.EstimateInto(dst, readings[j%len(readings)]); err != nil {
+				b.Fatal(err)
+			}
+			j++
+		}
+	})
+}
+
+// BenchmarkTrackerStepBatch measures the temporal (Kalman) batch path.
+func BenchmarkTrackerStepBatch(b *testing.B) {
+	env := benchEnvGet(b)
+	const m = 16
+	sensors, err := env.PCA.PlaceSensors(m, core.PlaceOptions{K: m, Allocator: &place.Greedy{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kf, err := track.NewKalman(env.PCA.Basis, 8, sensors[:m], track.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]float64, 32)
+	for i := range batch {
+		batch[i] = kf.Sample(env.DS.Map(i % env.DS.T()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kf.StepBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// reportPerSnapshot converts the whole-batch ns/op into a per-snapshot
+// figure so the sequential and batch benches compare directly.
+func reportPerSnapshot(b *testing.B) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batchBenchSize), "ns/snapshot")
+	b.ReportMetric(float64(b.N*batchBenchSize)/b.Elapsed().Seconds(), "snapshots/s")
 }
 
 // BenchmarkGreedyPlacementFullScale measures Algorithm 1 on the paper's

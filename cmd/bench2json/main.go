@@ -1,0 +1,104 @@
+// Command bench2json converts `go test -bench` text output on stdin into a
+// JSON document on stdout, seeding the BENCH_*.json performance trajectory
+// the CI benchmark smoke job uploads per commit.
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | bench2json -commit $SHA > BENCH_ci.json
+//
+// Every metric on a benchmark line is kept, including custom b.ReportMetric
+// units such as ns/snapshot and snapshots/s.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the uploaded artifact.
+type Doc struct {
+	Commit  string   `json:"commit,omitempty"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA to stamp into the document")
+	flag.Parse()
+	doc := Doc{Commit: *commit, Results: []Result{}}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				res.Package = pkg
+				doc.Results = append(doc.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   2 allocs/op   3.14 custom/unit
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := Result{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, len(res.Metrics) > 0
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkEstimateBatchParallel-8   \t  5\t 1139033 ns/op\t 4445 ns/snapshot\t 364 B/op\t 6 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if res.Name != "BenchmarkEstimateBatchParallel" {
+		t.Fatalf("name %q (GOMAXPROCS suffix must be stripped)", res.Name)
+	}
+	if res.Iters != 5 {
+		t.Fatalf("iters %d", res.Iters)
+	}
+	want := map[string]float64{"ns/op": 1139033, "ns/snapshot": 4445, "B/op": 364, "allocs/op": 6}
+	for unit, v := range want {
+		if res.Metrics[unit] != v {
+			t.Fatalf("%s = %v, want %v", unit, res.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"Benchmark",
+		"BenchmarkNoIters abc 1 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("%q should not parse", line)
+		}
+	}
+	// A sub-benchmark name with dashes inside keeps everything but the
+	// numeric suffix.
+	res, ok := parseLine("BenchmarkAblationDCTSelection/dct-zigzag-4 2 100 ns/op")
+	if !ok || res.Name != "BenchmarkAblationDCTSelection/dct-zigzag" {
+		t.Fatalf("sub-benchmark parse: %+v %v", res, ok)
+	}
+}

@@ -1,0 +1,548 @@
+// Command emapsd is the monitoring daemon: it multiplexes many independent
+// thermal monitors — different floorplans, grids, subspace dimensions and
+// sensor sets — behind one HTTP request loop, serving batched snapshot
+// reconstruction concurrently.
+//
+// Each monitor shares one cached least-squares factorization across all
+// requests; batches fan out over a worker pool, so independent clients and
+// independent monitors proceed in parallel. Trained models are cached by
+// training configuration, so two monitors over the same ensemble (say, a
+// K=8/M=16 layout and a K=4/M=8 fallback) pay for simulation and training
+// once.
+//
+//	emapsd -addr :8760
+//
+//	POST /v1/monitors                  create a monitor (trains on demand)
+//	GET  /v1/monitors                  list monitors and their counters
+//	DELETE /v1/monitors/{id}           retire a monitor
+//	POST /v1/monitors/{id}/estimate    batched least-squares reconstruction
+//	POST /v1/monitors/{id}/track       batched Kalman-smoothed tracking
+//	POST /v1/monitors/{id}/simulate    estimate simulated (optionally noisy)
+//	                                   snapshots from the training ensemble
+//	GET  /healthz                      liveness
+//	GET  /v1/stats                     request/snapshot totals
+//
+// Degenerate requests — M < K, duplicate or out-of-range sensors, NaN or Inf
+// readings, wrong-length vectors — are rejected with 400s; they never panic
+// the daemon or poison other monitors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/track"
+)
+
+func main() {
+	addr := flag.String("addr", ":8760", "listen address")
+	maxSnap := flag.Int("max-batch", 4096, "largest accepted snapshot batch")
+	maxModels := flag.Int("max-models", 32, "largest number of cached trained models")
+	flag.Parse()
+	srv := newServer(*maxSnap)
+	srv.maxModels = *maxModels
+	log.Printf("emapsd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// trainKey identifies one trained model in the cache.
+type trainKey struct {
+	Floorplan string
+	W, H      int
+	Snapshots int
+	Seed      int64
+	KMax      int
+}
+
+// modelEntry is a lazily trained model; once.Do gates training so concurrent
+// creates for the same configuration train exactly once.
+type modelEntry struct {
+	once  sync.Once
+	model *core.Model
+	ds    *dataset.Dataset
+	err   error
+}
+
+// monitorEntry is one live monitor behind the request loop.
+type monitorEntry struct {
+	id        string
+	key       trainKey
+	mon       *core.Monitor
+	kf        *track.Kalman // nil unless tracking was requested
+	ds        *dataset.Dataset
+	snapshots atomic.Int64
+}
+
+type server struct {
+	maxBatch  int
+	maxModels int // training-config cache cap; keys are client-controlled
+
+	mu       sync.Mutex
+	models   map[trainKey]*modelEntry
+	monitors map[string]*monitorEntry
+	nextID   int
+
+	requests  atomic.Int64
+	snapshots atomic.Int64
+}
+
+func newServer(maxBatch int) *server {
+	return &server{
+		maxBatch:  maxBatch,
+		maxModels: 32,
+		models:    make(map[trainKey]*modelEntry),
+		monitors:  make(map[string]*monitorEntry),
+	}
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	switch {
+	case r.URL.Path == "/healthz":
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case r.URL.Path == "/v1/stats" && r.Method == http.MethodGet:
+		s.handleStats(w)
+	case r.URL.Path == "/v1/monitors" && r.Method == http.MethodPost:
+		s.handleCreate(w, r)
+	case r.URL.Path == "/v1/monitors" && r.Method == http.MethodGet:
+		s.handleList(w)
+	case strings.HasPrefix(r.URL.Path, "/v1/monitors/"):
+		s.handleMonitor(w, r)
+	default:
+		httpError(w, http.StatusNotFound, "no such route")
+	}
+}
+
+// --- create ---
+
+type createRequest struct {
+	Floorplan string  `json:"floorplan"` // "t1" (default) or "athlon"
+	GridW     int     `json:"grid_w"`    // default 16
+	GridH     int     `json:"grid_h"`    // default 14
+	Snapshots int     `json:"snapshots"` // training ensemble size, default 150
+	Seed      int64   `json:"seed"`
+	KMax      int     `json:"kmax"`     // default 12
+	K         int     `json:"k"`        // subspace dimension, default min(8, KMax)
+	M         int     `json:"m"`        // sensor budget, default K (ignored with explicit sensors)
+	Strategy  string  `json:"strategy"` // greedy (default), energy, random, uniform, d-optimal
+	Sensors   []int   `json:"sensors"`  // explicit sensor cells; overrides M/strategy
+	Tracking  bool    `json:"tracking"` // also build a Kalman tracker
+	Rho       float64 `json:"rho"`      // tracker AR(1) coefficient
+}
+
+type createResponse struct {
+	ID      string  `json:"id"`
+	N       int     `json:"n"`
+	K       int     `json:"k"`
+	M       int     `json:"m"`
+	Sensors []int   `json:"sensors"`
+	Cond    float64 `json:"cond"`
+}
+
+func (cr *createRequest) defaults() {
+	if cr.Floorplan == "" {
+		cr.Floorplan = "t1"
+	}
+	if cr.GridW == 0 {
+		cr.GridW = 16
+	}
+	if cr.GridH == 0 {
+		cr.GridH = 14
+	}
+	if cr.Snapshots == 0 {
+		cr.Snapshots = 150
+	}
+	if cr.KMax == 0 {
+		cr.KMax = 12
+	}
+	if cr.K == 0 {
+		cr.K = 8
+		if cr.K > cr.KMax {
+			cr.K = cr.KMax
+		}
+	}
+	if cr.M == 0 {
+		cr.M = cr.K
+	}
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	req.defaults()
+	var fp *floorplan.Floorplan
+	switch req.Floorplan {
+	case "t1":
+		fp = floorplan.UltraSparcT1()
+	case "athlon":
+		fp = floorplan.AthlonDualCore()
+	default:
+		httpError(w, http.StatusBadRequest, "unknown floorplan %q (want t1 or athlon)", req.Floorplan)
+		return
+	}
+	key := trainKey{Floorplan: req.Floorplan, W: req.GridW, H: req.GridH,
+		Snapshots: req.Snapshots, Seed: req.Seed, KMax: req.KMax}
+	entry, ok := s.modelFor(key)
+	if !ok {
+		httpError(w, http.StatusTooManyRequests,
+			"model cache full (%d configurations); reuse an existing training configuration", s.maxModels)
+		return
+	}
+	entry.once.Do(func() {
+		entry.ds, entry.err = dataset.Generate(fp, dataset.GenConfig{
+			Grid:      floorplan.Grid{W: key.W, H: key.H},
+			Snapshots: key.Snapshots,
+			Seed:      key.Seed,
+			Power:     power.Config{LoadCoupling: 0.75},
+		})
+		if entry.err == nil {
+			entry.model, entry.err = core.Train(entry.ds, core.TrainOptions{KMax: key.KMax, Seed: key.Seed})
+		}
+		if entry.err != nil {
+			// Evict so the next request with this key retries instead of
+			// being served the cached failure forever.
+			s.mu.Lock()
+			if s.models[key] == entry {
+				delete(s.models, key)
+			}
+			s.mu.Unlock()
+		}
+	})
+	if entry.err != nil {
+		httpError(w, http.StatusBadRequest, "training failed: %v", entry.err)
+		return
+	}
+	sensors := req.Sensors
+	if len(sensors) == 0 {
+		var alloc place.Allocator
+		switch req.Strategy {
+		case "", "greedy":
+			alloc = &place.Greedy{}
+		case "energy":
+			alloc = &place.EnergyCenter{}
+		case "random":
+			alloc = &place.Random{Seed: req.Seed}
+		case "uniform":
+			alloc = &place.Uniform{}
+		case "d-optimal":
+			alloc = &place.DOptimal{}
+		default:
+			httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+			return
+		}
+		var err error
+		sensors, err = entry.model.PlaceSensors(req.M, core.PlaceOptions{K: req.K, Allocator: alloc})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "placement failed: %v", err)
+			return
+		}
+	}
+	mon, err := entry.model.NewMonitor(req.K, sensors)
+	if err != nil {
+		// M < K, duplicate or out-of-range sensors, rank deficiency.
+		httpError(w, http.StatusBadRequest, "monitor rejected: %v", err)
+		return
+	}
+	var kf *track.Kalman
+	if req.Tracking {
+		kf, err = track.NewKalman(entry.model.Basis, req.K, sensors, track.Config{Rho: req.Rho})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "tracker rejected: %v", err)
+			return
+		}
+	}
+	cond, err := mon.Cond()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "cond: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("mon-%d", s.nextID)
+	s.monitors[id] = &monitorEntry{id: id, key: key, mon: mon, kf: kf, ds: entry.ds}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, createResponse{
+		ID: id, N: mon.N(), K: mon.K(), M: len(mon.Sensors()),
+		Sensors: mon.Sensors(), Cond: cond,
+	})
+}
+
+// modelFor returns the (possibly still untrained) cache entry for key. It
+// reports false when the cache is at capacity and key is not present —
+// training configurations are client-controlled, so the cache must not grow
+// without bound.
+func (s *server) modelFor(key trainKey) (*modelEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.models[key]
+	if !ok {
+		if len(s.models) >= s.maxModels {
+			return nil, false
+		}
+		entry = &modelEntry{}
+		s.models[key] = entry
+	}
+	return entry, true
+}
+
+// --- list / stats / delete ---
+
+type monitorInfo struct {
+	ID        string `json:"id"`
+	Floorplan string `json:"floorplan"`
+	GridW     int    `json:"grid_w"`
+	GridH     int    `json:"grid_h"`
+	K         int    `json:"k"`
+	M         int    `json:"m"`
+	Tracking  bool   `json:"tracking"`
+	Snapshots int64  `json:"snapshots_served"`
+}
+
+func (s *server) handleList(w http.ResponseWriter) {
+	s.mu.Lock()
+	infos := make([]monitorInfo, 0, len(s.monitors))
+	for _, e := range s.monitors {
+		infos = append(infos, monitorInfo{
+			ID: e.id, Floorplan: e.key.Floorplan, GridW: e.key.W, GridH: e.key.H,
+			K: e.mon.K(), M: len(e.mon.Sensors()), Tracking: e.kf != nil,
+			Snapshots: e.snapshots.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"monitors": infos})
+}
+
+func (s *server) handleStats(w http.ResponseWriter) {
+	s.mu.Lock()
+	monitors := len(s.monitors)
+	models := len(s.models)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":  s.requests.Load(),
+		"snapshots": s.snapshots.Load(),
+		"monitors":  monitors,
+		"models":    models,
+	})
+}
+
+// --- per-monitor routes ---
+
+func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/monitors/")
+	id, action, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	entry := s.monitors[id]
+	s.mu.Unlock()
+	if entry == nil {
+		httpError(w, http.StatusNotFound, "no monitor %q", id)
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodDelete:
+		s.mu.Lock()
+		delete(s.monitors, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	case action == "estimate" && r.Method == http.MethodPost:
+		s.handleEstimate(w, r, entry)
+	case action == "track" && r.Method == http.MethodPost:
+		s.handleTrack(w, r, entry)
+	case action == "simulate" && r.Method == http.MethodPost:
+		s.handleSimulate(w, r, entry)
+	default:
+		httpError(w, http.StatusNotFound, "no route %s %s", r.Method, r.URL.Path)
+	}
+}
+
+type estimateRequest struct {
+	Readings    [][]float64 `json:"readings"`
+	Workers     int         `json:"workers"`
+	IncludeMaps bool        `json:"include_maps"`
+}
+
+// snapshotSummary is the per-snapshot digest a thermal manager consumes.
+type snapshotSummary struct {
+	MaxC    float64   `json:"max_c"`
+	MinC    float64   `json:"min_c"`
+	MeanC   float64   `json:"mean_c"`
+	MaxCell int       `json:"max_cell"`
+	Map     []float64 `json:"map,omitempty"`
+}
+
+func summarize(x []float64, includeMap bool) snapshotSummary {
+	lo, hi := mat.MinMax(x)
+	maxCell := 0
+	for i, v := range x {
+		if v == hi {
+			maxCell = i
+			break
+		}
+	}
+	sum := snapshotSummary{MaxC: hi, MinC: lo, MeanC: mat.Mean(x), MaxCell: maxCell}
+	if includeMap {
+		sum.Map = x
+	}
+	return sum
+}
+
+func (s *server) checkBatch(w http.ResponseWriter, readings [][]float64) bool {
+	if len(readings) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return false
+	}
+	if len(readings) > s.maxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(readings), s.maxBatch)
+		return false
+	}
+	return true
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if !s.checkBatch(w, req.Readings) {
+		return
+	}
+	maps, err := e.mon.EstimateBatch(req.Readings, req.Workers)
+	if err != nil {
+		// Wrong-length vectors, NaN/Inf readings: client error, never a panic.
+		httpError(w, http.StatusBadRequest, "estimate: %v", err)
+		return
+	}
+	s.snapshots.Add(int64(len(maps)))
+	e.snapshots.Add(int64(len(maps)))
+	out := make([]snapshotSummary, len(maps))
+	for i, x := range maps {
+		out[i] = summarize(x, req.IncludeMaps)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
+	if e.kf == nil {
+		httpError(w, http.StatusBadRequest, "monitor %s has no tracker (create with \"tracking\": true)", e.id)
+		return
+	}
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if !s.checkBatch(w, req.Readings) {
+		return
+	}
+	maps, err := e.kf.StepBatch(req.Readings)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "track: %v", err)
+		return
+	}
+	s.snapshots.Add(int64(len(maps)))
+	e.snapshots.Add(int64(len(maps)))
+	out := make([]snapshotSummary, len(maps))
+	for i, x := range maps {
+		out[i] = summarize(x, req.IncludeMaps)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":     out,
+		"steps":       e.kf.Steps(),
+		"uncertainty": e.kf.CovarianceTrace(),
+	})
+}
+
+type simulateRequest struct {
+	Count   int     `json:"count"`   // snapshots to draw, default 16
+	SNRdB   float64 `json:"snr_db"`  // 0 = noiseless
+	Seed    int64   `json:"seed"`    // noise seed
+	Workers int     `json:"workers"` // estimation worker pool
+}
+
+// handleSimulate drives the noisy-monitoring scenario end to end on the
+// server: sample maps from the training ensemble, corrupt the sensor
+// readings at the requested SNR, reconstruct, and report the error against
+// ground truth.
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
+	var req simulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Count == 0 {
+		req.Count = 16
+	}
+	if req.Count < 0 || req.Count > s.maxBatch {
+		httpError(w, http.StatusBadRequest, "count %d outside [1,%d]", req.Count, s.maxBatch)
+		return
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	rec := e.mon.Reconstructor()
+	meanS := rec.Sample(e.ds.Mean()) // loop-invariant: training mean at the sensors
+	truth := make([][]float64, req.Count)
+	readings := make([][]float64, req.Count)
+	for i := 0; i < req.Count; i++ {
+		x := e.ds.Map(i % e.ds.T())
+		truth[i] = x
+		xS := rec.Sample(x)
+		if req.SNRdB != 0 && !math.IsInf(req.SNRdB, 1) {
+			centered := mat.SubVec(xS, meanS)
+			wn := noise.AtSNR(rng, centered, metrics.FromDB(req.SNRdB))
+			xS = mat.AddVec(xS, wn)
+		}
+		readings[i] = xS
+	}
+	maps, err := e.mon.EstimateBatch(readings, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "estimate: %v", err)
+		return
+	}
+	s.snapshots.Add(int64(len(maps)))
+	e.snapshots.Add(int64(len(maps)))
+	var ens metrics.Ensemble
+	out := make([]snapshotSummary, len(maps))
+	for i, x := range maps {
+		ens.Add(truth[i], x)
+		out[i] = summarize(x, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results": out,
+		"mse_c2":  ens.MSE(),
+		"max_abs": ens.MaxAbs(),
+	})
+}
+
+// --- plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("emapsd: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

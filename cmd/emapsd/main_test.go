@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// tiny training config so tests stay fast; the same key is reused across
+// tests to exercise the model cache.
+const createBody = `{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":80,"seed":3,"kmax":8,"k":4,"m":8%s}`
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path string, body string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+func createMonitor(t *testing.T, ts *httptest.Server, extra string) createResponse {
+	t.Helper()
+	var cr createResponse
+	resp := doJSON(t, ts, http.MethodPost, "/v1/monitors", fmt.Sprintf(createBody, extra), &cr)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d (%+v)", resp.StatusCode, cr)
+	}
+	return cr
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(newServer(1024))
+	defer ts.Close()
+
+	var health map[string]string
+	if resp := doJSON(t, ts, http.MethodGet, "/healthz", "", &health); resp.StatusCode != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, health)
+	}
+
+	cr := createMonitor(t, ts, "")
+	if cr.K != 4 || cr.M != 8 || len(cr.Sensors) != 8 || cr.N != 120 {
+		t.Fatalf("create response %+v", cr)
+	}
+
+	// Estimate a batch built from constant readings (valid shape).
+	readings := make([][]float64, 6)
+	for i := range readings {
+		readings[i] = make([]float64, cr.M)
+		for j := range readings[i] {
+			readings[i][j] = 45 + float64(i)
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"readings": readings, "include_maps": true})
+	var est struct {
+		Results []snapshotSummary `json:"results"`
+	}
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/estimate", string(body), &est); resp.StatusCode != 200 {
+		t.Fatalf("estimate status %d", resp.StatusCode)
+	}
+	if len(est.Results) != len(readings) {
+		t.Fatalf("estimate returned %d results", len(est.Results))
+	}
+	for i, r := range est.Results {
+		if len(r.Map) != cr.N || math.IsNaN(r.MaxC) || r.MaxC < r.MinC {
+			t.Fatalf("result %d malformed: %+v", i, r)
+		}
+	}
+
+	// Simulate: server-side noisy monitoring against ground truth.
+	var sim struct {
+		MSE    float64 `json:"mse_c2"`
+		MaxAbs float64 `json:"max_abs"`
+	}
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/simulate",
+		`{"count":8,"snr_db":20,"seed":9}`, &sim); resp.StatusCode != 200 {
+		t.Fatalf("simulate status %d", resp.StatusCode)
+	}
+	if sim.MSE <= 0 || math.IsNaN(sim.MSE) || sim.MaxAbs <= 0 {
+		t.Fatalf("simulate metrics %+v", sim)
+	}
+
+	// Stats reflect the served snapshots.
+	var stats struct {
+		Requests  int64 `json:"requests"`
+		Snapshots int64 `json:"snapshots"`
+		Monitors  int   `json:"monitors"`
+	}
+	doJSON(t, ts, http.MethodGet, "/v1/stats", "", &stats)
+	if stats.Snapshots != int64(len(readings)+8) || stats.Monitors != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+
+	// Delete and verify the monitor is gone.
+	if resp := doJSON(t, ts, http.MethodDelete, "/v1/monitors/"+cr.ID, "", nil); resp.StatusCode != 200 {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/estimate", string(body), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("estimate after delete: status %d", resp.StatusCode)
+	}
+}
+
+func TestDaemonRejectsDegenerateRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(64))
+	defer ts.Close()
+	cr := createMonitor(t, ts, "")
+
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+	}{
+		{"M<K", "/v1/monitors", fmt.Sprintf(createBody, `,"sensors":[1,2,3]`), 400},
+		{"duplicate sensors", "/v1/monitors", fmt.Sprintf(createBody, `,"sensors":[1,2,3,3,5]`), 400},
+		{"out-of-range sensor", "/v1/monitors", fmt.Sprintf(createBody, `,"sensors":[1,2,3,99999]`), 400},
+		{"bad floorplan", "/v1/monitors", `{"floorplan":"pentium"}`, 400},
+		{"bad strategy", "/v1/monitors", fmt.Sprintf(createBody, `,"strategy":"psychic"`), 400},
+		{"wrong length", "/v1/monitors/" + cr.ID + "/estimate",
+			`{"readings":[[45,45]]}`, 400},
+		{"empty batch", "/v1/monitors/" + cr.ID + "/estimate", `{"readings":[]}`, 400},
+		{"oversized batch", "/v1/monitors/" + cr.ID + "/estimate",
+			func() string {
+				big := make([][]float64, 65)
+				for i := range big {
+					big[i] = make([]float64, 8)
+				}
+				b, _ := json.Marshal(map[string]any{"readings": big})
+				return string(b)
+			}(), 400},
+		{"track without tracker", "/v1/monitors/" + cr.ID + "/track",
+			`{"readings":[[45,45,45,45,45,45,45,45]]}`, 400},
+		{"unknown monitor", "/v1/monitors/mon-999/estimate", `{"readings":[[1]]}`, 404},
+	}
+	for _, tc := range cases {
+		var body map[string]any
+		resp := doJSON(t, ts, http.MethodPost, tc.path, tc.body, &body)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, resp.StatusCode, tc.wantStatus, body)
+		}
+	}
+}
+
+// TestDaemonRejectsNaNJSON covers the JSON path where NaN arrives as a quoted
+// token Go's decoder refuses — and the numeric Inf-via-huge-exponent path
+// that decodes fine and must be caught by the reconstruction layer.
+func TestDaemonRejectsNaNJSON(t *testing.T) {
+	ts := httptest.NewServer(newServer(64))
+	defer ts.Close()
+	cr := createMonitor(t, ts, "")
+	var body map[string]any
+	resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/estimate",
+		`{"readings":[[45,45,45,45,45,45,45,1e999]]}`, &body)
+	if resp.StatusCode != 400 {
+		t.Fatalf("Inf reading: status %d (%v)", resp.StatusCode, body)
+	}
+}
+
+func TestDaemonModelCacheCap(t *testing.T) {
+	srv := newServer(64)
+	srv.maxModels = 1
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	createMonitor(t, ts, "") // fills the single cache slot
+	var body map[string]string
+	resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		fmt.Sprintf(createBody, `,"seed":99`), &body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap create: status %d (%v)", resp.StatusCode, body)
+	}
+	// The cached configuration still works.
+	createMonitor(t, ts, "")
+}
+
+func TestDaemonMultiplexesMonitorsConcurrently(t *testing.T) {
+	// Two floorplans, three K/M configurations each, hammered from parallel
+	// clients: the cross-floorplan + noisy-monitoring scenarios concurrently.
+	ts := httptest.NewServer(newServer(1024))
+	defer ts.Close()
+
+	type spec struct{ extra string }
+	specs := []spec{
+		{``},
+		{`,"tracking":true`},
+		{`,"strategy":"energy"`},
+	}
+	var ids []string
+	var kfIDs []string
+	for _, fp := range []string{"t1", "athlon"} {
+		for _, sp := range specs {
+			body := fmt.Sprintf(`{"floorplan":%q,"grid_w":12,"grid_h":10,"snapshots":80,"seed":3,"kmax":8,"k":4,"m":8%s}`, fp, sp.extra)
+			var cr createResponse
+			resp := doJSON(t, ts, http.MethodPost, "/v1/monitors", body, &cr)
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("create %s%s: status %d", fp, sp.extra, resp.StatusCode)
+			}
+			ids = append(ids, cr.ID)
+			if sp.extra == `,"tracking":true` {
+				kfIDs = append(kfIDs, cr.ID)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(ids)*4)
+	for _, id := range ids {
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(id string, c int) {
+				defer wg.Done()
+				var sim struct {
+					MSE float64 `json:"mse_c2"`
+				}
+				body := fmt.Sprintf(`{"count":12,"snr_db":20,"seed":%d,"workers":2}`, c)
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/monitors/"+id+"/simulate", bytes.NewReader([]byte(body)))
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errCh <- fmt.Errorf("%s: status %d", id, resp.StatusCode)
+					return
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil {
+					errCh <- err
+					return
+				}
+				if sim.MSE <= 0 || math.IsNaN(sim.MSE) {
+					errCh <- fmt.Errorf("%s: bad MSE %v", id, sim.MSE)
+				}
+			}(id, c)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Tracked monitors also smooth batches through their Kalman filter.
+	for _, id := range kfIDs {
+		readings := make([][]float64, 5)
+		for i := range readings {
+			readings[i] = make([]float64, 8)
+			for j := range readings[i] {
+				readings[i][j] = 44 + float64(i)
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"readings": readings})
+		var tr struct {
+			Results     []snapshotSummary `json:"results"`
+			Steps       int               `json:"steps"`
+			Uncertainty float64           `json:"uncertainty"`
+		}
+		if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+id+"/track", string(body), &tr); resp.StatusCode != 200 {
+			t.Fatalf("track %s: status %d", id, resp.StatusCode)
+		}
+		if len(tr.Results) != 5 || tr.Steps < 5 || tr.Uncertainty <= 0 {
+			t.Fatalf("track %s: %+v", id, tr)
+		}
+	}
+
+	// The model cache collapsed the six monitors onto two trained models.
+	var stats struct {
+		Models   int `json:"models"`
+		Monitors int `json:"monitors"`
+	}
+	doJSON(t, ts, http.MethodGet, "/v1/stats", "", &stats)
+	if stats.Models != 2 || stats.Monitors != 6 {
+		t.Fatalf("stats %+v (want 2 models, 6 monitors)", stats)
+	}
+}

@@ -51,8 +51,18 @@ func (m *Model) NewTracker(k int, sensors []int, opt TrackerOptions) (*Tracker, 
 }
 
 // Step fuses one reading vector (°C) and returns the current full-map
-// estimate.
+// estimate. The tracker serializes concurrent callers internally, so one
+// tracker can sit behind a multi-goroutine request loop.
 func (t *Tracker) Step(readings []float64) ([]float64, error) { return t.kf.Step(readings) }
+
+// StepBatch smooths a streamed batch of reading vectors in arrival order
+// under one lock acquisition, returning the full-map estimate after each
+// step. This is the temporal (Kalman) counterpart of Monitor.EstimateBatch:
+// batches from different trackers can be processed concurrently while each
+// tracker's own snapshots stay strictly ordered.
+func (t *Tracker) StepBatch(readings [][]float64) ([][]float64, error) {
+	return t.kf.StepBatch(readings)
+}
 
 // Sample extracts the tracker's sensor readings from a full map.
 func (t *Tracker) Sample(x []float64) []float64 { return t.kf.Sample(x) }

@@ -82,18 +82,31 @@ func (b *Basis) Coefficients(x []float64, k int) ([]float64, error) {
 // Synthesize maps coefficients back to a thermal map:
 // x̂ = mean + Ψ_K α (equation (1) with the mean restored).
 func (b *Basis) Synthesize(alpha []float64) []float64 {
+	out := make([]float64, b.N())
+	b.SynthesizeInto(out, alpha)
+	return out
+}
+
+// SynthesizeInto is the allocation-free form of Synthesize: it writes
+// mean + Ψ_K α into dst (length N). It walks Ψ row-major — one pass over
+// contiguous memory — so it is also the fast path for the per-snapshot
+// reconstruction loop.
+func (b *Basis) SynthesizeInto(dst, alpha []float64) {
 	k := len(alpha)
 	if k > b.KMax() {
 		panic(fmt.Sprintf("basis: %d coefficients for KMax %d", k, b.KMax()))
 	}
-	out := mat.CopyVec(b.Mean)
-	for j := 0; j < k; j++ {
-		a := alpha[j]
-		for i := 0; i < b.N(); i++ {
-			out[i] += a * b.Psi.At(i, j)
-		}
+	if len(dst) != b.N() {
+		panic(fmt.Sprintf("basis: destination length %d != N %d", len(dst), b.N()))
 	}
-	return out
+	for i := range dst {
+		row := b.Psi.Row(i)
+		s := b.Mean[i]
+		for j := 0; j < k; j++ {
+			s += alpha[j] * row[j]
+		}
+		dst[i] = s
+	}
 }
 
 // Approximate is the K-term approximation x̂ = mean + Ψ_K Ψ_Kᵀ (x − mean):

@@ -159,7 +159,9 @@ func (mdl *Model) PlaceSensors(m int, opt PlaceOptions) ([]int, error) {
 }
 
 // Monitor is the run-time estimator: it owns a reconstructor for a fixed
-// sensor set and subspace dimension.
+// sensor set and subspace dimension. It is safe for concurrent use: the
+// least-squares factorization is precomputed at construction and shared
+// read-only across all estimating goroutines.
 type Monitor struct {
 	rec *recon.Reconstructor
 }
@@ -179,6 +181,28 @@ func (mdl *Model) NewMonitor(k int, sensors []int) (*Monitor, error) {
 func (m *Monitor) Estimate(readings []float64) ([]float64, error) {
 	return m.rec.Reconstruct(readings)
 }
+
+// EstimateInto is the allocation-free form of Estimate: the map is written
+// into dst (length N) and scratch comes from the monitor's pool.
+func (m *Monitor) EstimateInto(dst, readings []float64) error {
+	return m.rec.ReconstructInto(dst, readings)
+}
+
+// EstimateBatch reconstructs one map per reading vector, fanning the batch
+// out over workers goroutines (0 = NumCPU).
+func (m *Monitor) EstimateBatch(readings [][]float64, workers int) ([][]float64, error) {
+	return m.rec.ReconstructBatch(readings, workers)
+}
+
+// EstimateBatchInto is the allocation-free batch form; dst[i] (length N each)
+// receives the estimate for readings[i].
+func (m *Monitor) EstimateBatchInto(dst, readings [][]float64, workers int) error {
+	return m.rec.ReconstructBatchInto(dst, readings, workers)
+}
+
+// N returns the number of cells per estimated map (the dst size EstimateInto
+// expects).
+func (m *Monitor) N() int { return m.rec.N() }
 
 // Sample extracts this monitor's sensor readings from a full map (testing
 // and simulation convenience).

@@ -12,10 +12,22 @@ const parallelThreshold = 1 << 22
 // parallelRows splits [0, n) into contiguous chunks and runs fn on each from
 // its own goroutine. fn must only write to rows in its own range.
 func parallelRows(n int, fn func(lo, hi int)) {
+	ParallelChunks(n, 0, fn)
+}
+
+// ParallelChunks splits [0, n) into contiguous chunks and runs fn on each
+// from its own goroutine, blocking until all complete. workers caps the
+// goroutine count (0 or negative means runtime.NumCPU()); it is further
+// clamped to n. fn must only touch indices in its own [lo, hi) range. With a
+// single worker fn runs on the calling goroutine with no synchronization
+// overhead.
+func ParallelChunks(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.NumCPU()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > n {
 		workers = n
 	}

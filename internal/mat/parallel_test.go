@@ -2,6 +2,7 @@ package mat
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -91,4 +92,22 @@ func TestParallelRowsCoversRange(t *testing.T) {
 	if !called {
 		t.Fatal("fn not called for n=1")
 	}
+}
+
+func TestParallelChunksCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 37
+		hit := make([]int32, n)
+		ParallelChunks(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hit[i], 1)
+			}
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+	ParallelChunks(0, 4, func(lo, hi int) { t.Fatal("fn must not run for n=0") })
 }

@@ -133,22 +133,53 @@ func (f *QR) QTVec(b []float64) []float64 {
 // Solve returns the least-squares solution x of A·x ≈ b.
 // It returns ErrSingular if R is rank-deficient to working precision.
 func (f *QR) Solve(b []float64) ([]float64, error) {
-	y := f.QTVec(b)
-	x := y[:f.n]
-	// Back-substitution on R.
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b, make([]float64, f.m)); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto is the allocation-free form of Solve: it writes the length-n
+// least-squares solution of A·x ≈ b into dst, using work (length m) as
+// scratch. b is not modified. It returns ErrSingular if R is rank-deficient
+// to working precision.
+func (f *QR) SolveInto(dst, b, work []float64) error {
+	if len(b) != f.m || len(work) != f.m {
+		panic(ErrShape)
+	}
+	if len(dst) != f.n {
+		panic(ErrShape)
+	}
+	// y = Qᵀb, computed in work (same reflector sweep as QTVec).
+	copy(work, b)
+	for k := 0; k < f.n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.reflector(i, k) * work[i]
+		}
+		s = -s / f.tau[k]
+		for i := k; i < f.m; i++ {
+			work[i] += s * f.reflector(i, k)
+		}
+	}
+	// Back-substitution on R into dst.
 	tol := f.rankTol()
 	for i := f.n - 1; i >= 0; i-- {
 		d := f.qr.At(i, i)
 		if math.Abs(d) <= tol {
-			return nil, ErrSingular
+			return ErrSingular
 		}
-		s := x[i]
+		s := work[i]
 		for j := i + 1; j < f.n; j++ {
-			s -= f.qr.At(i, j) * x[j]
+			s -= f.qr.At(i, j) * dst[j]
 		}
-		x[i] = s / d
+		dst[i] = s / d
 	}
-	return CopyVec(x), nil
+	return nil
 }
 
 // Rank returns the numerical rank estimated from R's diagonal.

@@ -7,7 +7,9 @@ package recon
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/basis"
 	"repro/internal/dataset"
@@ -16,17 +18,26 @@ import (
 	"repro/internal/noise"
 )
 
-// Errors returned by New.
+// Errors returned by New and the reconstruction entry points.
 var (
 	// ErrTooFewSensors reports M < K (Theorem 1 requires M ≥ K).
 	ErrTooFewSensors = errors.New("recon: fewer sensors than basis dimension")
 	// ErrRankDeficient reports rank(Ψ̃_K) < K: the sensor set cannot observe
 	// the subspace.
 	ErrRankDeficient = errors.New("recon: sensing matrix is rank deficient")
+	// ErrDuplicateSensor reports the same cell listed twice in a sensor set:
+	// a duplicated row makes the layout silently worse-conditioned than its
+	// nominal M suggests, so it is rejected up front.
+	ErrDuplicateSensor = errors.New("recon: duplicate sensor index")
+	// ErrBadReading reports a NaN or ±Inf sensor reading; least squares would
+	// not fail on it, it would silently poison the whole reconstructed map.
+	ErrBadReading = errors.New("recon: non-finite sensor reading")
 )
 
 // Reconstructor solves min_α ‖x_S − Ψ̃_K α‖₂ and synthesizes x̃ = mean + Ψ_K α̂.
-// It is safe for concurrent use after construction.
+// It is safe for concurrent use after construction: the factorization is
+// read-only and per-call scratch comes from an internal pool, so any number
+// of goroutines may call Reconstruct/ReconstructInto on one shared instance.
 type Reconstructor struct {
 	b       *basis.Basis
 	k       int
@@ -35,6 +46,27 @@ type Reconstructor struct {
 	psiTilde *mat.Matrix // M×K rows of Ψ_K at sensor locations
 	qr       *mat.QR
 	meanS    []float64 // mean map sampled at the sensors
+
+	scratch sync.Pool // *solveScratch, reused across ReconstructInto calls
+}
+
+// solveScratch holds the per-call work buffers of one least-squares solve so
+// the steady-state hot path allocates nothing.
+type solveScratch struct {
+	centered []float64 // M: readings minus the training mean
+	work     []float64 // M: reflector-sweep workspace
+	alpha    []float64 // K: solved coefficients
+}
+
+func (r *Reconstructor) getScratch() *solveScratch {
+	if sc, ok := r.scratch.Get().(*solveScratch); ok {
+		return sc
+	}
+	return &solveScratch{
+		centered: make([]float64, len(r.sensors)),
+		work:     make([]float64, len(r.sensors)),
+		alpha:    make([]float64, r.k),
+	}
 }
 
 // New builds a reconstructor for the first k basis vectors observed at the
@@ -47,10 +79,15 @@ func New(b *basis.Basis, k int, sensors []int) (*Reconstructor, error) {
 	if len(sensors) < k {
 		return nil, fmt.Errorf("%w: M=%d, K=%d", ErrTooFewSensors, len(sensors), k)
 	}
+	seen := make(map[int]struct{}, len(sensors))
 	for _, s := range sensors {
 		if s < 0 || s >= b.N() {
 			return nil, fmt.Errorf("recon: sensor index %d outside [0,%d)", s, b.N())
 		}
+		if _, dup := seen[s]; dup {
+			return nil, fmt.Errorf("%w: cell %d", ErrDuplicateSensor, s)
+		}
+		seen[s] = struct{}{}
 	}
 	psiK, err := b.PsiK(k)
 	if err != nil {
@@ -81,6 +118,9 @@ func (r *Reconstructor) K() int { return r.k }
 // M returns the number of sensors.
 func (r *Reconstructor) M() int { return len(r.sensors) }
 
+// N returns the number of cells per reconstructed map.
+func (r *Reconstructor) N() int { return r.b.N() }
+
 // Sensors returns a copy of the sensor cell indices.
 func (r *Reconstructor) Sensors() []int { return append([]int(nil), r.sensors...) }
 
@@ -93,29 +133,77 @@ func (r *Reconstructor) Cond() (float64, error) {
 	return mat.Cond(r.psiTilde)
 }
 
-// Coefficients solves the least-squares problem for the (possibly noisy)
-// sensor readings xS (length M, °C) and returns α̂.
-func (r *Reconstructor) Coefficients(xS []float64) ([]float64, error) {
+// checkReadings validates shape and finiteness of a reading vector.
+func (r *Reconstructor) checkReadings(xS []float64) error {
 	if len(xS) != len(r.sensors) {
-		return nil, fmt.Errorf("recon: %d readings for %d sensors", len(xS), len(r.sensors))
+		return fmt.Errorf("recon: %d readings for %d sensors", len(xS), len(r.sensors))
 	}
-	centered := mat.SubVec(xS, r.meanS)
-	alpha, err := r.qr.Solve(centered)
+	for i, v := range xS {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: reading %d is %v", ErrBadReading, i, v)
+		}
+	}
+	return nil
+}
+
+// Coefficients solves the least-squares problem for the (possibly noisy)
+// sensor readings xS (length M, °C) and returns α̂. Non-finite readings are
+// rejected with ErrBadReading.
+func (r *Reconstructor) Coefficients(xS []float64) ([]float64, error) {
+	if err := r.checkReadings(xS); err != nil {
+		return nil, err
+	}
+	alpha := make([]float64, r.k)
+	sc := r.getScratch()
+	err := r.coefficientsInto(alpha, xS, sc)
+	r.scratch.Put(sc)
 	if err != nil {
-		return nil, fmt.Errorf("recon: least squares: %w", err)
+		return nil, err
 	}
 	return alpha, nil
+}
+
+// coefficientsInto solves for α̂ into dst (length K) using sc's buffers.
+// The readings must already have passed checkReadings.
+func (r *Reconstructor) coefficientsInto(dst, xS []float64, sc *solveScratch) error {
+	for i, v := range xS {
+		sc.centered[i] = v - r.meanS[i]
+	}
+	if err := r.qr.SolveInto(dst, sc.centered, sc.work); err != nil {
+		return fmt.Errorf("recon: least squares: %w", err)
+	}
+	return nil
 }
 
 // Reconstruct estimates the full thermal map from sensor readings
 // (Theorem 1: x̃ = Ψ_K (Ψ̃_K*Ψ̃_K)⁻¹ Ψ̃_K* x_S, realized via QR, with the
 // training mean restored).
 func (r *Reconstructor) Reconstruct(xS []float64) ([]float64, error) {
-	alpha, err := r.Coefficients(xS)
-	if err != nil {
+	out := make([]float64, r.b.N())
+	if err := r.ReconstructInto(out, xS); err != nil {
 		return nil, err
 	}
-	return r.b.Synthesize(alpha), nil
+	return out, nil
+}
+
+// ReconstructInto is the allocation-free form of Reconstruct: it writes the
+// estimated map into dst (length N). Scratch buffers come from an internal
+// pool, so concurrent callers on a shared Reconstructor pay zero steady-state
+// allocations per snapshot.
+func (r *Reconstructor) ReconstructInto(dst, xS []float64) error {
+	if len(dst) != r.b.N() {
+		return fmt.Errorf("recon: destination length %d != N %d", len(dst), r.b.N())
+	}
+	if err := r.checkReadings(xS); err != nil {
+		return err
+	}
+	sc := r.getScratch()
+	err := r.coefficientsInto(sc.alpha, xS, sc)
+	if err == nil {
+		r.b.SynthesizeInto(dst, sc.alpha)
+	}
+	r.scratch.Put(sc)
+	return err
 }
 
 // Sample extracts the sensor readings from a full map.

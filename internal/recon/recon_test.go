@@ -56,9 +56,13 @@ func TestNewValidates(t *testing.T) {
 	if _, err := New(testBasis, 2, []int{1, 99999}); err == nil {
 		t.Fatal("out-of-range sensor should fail")
 	}
-	// Duplicate sensors at one cell: rank deficient for K=2.
-	if _, err := New(testBasis, 2, []int{5, 5}); !errors.Is(err, ErrRankDeficient) {
+	// Duplicate sensors are rejected outright (before any rank check): a
+	// doubled row silently degrades conditioning below what M suggests.
+	if _, err := New(testBasis, 2, []int{5, 5}); !errors.Is(err, ErrDuplicateSensor) {
 		t.Fatalf("duplicate-sensor err = %v", err)
+	}
+	if _, err := New(testBasis, 2, []int{1, 5, 9, 5}); !errors.Is(err, ErrDuplicateSensor) {
+		t.Fatalf("duplicate-sensor (M>K) err = %v", err)
 	}
 }
 

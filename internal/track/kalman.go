@@ -18,6 +18,8 @@ package track
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/basis"
 	"repro/internal/mat"
@@ -53,8 +55,11 @@ var (
 	ErrBadConfig = errors.New("track: invalid configuration")
 )
 
-// Kalman is the temporal tracker. Not safe for concurrent use (it carries
-// filter state).
+// Kalman is the temporal tracker. It carries filter state, so updates are
+// inherently ordered; an internal mutex serializes Step/StepBatch/Reset, which
+// makes the tracker safe to share between the goroutines of a streaming
+// engine (each update is atomic, and interleaving order is the arrival
+// order at the lock).
 type Kalman struct {
 	cfg     Config
 	b       *basis.Basis
@@ -64,6 +69,7 @@ type Kalman struct {
 	psiT  *mat.Matrix // M×K sensing matrix Ψ̃_K
 	meanS []float64   // training mean at the sensors
 
+	mu    sync.Mutex
 	alpha []float64   // state estimate (K)
 	p     *mat.Matrix // state covariance (K×K)
 	prior *mat.Matrix // diag(λ_0..λ_{K-1}), the stationary covariance
@@ -124,6 +130,8 @@ func NewKalman(b *basis.Basis, k int, sensors []int, cfg Config) (*Kalman, error
 // Reset returns the filter to its stationary prior (α = 0 — the mean map —
 // with covariance diag(λ)).
 func (kf *Kalman) Reset() {
+	kf.mu.Lock()
+	defer kf.mu.Unlock()
 	kf.alpha = make([]float64, kf.k)
 	kf.prior = mat.New(kf.k, kf.k)
 	for i := 0; i < kf.k; i++ {
@@ -141,7 +149,11 @@ func (kf *Kalman) Reset() {
 func (kf *Kalman) K() int { return kf.k }
 
 // Steps returns the number of measurement updates applied since Reset.
-func (kf *Kalman) Steps() int { return kf.steps }
+func (kf *Kalman) Steps() int {
+	kf.mu.Lock()
+	defer kf.mu.Unlock()
+	return kf.steps
+}
 
 // Sensors returns a copy of the sensor cells.
 func (kf *Kalman) Sensors() []int { return append([]int(nil), kf.sensors...) }
@@ -158,8 +170,56 @@ func (kf *Kalman) Sample(x []float64) []float64 {
 // Step runs one predict/update cycle on the sensor readings (°C) and
 // returns the current full-map estimate.
 func (kf *Kalman) Step(readings []float64) ([]float64, error) {
+	kf.mu.Lock()
+	defer kf.mu.Unlock()
+	return kf.stepLocked(readings)
+}
+
+// StepBatch smooths a streamed batch: it runs one predict/update cycle per
+// reading vector, in order, under a single lock acquisition, and returns the
+// full-map estimate after each step. A concurrent engine can therefore fan
+// independent monitors out across goroutines while each tracker still sees
+// its own snapshots strictly in sequence.
+//
+// The whole batch is validated before the first update, so a rejected batch
+// leaves the filter state untouched — a client may safely retry it without
+// double-applying a valid prefix.
+func (kf *Kalman) StepBatch(readings [][]float64) ([][]float64, error) {
+	for i, y := range readings {
+		if err := kf.checkReadings(y); err != nil {
+			return nil, fmt.Errorf("track: batch step %d: %w", i, err)
+		}
+	}
+	kf.mu.Lock()
+	defer kf.mu.Unlock()
+	out := make([][]float64, len(readings))
+	for i, y := range readings {
+		est, err := kf.stepLocked(y)
+		if err != nil {
+			return nil, fmt.Errorf("track: batch step %d: %w", i, err)
+		}
+		out[i] = est
+	}
+	return out, nil
+}
+
+// checkReadings validates one reading vector's shape and finiteness.
+func (kf *Kalman) checkReadings(readings []float64) error {
 	if len(readings) != len(kf.sensors) {
-		return nil, fmt.Errorf("track: %d readings for %d sensors", len(readings), len(kf.sensors))
+		return fmt.Errorf("track: %d readings for %d sensors", len(readings), len(kf.sensors))
+	}
+	for i, v := range readings {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("track: non-finite reading %d (%v)", i, v)
+		}
+	}
+	return nil
+}
+
+// stepLocked is Step's body; the caller must hold kf.mu.
+func (kf *Kalman) stepLocked(readings []float64) ([]float64, error) {
+	if err := kf.checkReadings(readings); err != nil {
+		return nil, err
 	}
 	k := kf.k
 	m := len(kf.sensors)
@@ -215,11 +275,17 @@ func (kf *Kalman) Step(readings []float64) ([]float64, error) {
 }
 
 // Coefficients returns a copy of the current state estimate α.
-func (kf *Kalman) Coefficients() []float64 { return mat.CopyVec(kf.alpha) }
+func (kf *Kalman) Coefficients() []float64 {
+	kf.mu.Lock()
+	defer kf.mu.Unlock()
+	return mat.CopyVec(kf.alpha)
+}
 
 // CovarianceTrace returns tr(P) — a scalar uncertainty summary that must
 // shrink as measurements accumulate on a static scene.
 func (kf *Kalman) CovarianceTrace() float64 {
+	kf.mu.Lock()
+	defer kf.mu.Unlock()
 	var tr float64
 	for i := 0; i < kf.k; i++ {
 		tr += kf.p.At(i, i)

@@ -294,3 +294,105 @@ func TestKalmanWithSensorModel(t *testing.T) {
 		t.Fatalf("steady-state MSE %v with realistic sensors", lastMSE)
 	}
 }
+
+func TestStepBatchMatchesSequentialSteps(t *testing.T) {
+	ds, b, sensors := fixture(t)
+	mk := func() *Kalman {
+		kf, err := NewKalman(b, 6, sensors, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kf
+	}
+	seq, bat := mk(), mk()
+	var batch [][]float64
+	var want [][]float64
+	for j := 0; j < 12; j++ {
+		y := seq.Sample(ds.Map(j))
+		batch = append(batch, y)
+		est, err := seq.Step(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, est)
+	}
+	got, err := bat.StepBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d estimates, want %d", len(got), len(want))
+	}
+	for j := range want {
+		for c := range want[j] {
+			if got[j][c] != want[j][c] {
+				t.Fatalf("step %d cell %d: batch %v != sequential %v", j, c, got[j][c], want[j][c])
+			}
+		}
+	}
+	if bat.Steps() != seq.Steps() {
+		t.Fatalf("step counters diverged: %d vs %d", bat.Steps(), seq.Steps())
+	}
+}
+
+func TestStepRejectsNonFinite(t *testing.T) {
+	_, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 4, sensors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]float64, len(sensors))
+	bad[1] = math.NaN()
+	if _, err := kf.Step(bad); err == nil {
+		t.Fatal("NaN reading should fail")
+	}
+	if kf.Steps() != 0 {
+		t.Fatalf("failed step must not advance the filter (steps=%d)", kf.Steps())
+	}
+	good := make([]float64, len(sensors))
+	for i := range good {
+		good[i] = 45
+	}
+	if _, err := kf.StepBatch([][]float64{good, bad}); err == nil {
+		t.Fatal("NaN in batch should fail")
+	}
+	if kf.Steps() != 0 {
+		t.Fatalf("rejected batch must leave the filter untouched (steps=%d)", kf.Steps())
+	}
+}
+
+func TestKalmanConcurrentSteps(t *testing.T) {
+	// Concurrent Step calls on one tracker must be serialized, not race: the
+	// step counter ends exactly at the total and the covariance stays finite.
+	ds, b, sensors := fixture(t)
+	kf, err := NewKalman(b, 6, sensors, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 6, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := kf.Step(kf.Sample(ds.Map((g*per + i) % ds.T()))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := kf.Steps(); got != goroutines*per {
+		t.Fatalf("steps = %d, want %d", got, goroutines*per)
+	}
+	if tr := kf.CovarianceTrace(); math.IsNaN(tr) || tr <= 0 {
+		t.Fatalf("covariance trace = %v", tr)
+	}
+}

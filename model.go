@@ -174,13 +174,22 @@ func (m *Model) PlaceSensors(count int, opt PlaceOptions) ([]int, error) {
 }
 
 // Monitor reconstructs full thermal maps from sensor readings at run time.
+//
+// A Monitor is safe for concurrent use: the least-squares factorization
+// behind Theorem 1 is computed once at construction and shared read-only by
+// every estimating goroutine, with per-call scratch drawn from an internal
+// pool. Beyond the single-snapshot Estimate, the batched engine offers
+// EstimateInto (allocation-free), EstimateBatch / EstimateBatchInto (worker
+// pool fan-out) and EstimateStream (channel-driven) — see batch.go.
 type Monitor struct {
 	mon  *core.Monitor
 	grid Grid
 }
 
 // NewMonitor builds the run-time estimator using the first k basis vectors
-// and the given sensor cells (k ≤ len(sensors)).
+// and the given sensor cells (k ≤ len(sensors)). Duplicate sensor cells are
+// rejected: a doubled row makes the layout silently worse-conditioned than
+// its nominal sensor count suggests.
 func (m *Model) NewMonitor(k int, sensors []int) (*Monitor, error) {
 	mon, err := m.m.NewMonitor(k, sensors)
 	if err != nil {
@@ -190,7 +199,9 @@ func (m *Model) NewMonitor(k int, sensors []int) (*Monitor, error) {
 }
 
 // Estimate reconstructs the full thermal map (°C, column-stacked) from the
-// sensor readings, ordered like Sensors().
+// sensor readings, ordered like Sensors(). Non-finite (NaN/Inf) readings are
+// rejected — least squares would not fail on them, it would silently poison
+// every cell of the output map.
 func (mn *Monitor) Estimate(readings []float64) ([]float64, error) {
 	return mn.mon.Estimate(readings)
 }
