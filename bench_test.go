@@ -401,6 +401,94 @@ func reportPerSnapshot(b *testing.B) {
 	b.ReportMetric(float64(b.N*batchBenchSize)/b.Elapsed().Seconds(), "snapshots/s")
 }
 
+// --- Design-time training & placement engine ---
+
+// trainBenchEnv is the shared fixture for the training/placement benches: a
+// T1 ensemble in the N ≈ 4·T regime (N = 800 cells, T = 200 snapshots)
+// where the snapshot-Gram dual is the auto-selected side, plus the trained
+// model for the placement benches.
+var (
+	trainBenchOnce sync.Once
+	trainBenchDS   *dataset.Dataset
+	trainBenchMdl  *core.Model
+	trainBenchErr  error
+)
+
+// trainBenchKMax matches the paper's K = 40 operating point, where the
+// covariance iteration's block is at its widest.
+const trainBenchKMax = 40
+
+func trainBenchGet(b *testing.B) (*dataset.Dataset, *core.Model) {
+	b.Helper()
+	trainBenchOnce.Do(func() {
+		trainBenchDS, trainBenchErr = dataset.Generate(floorplan.UltraSparcT1(), dataset.GenConfig{
+			Grid:      floorplan.Grid{W: 40, H: 20},
+			Snapshots: 200,
+			Seed:      12,
+		})
+		if trainBenchErr != nil {
+			return
+		}
+		trainBenchMdl, trainBenchErr = core.Train(trainBenchDS, core.TrainOptions{KMax: trainBenchKMax, Seed: 12})
+	})
+	if trainBenchErr != nil {
+		b.Fatal(trainBenchErr)
+	}
+	return trainBenchDS, trainBenchMdl
+}
+
+// BenchmarkTrain compares the two sides of the PCA duality on the shared
+// T1-sized ensemble (the tentpole criterion: gram ≥ 3× faster than
+// covariance at N ≈ 2–4×T). The auto arm tracks what Train actually picks
+// for this shape.
+func BenchmarkTrain(b *testing.B) {
+	ds, _ := trainBenchGet(b)
+	for _, arm := range []struct {
+		name   string
+		method basis.PCAMethod
+	}{
+		{"covariance", basis.PCACovariance},
+		{"gram", basis.PCAGram},
+		{"auto", basis.PCAAuto},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(ds, core.TrainOptions{KMax: trainBenchKMax, Seed: 12, Method: arm.method}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlaceGreedy compares Algorithm 1's victim-selection engines on
+// the shared 800-cell basis: the lazy max-heap default against the
+// linear-rescan reference (the ablation test pins that both produce
+// identical allocations).
+func BenchmarkPlaceGreedy(b *testing.B) {
+	ds, mdl := trainBenchGet(b)
+	psi, err := mdl.Basis.PsiK(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := place.Input{Psi: psi, Grid: ds.Grid, M: 16}
+	for _, arm := range []struct {
+		name   string
+		rescan bool
+	}{
+		{"heap", false},
+		{"rescan", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&place.Greedy{Rescan: arm.rescan}).Allocate(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGreedyPlacementFullScale measures Algorithm 1 on the paper's
 // 3360-cell grid (the design-time cost that motivated the incremental
 // row-max maintenance).

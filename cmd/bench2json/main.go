@@ -16,29 +16,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchjson"
 )
-
-// Result is one benchmark line.
-type Result struct {
-	Name    string             `json:"name"`
-	Package string             `json:"package,omitempty"`
-	Iters   int64              `json:"iterations"`
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Doc is the uploaded artifact.
-type Doc struct {
-	Commit  string   `json:"commit,omitempty"`
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
-}
 
 func main() {
 	commit := flag.String("commit", "", "commit SHA to stamp into the document")
 	flag.Parse()
-	doc := Doc{Commit: *commit, Results: []Result{}}
+	doc := benchjson.Doc{Commit: *commit, Results: []benchjson.Result{}}
 	var pkg string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -75,14 +60,14 @@ func main() {
 // parseLine parses one benchmark result line:
 //
 //	BenchmarkName-8   123   456.7 ns/op   89 B/op   2 allocs/op   3.14 custom/unit
-func parseLine(line string) (Result, bool) {
+func parseLine(line string) (benchjson.Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 3 {
-		return Result{}, false
+		return benchjson.Result{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Result{}, false
+		return benchjson.Result{}, false
 	}
 	name := fields[0]
 	// Strip the -GOMAXPROCS suffix.
@@ -91,7 +76,7 @@ func parseLine(line string) (Result, bool) {
 			name = name[:i]
 		}
 	}
-	res := Result{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	res := benchjson.Result{Name: name, Iters: iters, Metrics: map[string]float64{}}
 	// Remaining fields come in (value, unit) pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

@@ -1,0 +1,205 @@
+// Command benchdiff compares two benchmark JSON documents produced by
+// cmd/bench2json and gates on regressions: it prints the per-benchmark
+// ns/op delta and exits non-zero when any benchmark present in both files
+// slowed down by more than -threshold percent.
+//
+//	benchdiff [-threshold 30] [-metric ns/op] [-larger-is-better] BENCH_baseline.json BENCH_ci.json
+//
+// Exit codes: 0 = no regression, 1 = at least one regression, 2 = usage or
+// input error — including the case where no benchmark carries the metric in
+// both files, so an empty or schema-drifted input can never pass the gate.
+// Benchmarks that exist in only one of the two files are reported but never
+// gate — baselines age as benches are added and renamed, and a missing
+// bench is a review concern, not a perf regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/benchjson"
+)
+
+// Delta is one compared benchmark.
+type Delta struct {
+	Name       string  // package-qualified benchmark name
+	Old, New   float64 // metric values
+	Percent    float64 // (New-Old)/Old·100
+	Regression bool    // worsened beyond the threshold
+}
+
+// Report is the full comparison outcome.
+type Report struct {
+	Metric       string
+	LargerBetter bool
+	ThresholdPct float64
+	Deltas       []Delta  // benchmarks present in both docs, worst first
+	OnlyOld      []string // in the baseline but not the candidate
+	OnlyNew      []string // in the candidate but not the baseline
+}
+
+// Regressions counts gating deltas.
+func (r Report) Regressions() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// key joins package and benchmark name; bench2json already strips the
+// -GOMAXPROCS suffix.
+func key(res benchjson.Result) string {
+	if res.Package == "" {
+		return res.Name
+	}
+	return res.Package + "." + res.Name
+}
+
+// collect reduces a document to one value per package-qualified benchmark
+// name. Repeated samples of the same benchmark (a `go test -count N` run)
+// are aggregated to the least noise-contaminated one — the minimum for
+// smaller-is-better metrics like ns/op, the maximum for larger-is-better
+// ones like snapshots/s — which is what a regression gate should compare.
+func collect(doc benchjson.Doc, metric string, largerBetter bool) map[string]float64 {
+	out := make(map[string]float64, len(doc.Results))
+	for _, res := range doc.Results {
+		v, ok := res.Metrics[metric]
+		if !ok {
+			continue
+		}
+		k := key(res)
+		if prev, ok := out[k]; !ok || (v < prev) != largerBetter {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Compare matches the two documents' benchmarks by package-qualified name on
+// the given metric and flags every worsening beyond thresholdPct percent —
+// an increase for smaller-is-better metrics, a decrease when largerBetter.
+func Compare(base, cand benchjson.Doc, metric string, largerBetter bool, thresholdPct float64) Report {
+	rep := Report{Metric: metric, LargerBetter: largerBetter, ThresholdPct: thresholdPct}
+	baselines := collect(base, metric, largerBetter)
+	candidates := collect(cand, metric, largerBetter)
+	for k, old := range baselines {
+		now, ok := candidates[k]
+		if !ok {
+			rep.OnlyOld = append(rep.OnlyOld, k)
+			continue
+		}
+		d := Delta{Name: k, Old: old, New: now}
+		if old != 0 {
+			d.Percent = (now - old) / old * 100
+			if largerBetter {
+				d.Regression = d.Percent < -thresholdPct
+			} else {
+				d.Regression = d.Percent > thresholdPct
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for k := range candidates {
+		if _, ok := baselines[k]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, k)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Percent != rep.Deltas[j].Percent {
+			// Worst first: biggest increase for time-like metrics, biggest
+			// drop for throughput-like ones.
+			if rep.LargerBetter {
+				return rep.Deltas[i].Percent < rep.Deltas[j].Percent
+			}
+			return rep.Deltas[i].Percent > rep.Deltas[j].Percent
+		}
+		return rep.Deltas[i].Name < rep.Deltas[j].Name
+	})
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+	return rep
+}
+
+// Render prints the report as an aligned table, worst delta first.
+func Render(w io.Writer, rep Report) {
+	wide := len("benchmark")
+	for _, d := range rep.Deltas {
+		if len(d.Name) > wide {
+			wide = len(d.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %9s\n", wide, "benchmark", "old "+rep.Metric, "new "+rep.Metric, "delta")
+	for _, d := range rep.Deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-*s  %14.1f  %14.1f  %+8.1f%%%s\n", wide, d.Name, d.Old, d.New, d.Percent, mark)
+	}
+	for _, name := range rep.OnlyOld {
+		fmt.Fprintf(w, "%-*s  only in baseline (not gated)\n", wide, name)
+	}
+	for _, name := range rep.OnlyNew {
+		fmt.Fprintf(w, "%-*s  only in candidate (not gated)\n", wide, name)
+	}
+	if n := rep.Regressions(); n > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%%\n", n, rep.ThresholdPct)
+	} else {
+		fmt.Fprintf(w, "\nno regression beyond %.0f%%\n", rep.ThresholdPct)
+	}
+}
+
+func load(path string) (benchjson.Doc, error) {
+	var doc benchjson.Doc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 30, "regression threshold in percent")
+	metric := flag.String("metric", "ns/op", "metric to compare")
+	largerBetter := flag.Bool("larger-is-better", false, "treat decreases of the metric as regressions (e.g. -metric snapshots/s)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] [-metric name] [-larger-is-better] baseline.json candidate.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	rep := Compare(base, cand, *metric, *largerBetter, *threshold)
+	if len(rep.Deltas) == 0 {
+		// A gate that compared nothing must not pass: an empty or truncated
+		// input, or a misspelled -metric, would otherwise go green.
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks with metric %q present in both files\n", *metric)
+		os.Exit(2)
+	}
+	Render(os.Stdout, rep)
+	if rep.Regressions() > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchjson"
+)
+
+func loadGolden(t *testing.T, name string) benchjson.Doc {
+	t.Helper()
+	doc, err := load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	rep := Compare(loadGolden(t, "baseline.json"), loadGolden(t, "improved.json"), "ns/op", false, 30)
+	if n := rep.Regressions(); n != 0 {
+		t.Fatalf("improved run reported %d regressions: %+v", n, rep.Deltas)
+	}
+	// 4 shared benches; the retired one and the brand-new one are noted but
+	// never gate.
+	if len(rep.Deltas) != 4 {
+		t.Fatalf("want 4 shared deltas, got %d", len(rep.Deltas))
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "repro.BenchmarkRetiredBench" {
+		t.Fatalf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "repro.BenchmarkBrandNew" {
+		t.Fatalf("OnlyNew = %v", rep.OnlyNew)
+	}
+	// The +5% covariance drift stays under the 30% gate but is reported.
+	var cov Delta
+	for _, d := range rep.Deltas {
+		if d.Name == "repro.BenchmarkTrain/covariance" {
+			cov = d
+		}
+	}
+	if math.Abs(cov.Percent-5) > 1e-9 || cov.Regression {
+		t.Fatalf("covariance delta = %+v", cov)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	rep := Compare(loadGolden(t, "baseline.json"), loadGolden(t, "regressed.json"), "ns/op", false, 30)
+	if n := rep.Regressions(); n != 1 {
+		t.Fatalf("want exactly 1 regression, got %d: %+v", n, rep.Deltas)
+	}
+	// Worst delta first: the gram bench blew up by ~82%.
+	worst := rep.Deltas[0]
+	if worst.Name != "repro.BenchmarkTrain/gram" || !worst.Regression {
+		t.Fatalf("worst delta = %+v", worst)
+	}
+	if worst.Percent < 81 || worst.Percent > 83 {
+		t.Fatalf("gram regression percent = %v", worst.Percent)
+	}
+	// The heap bench slowed by ~27.8% — under the default gate.
+	for _, d := range rep.Deltas {
+		if d.Name == "repro.BenchmarkPlaceGreedy/heap" && d.Regression {
+			t.Fatalf("27.8%% slowdown must not gate at 30%%: %+v", d)
+		}
+	}
+}
+
+func TestCompareThresholdIsExclusive(t *testing.T) {
+	// A delta exactly at the threshold does not gate; just above it does.
+	base := benchjson.Doc{Results: []benchjson.Result{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 100}}}}
+	at := benchjson.Doc{Results: []benchjson.Result{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 130}}}}
+	over := benchjson.Doc{Results: []benchjson.Result{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 131}}}}
+	if Compare(base, at, "ns/op", false, 30).Regressions() != 0 {
+		t.Fatal("exactly +30% must not gate")
+	}
+	if Compare(base, over, "ns/op", false, 30).Regressions() != 1 {
+		t.Fatal("+31% must gate")
+	}
+}
+
+func TestCompareTighterThreshold(t *testing.T) {
+	// The heap bench's ~27.8% slowdown gates once the threshold drops.
+	rep := Compare(loadGolden(t, "baseline.json"), loadGolden(t, "regressed.json"), "ns/op", false, 10)
+	if n := rep.Regressions(); n != 2 {
+		t.Fatalf("want 2 regressions at 10%%, got %d", n)
+	}
+}
+
+func TestCompareAggregatesRepeatedSamplesByMin(t *testing.T) {
+	// A -count 3 run emits the same benchmark three times; the gate compares
+	// the fastest (least noisy) sample on each side.
+	sample := func(ns float64) benchjson.Result {
+		return benchjson.Result{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": ns}}
+	}
+	base := benchjson.Doc{Results: []benchjson.Result{sample(100), sample(140), sample(105)}}
+	cand := benchjson.Doc{Results: []benchjson.Result{sample(180), sample(120), sample(125)}}
+	rep := Compare(base, cand, "ns/op", false, 30)
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("want 1 delta, got %+v", rep.Deltas)
+	}
+	d := rep.Deltas[0]
+	if d.Old != 100 || d.New != 120 {
+		t.Fatalf("min aggregation wrong: %+v", d)
+	}
+	if d.Regression {
+		t.Fatalf("+20%% on min-of-3 must not gate at 30%%: %+v", d)
+	}
+	if len(rep.OnlyOld) != 0 || len(rep.OnlyNew) != 0 {
+		t.Fatalf("repeated samples misclassified: %+v / %+v", rep.OnlyOld, rep.OnlyNew)
+	}
+}
+
+func TestCompareLargerIsBetterMetric(t *testing.T) {
+	sample := func(v float64) benchjson.Result {
+		return benchjson.Result{Name: "BenchmarkX", Metrics: map[string]float64{"snapshots/s": v}}
+	}
+	base := benchjson.Doc{Results: []benchjson.Result{sample(1000), sample(900)}}
+	doubled := benchjson.Doc{Results: []benchjson.Result{sample(2000)}}
+	halved := benchjson.Doc{Results: []benchjson.Result{sample(500), sample(480)}}
+	// Throughput doubling is an improvement, not a regression.
+	if rep := Compare(base, doubled, "snapshots/s", true, 30); rep.Regressions() != 0 {
+		t.Fatalf("doubled throughput flagged as regression: %+v", rep.Deltas)
+	}
+	// Throughput halving gates.
+	rep := Compare(base, halved, "snapshots/s", true, 30)
+	if rep.Regressions() != 1 {
+		t.Fatalf("halved throughput not flagged: %+v", rep.Deltas)
+	}
+	// Max-aggregation of repeated samples: best baseline sample is 1000,
+	// best candidate 500 → -50%.
+	d := rep.Deltas[0]
+	if d.Old != 1000 || d.New != 500 || math.Abs(d.Percent+50) > 1e-9 {
+		t.Fatalf("larger-is-better aggregation wrong: %+v", d)
+	}
+}
+
+func TestCompareEmptyIntersection(t *testing.T) {
+	// A misspelled metric (or an empty candidate) yields zero compared
+	// benchmarks — main exits 2 on this so the gate can never silently pass.
+	rep := Compare(loadGolden(t, "baseline.json"), loadGolden(t, "improved.json"), "ns/opp", false, 30)
+	if len(rep.Deltas) != 0 || rep.Regressions() != 0 {
+		t.Fatalf("unknown metric produced deltas: %+v", rep.Deltas)
+	}
+	rep = Compare(loadGolden(t, "baseline.json"), benchjson.Doc{}, "ns/op", false, 30)
+	if len(rep.Deltas) != 0 || len(rep.OnlyOld) != 5 {
+		t.Fatalf("empty candidate handling wrong: %+v", rep)
+	}
+}
+
+func TestCompareZeroBaselineNeverGates(t *testing.T) {
+	base := benchjson.Doc{Results: []benchjson.Result{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 0}}}}
+	cand := benchjson.Doc{Results: []benchjson.Result{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 50}}}}
+	rep := Compare(base, cand, "ns/op", false, 30)
+	if rep.Regressions() != 0 || len(rep.Deltas) != 1 {
+		t.Fatalf("zero baseline handling wrong: %+v", rep)
+	}
+}
+
+func TestCompareAlternateMetric(t *testing.T) {
+	// Only the estimate bench carries ns/snapshot; the rest drop out.
+	rep := Compare(loadGolden(t, "baseline.json"), loadGolden(t, "regressed.json"), "ns/snapshot", false, 30)
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Name != "repro.BenchmarkEstimateSequential" {
+		t.Fatalf("ns/snapshot deltas = %+v", rep.Deltas)
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, Compare(loadGolden(t, "baseline.json"), loadGolden(t, "regressed.json"), "ns/op", false, 30))
+	out := sb.String()
+	for _, want := range []string{
+		"repro.BenchmarkTrain/gram",
+		"REGRESSION",
+		"+81.8%",
+		"only in baseline (not gated)",
+		"1 benchmark(s) regressed more than 30%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	// Worst regression renders on the first data row.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 || !strings.Contains(lines[1], "BenchmarkTrain/gram") {
+		t.Fatalf("worst delta not first:\n%s", out)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Fatal("expected error on malformed JSON")
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error on missing file")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/basis"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
@@ -39,6 +40,8 @@ func main() {
 		pgmDir  = flag.String("pgm-dir", "", "write PGM images of the visual figures to this directory")
 		kmax    = flag.Int("kmax", 0, "override KMax")
 		seedArg = flag.Int64("seed", 0, "override seed")
+		method  = flag.String("train-method", "auto", "PCA eigensolver side: auto, covariance or gram")
+		workers = flag.Int("workers", 0, "goroutine cap for snapshot-Gram training (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,17 @@ func main() {
 	if *seedArg != 0 {
 		cfg.Seed = *seedArg
 	}
+	switch *method {
+	case "auto", "":
+		cfg.Method = basis.PCAAuto
+	case "covariance":
+		cfg.Method = basis.PCACovariance
+	case "gram":
+		cfg.Method = basis.PCAGram
+	default:
+		log.Fatalf("unknown -train-method %q (want auto, covariance or gram)", *method)
+	}
+	cfg.Workers = *workers
 
 	start := time.Now()
 	var env *experiments.Env
@@ -73,8 +87,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("environment ready in %v (T=%d, N=%d, KMax=%d)\n\n",
+	fmt.Printf("environment ready in %v (T=%d, N=%d, KMax=%d)\n",
 		time.Since(start).Round(time.Millisecond), env.DS.T(), env.DS.N(), env.Cfg.KMax)
+	fmt.Printf("  simulate %v · train eigenmaps %v [%v] · train k-lse %v\n\n",
+		env.Timing.Simulate.Round(time.Millisecond),
+		env.Timing.TrainPCA.Round(time.Millisecond), env.Timing.PCAMethod,
+		env.Timing.TrainKLSE.Round(time.Millisecond))
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {

@@ -2,6 +2,7 @@ package eigenmaps_test
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -62,6 +63,58 @@ func TestTrainRejectsUnknownBasis(t *testing.T) {
 	ens, _ := fixture(t)
 	if _, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{Basis: "wavelets"}); err == nil {
 		t.Fatal("expected unknown-basis error")
+	}
+}
+
+func TestTrainMethodFacade(t *testing.T) {
+	ens, auto := fixture(t)
+	// Unknown method strings are rejected up front with the same typed
+	// error as every other invalid option.
+	if _, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{KMax: 4, Method: "qr"}); !errors.Is(err, eigenmaps.ErrInvalidOptions) {
+		t.Fatalf("unknown method: got %v, want ErrInvalidOptions", err)
+	}
+	// Both eigensolver sides are selectable and train the same subspace the
+	// auto default does (up to numerical tolerance).
+	for _, method := range []eigenmaps.TrainMethod{eigenmaps.AutoMethod, eigenmaps.CovarianceMethod, eigenmaps.GramMethod} {
+		m, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{KMax: 12, Seed: 5, Method: method, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if m.KMax() != auto.KMax() {
+			t.Fatalf("%s: KMax %d != %d", method, m.KMax(), auto.KMax())
+		}
+		for k := 0; k < 4; k++ {
+			want, err := auto.EigenMap(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.EigenMap(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dot float64
+			for i := range want {
+				dot += want[i] * got[i]
+			}
+			if math.Abs(dot) < 1-1e-6 {
+				t.Fatalf("%s: eigenmap %d misaligned with default training: |dot| = %v", method, k, math.Abs(dot))
+			}
+		}
+	}
+}
+
+func TestTrainRejectsDegenerateOptionsFacade(t *testing.T) {
+	ens, _ := fixture(t)
+	_, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{KMax: 4, Workers: -2})
+	if err == nil {
+		t.Fatal("negative Workers should fail")
+	}
+	if !errors.Is(err, eigenmaps.ErrInvalidOptions) {
+		t.Fatalf("error %v does not match ErrInvalidOptions", err)
+	}
+	var oe *eigenmaps.OptionError
+	if !errors.As(err, &oe) || oe.Option != "Workers" {
+		t.Fatalf("error %v is not the Workers OptionError", err)
 	}
 }
 

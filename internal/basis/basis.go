@@ -35,6 +35,12 @@ type Basis struct {
 	// the covariance (Proposition 1); for DCT it is the mean squared training
 	// coefficient of the k-th selected frequency.
 	Importance []float64
+
+	// Method records which eigensolver side TrainPCA actually used (never
+	// PCAAuto), so reporting tools don't have to re-derive the dispatch.
+	// In-memory only: not serialized, and zero-valued on DCT and loaded
+	// bases.
+	Method PCAMethod
 }
 
 // ErrKRange reports a requested subspace dimension outside [1, KMax].
@@ -129,6 +135,62 @@ func (b *Basis) TailImportance(k int) float64 {
 	return s
 }
 
+// PCAMethod selects how TrainPCA extracts the leading eigenpairs of the
+// snapshot covariance. Both sides of the duality span the same subspace (see
+// the subspace-agreement tests); they differ only in cost.
+type PCAMethod int
+
+const (
+	// PCAAuto picks the cheaper side by the measured cost model — see
+	// ResolvePCAMethod.
+	PCAAuto PCAMethod = iota
+	// PCACovariance runs block subspace iteration on C = XᵀX/T without
+	// forming C — O(iters·N·T·K) — the only viable side when T ≥ N.
+	PCACovariance
+	// PCAGram eigendecomposes the T×T snapshot Gram XXᵀ/T and lifts the
+	// eigenvectors as V = Xᵀ·U·Λ^(−1/2) — O(N·T² + T³), exact, and the fast
+	// side whenever the ensemble is short relative to the grid.
+	PCAGram
+)
+
+// String names the method.
+func (m PCAMethod) String() string {
+	switch m {
+	case PCAAuto:
+		return "auto"
+	case PCACovariance:
+		return "covariance"
+	case PCAGram:
+		return "gram"
+	}
+	return fmt.Sprintf("PCAMethod(%d)", int(m))
+}
+
+// ResolvePCAMethod maps PCAAuto to the concrete method chosen for a T×N
+// ensemble at subspace dimension kmax; concrete methods pass through.
+//
+// The dispatch rule — Gram iff T < N and T ≤ max(128, 8·kmax) — encodes the
+// measured crossover of the two cost models: the Gram side pays
+// O(N·T²) accumulation plus a dense T×T eigensolve whose O(T³) term carries
+// a large constant (full eigenvector accumulation), so it loses once T grows
+// past a few hundred; the covariance side pays O(iters·N·T·(kmax+oversample))
+// and degrades sharply as the block widens, which moves the crossover out
+// proportionally to kmax. BenchmarkTrain tracks both sides so the rule can
+// be re-fit if the kernels change.
+func ResolvePCAMethod(m PCAMethod, t, n, kmax int) PCAMethod {
+	if m != PCAAuto {
+		return m
+	}
+	cross := 128
+	if 8*kmax > cross {
+		cross = 8 * kmax
+	}
+	if t < n && t <= cross {
+		return PCAGram
+	}
+	return PCACovariance
+}
+
 // PCAConfig tunes TrainPCA.
 type PCAConfig struct {
 	// Seed drives the subspace-iteration starting block. The trained basis
@@ -137,9 +199,23 @@ type PCAConfig struct {
 	Seed int64
 	// Subspace forwards to mat.TopCovarianceEigen (Rand is overwritten).
 	Subspace mat.SubspaceOptions
-	// UseSnapshotMethod switches to the exact O(T³) method of snapshots —
-	// the ablation reference, only sensible for modest T.
+	// Method selects the eigensolver side; the PCAAuto zero value picks the
+	// cheaper one from the ensemble shape.
+	Method PCAMethod
+	// Workers caps the goroutines used by the Gram accumulation and
+	// eigenvector lift (0 = NumCPU, 1 = sequential).
+	Workers int
+	// UseSnapshotMethod is the deprecated spelling of Method: PCAGram, kept
+	// for the ablation benches. It overrides Method when set.
 	UseSnapshotMethod bool
+}
+
+// method resolves the configured method for a T×N ensemble at dimension kmax.
+func (cfg PCAConfig) method(t, n, kmax int) PCAMethod {
+	if cfg.UseSnapshotMethod {
+		return PCAGram
+	}
+	return ResolvePCAMethod(cfg.Method, t, n, kmax)
 }
 
 // TrainPCA learns the EigenMaps basis from the training ensemble: the kmax
@@ -155,12 +231,16 @@ func TrainPCA(ds *dataset.Dataset, kmax int, cfg PCAConfig) (*Basis, error) {
 		vecs *mat.Matrix
 		err  error
 	)
-	if cfg.UseSnapshotMethod {
-		vals, vecs, err = mat.SnapshotPOD(x, kmax)
-	} else {
+	method := cfg.method(ds.T(), ds.N(), kmax)
+	switch method {
+	case PCAGram:
+		vals, vecs, err = mat.SnapshotPODWorkers(x, kmax, cfg.Workers)
+	case PCACovariance:
 		opts := cfg.Subspace
 		opts.Rand = rand.New(rand.NewSource(cfg.Seed))
 		vals, vecs, err = mat.TopCovarianceEigen(x, kmax, opts)
+	default:
+		err = fmt.Errorf("unknown method %v", method)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("basis: PCA training: %w", err)
@@ -171,6 +251,7 @@ func TrainPCA(ds *dataset.Dataset, kmax int, cfg PCAConfig) (*Basis, error) {
 		Mean:       mean,
 		Psi:        vecs,
 		Importance: vals,
+		Method:     method,
 	}, nil
 }
 

@@ -1,0 +1,24 @@
+// Package benchjson defines the benchmark-artifact JSON schema shared by
+// cmd/bench2json (the producer) and cmd/benchdiff (the consumer, which
+// gates CI on it). Keeping one definition prevents the two commands from
+// drifting apart silently: a field rename that only touched one side would
+// still compile but make the regression gate compare nothing.
+package benchjson
+
+// Result is one benchmark line. Every metric on the line is kept, including
+// custom b.ReportMetric units such as ns/snapshot and snapshots/s.
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is one benchmark run (the BENCH_*.json artifact).
+type Doc struct {
+	Commit  string   `json:"commit,omitempty"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}

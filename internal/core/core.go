@@ -54,8 +54,54 @@ type TrainOptions struct {
 	// Seed drives PCA subspace iteration. Results are seed-insensitive up to
 	// numerical tolerance.
 	Seed int64
-	// UseSnapshotMethod forwards to basis.PCAConfig (ablation).
+	// Method selects the PCA eigensolver side (covariance subspace iteration
+	// or the snapshot-Gram dual); the zero value picks the cheaper one from
+	// the ensemble shape. Ignored by the DCT families.
+	Method basis.PCAMethod
+	// Workers caps the goroutines used by the snapshot-Gram path (0 = all
+	// CPUs, 1 = sequential). Negative values are rejected.
+	Workers int
+	// UseSnapshotMethod forwards to basis.PCAConfig (deprecated ablation
+	// spelling of Method: basis.PCAGram).
 	UseSnapshotMethod bool
+}
+
+// OptionError reports a TrainOptions field (or the ensemble it is applied
+// to) that would silently produce a degenerate model. Match with errors.As,
+// or errors.Is against ErrInvalidOptions.
+type OptionError struct {
+	Option string // offending field, e.g. "Workers"
+	Reason string
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("core: invalid %s: %s", e.Option, e.Reason)
+}
+
+// Is makes every OptionError match ErrInvalidOptions.
+func (e *OptionError) Is(target error) bool { return target == ErrInvalidOptions }
+
+// ErrInvalidOptions is the errors.Is target for all OptionError values.
+var ErrInvalidOptions = errors.New("core: invalid training options")
+
+// validate rejects option/ensemble combinations that would otherwise train
+// silently into garbage: a single snapshot centers to the zero matrix (its
+// "covariance" has no spectrum at all), and a negative worker cap is always
+// a caller bug rather than a request for sequential execution.
+func (opt TrainOptions) validate(ds *dataset.Dataset) error {
+	if t := ds.T(); t < 2 {
+		return &OptionError{Option: "Ensemble", Reason: fmt.Sprintf("training needs T ≥ 2 snapshots, got %d (a single centered snapshot has a degenerate covariance)", t)}
+	}
+	if opt.Workers < 0 {
+		return &OptionError{Option: "Workers", Reason: fmt.Sprintf("%d is negative (0 = all CPUs, 1 = sequential)", opt.Workers)}
+	}
+	switch opt.Method {
+	case basis.PCAAuto, basis.PCACovariance, basis.PCAGram:
+	default:
+		return &OptionError{Option: "Method", Reason: fmt.Sprintf("unknown PCA method %v", opt.Method)}
+	}
+	return nil
 }
 
 // Model is a trained thermal-map model for one grid: the ordered basis plus
@@ -73,6 +119,9 @@ func Train(ds *dataset.Dataset, opt TrainOptions) (*Model, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if err := opt.validate(ds); err != nil {
+		return nil, err
+	}
 	if opt.KMax == 0 {
 		opt.KMax = 40
 	}
@@ -87,6 +136,8 @@ func Train(ds *dataset.Dataset, opt TrainOptions) (*Model, error) {
 	case BasisEigenMaps:
 		b, err = basis.TrainPCA(ds, opt.KMax, basis.PCAConfig{
 			Seed:              opt.Seed,
+			Method:            opt.Method,
+			Workers:           opt.Workers,
 			UseSnapshotMethod: opt.UseSnapshotMethod,
 		})
 	case BasisDCT:

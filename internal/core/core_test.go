@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/basis"
 	"repro/internal/dataset"
 	"repro/internal/floorplan"
 	"repro/internal/place"
@@ -68,6 +69,61 @@ func TestTrainAllKinds(t *testing.T) {
 func TestTrainUnknownKind(t *testing.T) {
 	if _, err := Train(testDS(t), TrainOptions{Kind: BasisKind(99)}); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+func TestTrainRejectsDegenerateOptions(t *testing.T) {
+	ds := testDS(t)
+	single := &dataset.Dataset{Grid: ds.Grid, Maps: ds.Maps.SelectRows([]int{0})}
+	for _, tc := range []struct {
+		name   string
+		opt    TrainOptions
+		on     *dataset.Dataset
+		option string
+	}{
+		{"single snapshot", TrainOptions{KMax: 4}, single, "Ensemble"},
+		{"negative workers", TrainOptions{KMax: 4, Workers: -1}, ds, "Workers"},
+		{"unknown method", TrainOptions{KMax: 4, Method: 99}, ds, "Method"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Train(tc.on, tc.opt)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(err, ErrInvalidOptions) {
+				t.Fatalf("error %v does not match ErrInvalidOptions", err)
+			}
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %v is not an *OptionError", err)
+			}
+			if oe.Option != tc.option {
+				t.Fatalf("option = %q, want %q (%v)", oe.Option, tc.option, err)
+			}
+		})
+	}
+}
+
+func TestTrainMethodAndWorkersMatchDefault(t *testing.T) {
+	// Forcing either eigensolver side or any worker cap must not change the
+	// trained subspace beyond numerical tolerance on a T < N ensemble.
+	ds := testDS(t)
+	auto, err := Train(ds, TrainOptions{KMax: 6, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []TrainOptions{
+		{KMax: 6, Seed: 21, Method: basis.PCAGram},
+		{KMax: 6, Seed: 21, Method: basis.PCAGram, Workers: 3},
+		{KMax: 6, Seed: 21, Method: basis.PCACovariance},
+	} {
+		m, err := Train(ds, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Basis.Psi.Equal(auto.Basis.Psi, 1e-6) {
+			t.Fatalf("method %v workers %d diverged from the default basis", opt.Method, opt.Workers)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/basis"
 	"repro/internal/core"
@@ -37,6 +38,13 @@ type Config struct {
 	// run strongly correlated cores, which is what makes the paper's 4-5
 	// sensor operating point reachable. See DESIGN.md (trace substitution).
 	LoadCoupling float64
+
+	// Method forwards to core.TrainOptions: the PCA eigensolver side
+	// (default auto — pick the cheaper one from the ensemble shape).
+	Method basis.PCAMethod
+	// Workers forwards to core.TrainOptions: the goroutine cap for the
+	// snapshot-Gram training path (0 = all CPUs).
+	Workers int
 }
 
 // DefaultConfig returns the paper-scale configuration: 60×56 grid, T = 2652
@@ -71,6 +79,16 @@ func QuickConfig() Config {
 	}
 }
 
+// Timing records the wall-clock cost of each design-time phase, so tools
+// like cmd/experiments can report where environment construction spends its
+// time and which PCA eigensolver side was used.
+type Timing struct {
+	Simulate  time.Duration // ensemble generation (zero when a cached dataset is supplied)
+	TrainPCA  time.Duration // EigenMaps training
+	TrainKLSE time.Duration // DCT baseline training
+	PCAMethod basis.PCAMethod
+}
+
 // Env holds the shared precomputed state every experiment driver reuses:
 // the snapshot ensemble and both trained models.
 type Env struct {
@@ -79,11 +97,13 @@ type Env struct {
 	PCA    *core.Model // EigenMaps
 	KLSE   *core.Model // DCT (energy-ranked), the k-LSE baseline
 	Raster *floorplan.Raster
+	Timing Timing
 }
 
 // NewEnv simulates the ensemble and trains both models.
 func NewEnv(cfg Config) (*Env, error) {
 	fp := floorplan.UltraSparcT1()
+	start := time.Now()
 	ds, err := dataset.Generate(fp, dataset.GenConfig{
 		Grid:      cfg.Grid,
 		Snapshots: cfg.Snapshots,
@@ -93,7 +113,13 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: simulate: %w", err)
 	}
-	return NewEnvWithDataset(cfg, ds)
+	simTime := time.Since(start)
+	env, err := NewEnvWithDataset(cfg, ds)
+	if err != nil {
+		return nil, err
+	}
+	env.Timing.Simulate = simTime
+	return env, nil
 }
 
 // NewEnvWithDataset trains both models on a pre-generated (e.g. cached)
@@ -101,20 +127,32 @@ func NewEnv(cfg Config) (*Env, error) {
 func NewEnvWithDataset(cfg Config, ds *dataset.Dataset) (*Env, error) {
 	cfg.Grid = ds.Grid
 	cfg.Snapshots = ds.T()
-	pca, err := core.Train(ds, core.TrainOptions{KMax: cfg.KMax, Kind: core.BasisEigenMaps, Seed: cfg.Seed})
+	start := time.Now()
+	pca, err := core.Train(ds, core.TrainOptions{
+		KMax: cfg.KMax, Kind: core.BasisEigenMaps, Seed: cfg.Seed,
+		Method: cfg.Method, Workers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train EigenMaps: %w", err)
 	}
+	pcaTime := time.Since(start)
+	start = time.Now()
 	klse, err := core.Train(ds, core.TrainOptions{KMax: cfg.KMax, Kind: core.BasisDCT, Seed: cfg.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train k-LSE: %w", err)
 	}
+	klseTime := time.Since(start)
 	return &Env{
 		Cfg:    cfg,
 		DS:     ds,
 		PCA:    pca,
 		KLSE:   klse,
 		Raster: floorplan.UltraSparcT1().Rasterize(ds.Grid),
+		Timing: Timing{
+			TrainPCA:  pcaTime,
+			TrainKLSE: klseTime,
+			PCAMethod: pca.Basis.Method,
+		},
 	}, nil
 }
 

@@ -80,14 +80,21 @@ func MulPar(a, b *Matrix) *Matrix {
 // parallelizes over *output* rows (columns of a), so each goroutine owns its
 // output slice.
 func MulTAPar(a, b *Matrix) *Matrix {
+	return MulTAWorkers(a, b, 0)
+}
+
+// MulTAWorkers returns aᵀ·b like MulTAPar but with an explicit cap on the
+// worker count (0 or negative = runtime.NumCPU()). Small products stay
+// single-threaded regardless of the cap.
+func MulTAWorkers(a, b *Matrix, workers int) *Matrix {
 	if a.rows != b.rows {
 		panic(ErrShape)
 	}
-	if a.rows*a.cols*b.cols < parallelThreshold {
+	if workers == 1 || a.rows*a.cols*b.cols < parallelThreshold {
 		return MulTA(a, b)
 	}
 	out := New(a.cols, b.cols)
-	parallelRows(a.cols, func(lo, hi int) {
+	ParallelChunks(a.cols, workers, func(lo, hi int) {
 		for r := 0; r < a.rows; r++ {
 			arow := a.Row(r)
 			brow := b.Row(r)
@@ -103,11 +110,22 @@ func MulTAPar(a, b *Matrix) *Matrix {
 
 // RowGramPar returns a·aᵀ concurrently (see RowGram).
 func RowGramPar(a *Matrix) *Matrix {
-	if a.rows*a.rows*a.cols/2 < parallelThreshold {
+	return RowGramWorkers(a, 0)
+}
+
+// RowGramWorkers returns a·aᵀ like RowGramPar but with an explicit cap on the
+// worker count (0 or negative = runtime.NumCPU()). The upper triangle is
+// accumulated in parallel row blocks; small Grams stay single-threaded.
+//
+// The row blocks are uneven in cost (row i touches rows-i dot products), but
+// the snapshot counts this feeds (T ≤ a few thousand) split finely enough
+// across NumCPU that the imbalance is noise next to the O(T²·N) total.
+func RowGramWorkers(a *Matrix, workers int) *Matrix {
+	if workers == 1 || a.rows*a.rows*a.cols/2 < parallelThreshold {
 		return RowGram(a)
 	}
 	out := New(a.rows, a.rows)
-	parallelRows(a.rows, func(lo, hi int) {
+	ParallelChunks(a.rows, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ri := a.Row(i)
 			for j := i; j < a.rows; j++ {

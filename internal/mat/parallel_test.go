@@ -68,6 +68,70 @@ func TestRowGramParMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestMulTAWorkersMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	a := RandomMatrix(300, 120, rng)
+	b := RandomMatrix(300, 130, rng)
+	want := MulTA(a, b)
+	for _, workers := range []int{0, 1, 2, 7} {
+		if !MulTAWorkers(a, b, workers).Equal(want, 0) {
+			t.Fatalf("MulTAWorkers(%d) not bit-identical to serial", workers)
+		}
+	}
+}
+
+func TestRowGramWorkersMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	a := RandomMatrix(260, 180, rng)
+	want := RowGram(a)
+	for _, workers := range []int{0, 1, 2, 7} {
+		got := RowGramWorkers(a, workers)
+		if !got.Equal(want, 0) {
+			t.Fatalf("RowGramWorkers(%d) not bit-identical to serial", workers)
+		}
+		if !got.IsSymmetric(0) {
+			t.Fatalf("RowGramWorkers(%d) result not symmetric", workers)
+		}
+	}
+}
+
+func TestSnapshotPODWorkersMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	x, _ := syntheticData(90, 30, []float64{60, 12, 3, 0.7}, rng)
+	vals, vecs, err := SnapshotPOD(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5} {
+		v, e, err := SnapshotPODWorkers(x, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if v[i] != vals[i] {
+				t.Fatalf("workers=%d: eigenvalue %d differs", workers, i)
+			}
+		}
+		if !e.Equal(vecs, 0) {
+			t.Fatalf("workers=%d: eigenvectors differ from sequential", workers)
+		}
+	}
+}
+
+func TestSnapshotPODOrthonormalNearRank(t *testing.T) {
+	// The MGS re-orthonormalization in the lift must keep the block
+	// orthonormal even with a fast-decaying spectrum (λ ratio 1e8).
+	rng := rand.New(rand.NewSource(89))
+	x, _ := syntheticData(50, 40, []float64{1e4, 1, 1e-2, 1e-4}, rng)
+	_, vecs, err := SnapshotPOD(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Gram(vecs).Equal(Identity(4), 1e-10) {
+		t.Fatal("lifted block lost orthonormality")
+	}
+}
+
 func TestParallelRowsCoversRange(t *testing.T) {
 	seen := make([]bool, 103)
 	parallelRows(len(seen), func(lo, hi int) {

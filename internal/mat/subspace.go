@@ -139,10 +139,27 @@ func TopCovarianceEigen(x *Matrix, k int, opts SubspaceOptions) ([]float64, *Mat
 
 // SnapshotPOD computes the same leading eigenpairs by the classical "method
 // of snapshots": eigendecompose the T×T row Gram matrix XXᵀ/T and lift the
-// eigenvectors back through Xᵀ. Exact (up to the dense eigensolver) but
-// O(T³); intended for modest T and as the ablation reference for
-// TopCovarianceEigen.
+// eigenvectors back through Xᵀ. Exact (up to the dense eigensolver) and
+// O(N·T² + T³) — the cheap side of the duality whenever T < N. Equivalent to
+// SnapshotPODWorkers with a single worker.
 func SnapshotPOD(x *Matrix, k int) ([]float64, *Matrix, error) {
+	return SnapshotPODWorkers(x, k, 1)
+}
+
+// SnapshotPODWorkers is SnapshotPOD with the two O(N·T²)-class stages — the
+// T×T Gram accumulation and the lift of the eigenvector block back through
+// Xᵀ — fanned out over ParallelChunks with the given worker cap (0 or
+// negative = runtime.NumCPU()).
+//
+// The lift recovers the covariance eigenvectors as the columns of
+// V = Xᵀ·U·Λ^(−1/2)·T^(−1/2) (U the Gram eigenvectors), computed as one
+// blocked product instead of K matrix-vector passes, then re-orthonormalized
+// by a modified Gram–Schmidt sweep: the lift amplifies roundoff by 1/√λ, and
+// downstream projection code (Approximate, recon) assumes an orthonormal
+// block. Columns lifted from zero eigenvalues are left zero; callers
+// requesting k beyond the data rank can detect the padding via the zero
+// eigenvalue.
+func SnapshotPODWorkers(x *Matrix, k, workers int) ([]float64, *Matrix, error) {
 	t, n := x.Dims()
 	if k > t {
 		k = t
@@ -153,28 +170,36 @@ func SnapshotPOD(x *Matrix, k int) ([]float64, *Matrix, error) {
 	if k <= 0 {
 		return nil, New(n, 0), nil
 	}
-	g := RowGram(x).Scale(1 / float64(t)) // T×T
+	g := RowGramWorkers(x, workers).Scale(1 / float64(t)) // T×T
 	eg, err := SymEigen(g)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snapshot POD: %w", err)
 	}
 	vals := make([]float64, k)
-	vecs := New(n, k)
+	for j := range vals {
+		if lam := eg.Values[j]; lam > 0 {
+			vals[j] = lam
+		}
+	}
+	// Blocked lift: Xᵀ·W_K in one parallel product, then per-column
+	// normalization with MGS against the previous (finalized) columns,
+	// cached as slices so the O(k²) projections don't re-copy them.
+	_, wk := eg.TopK(k)
+	vecs := MulTAWorkers(x, wk, workers) // N×k
+	final := make([][]float64, k)
 	for j := 0; j < k; j++ {
-		lam := eg.Values[j]
-		if lam < 0 {
-			lam = 0
+		u := vecs.Col(j)
+		for p := 0; p < j; p++ {
+			if vals[p] == 0 {
+				continue
+			}
+			AXPY(-Dot(final[p], u), final[p], u)
 		}
-		vals[j] = lam
-		// Lift: u_j = Xᵀ w_j / ‖Xᵀ w_j‖ (equals Xᵀw_j / √(Tλ_j)).
-		w := eg.Vectors.Col(j)
-		u := MulVecT(x, w)
-		if Normalize(u) == 0 {
-			// Zero eigenvalue direction: leave the zero column; callers
-			// requesting k beyond the data rank get padding they can detect
-			// via the zero eigenvalue.
-			continue
+		if vals[j] == 0 || Normalize(u) == 0 {
+			u = make([]float64, n) // zero padding beyond the data rank
+			vals[j] = 0
 		}
+		final[j] = u
 		vecs.SetCol(j, u)
 	}
 	normalizeSigns(vecs)

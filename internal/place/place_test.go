@@ -162,6 +162,62 @@ func TestGreedyRankCheckScheduleAblation(t *testing.T) {
 	}
 }
 
+func TestGreedyHeapMatchesRescanAblation(t *testing.T) {
+	// The lazy max-heap must reproduce the linear-rescan victim sequence
+	// exactly — same tie-breaks, same rank-safeguard interactions — so the
+	// two modes yield identical allocations on every instance.
+	for seed := int64(0); seed < 8; seed++ {
+		for _, signed := range []bool{false, true} {
+			for _, every := range []bool{false, true} {
+				psi := mat.RandomOrthonormal(36, 4, rand.New(rand.NewSource(seed)))
+				in := Input{Psi: psi, Grid: floorplan.Grid{W: 6, H: 6}, M: 6}
+				heap, err := (&Greedy{SignedMax: signed, CheckEveryStep: every}).Allocate(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rescan, err := (&Greedy{SignedMax: signed, CheckEveryStep: every, Rescan: true}).Allocate(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(heap) != len(rescan) {
+					t.Fatalf("seed %d signed=%v every=%v: heap %v vs rescan %v", seed, signed, every, heap, rescan)
+				}
+				for i := range heap {
+					if heap[i] != rescan[i] {
+						t.Fatalf("seed %d signed=%v every=%v: heap %v vs rescan %v", seed, signed, every, heap, rescan)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyHeapMatchesRescanMasked(t *testing.T) {
+	// Same equivalence under a placement mask and a tight sensor budget,
+	// where the rank safeguard actually participates.
+	mask := make([]bool, 40)
+	for i := 4; i < 36; i++ {
+		mask[i] = true
+	}
+	in := Input{Psi: fixPsi, Grid: fixGrid, M: 5, Mask: mask}
+	heap, err := (&Greedy{}).Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescan, err := (&Greedy{Rescan: true}).Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heap) != len(rescan) {
+		t.Fatalf("heap %v vs rescan %v", heap, rescan)
+	}
+	for i := range heap {
+		if heap[i] != rescan[i] {
+			t.Fatalf("heap %v vs rescan %v", heap, rescan)
+		}
+	}
+}
+
 func TestGreedySignedMaxVariant(t *testing.T) {
 	s, err := (&Greedy{SignedMax: true}).Allocate(Input{Psi: fixPsi, Grid: fixGrid, M: 6})
 	if err != nil {

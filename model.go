@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/basis"
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/recon"
@@ -23,6 +24,31 @@ const (
 	DCTZigZagBasis BasisFamily = "dct-zigzag"
 )
 
+// TrainMethod selects the PCA eigensolver side used by Train. Both sides
+// extract the same EigenMaps subspace (Proposition 1); they differ only in
+// cost, which pivots on the ensemble shape:
+//
+//   - covariance: block subspace iteration on the N×N covariance (never
+//     formed), O(iters·N·T·K) — the only viable side when T ≥ N;
+//   - gram: eigendecompose the T×T snapshot Gram XXᵀ/T and lift the leading
+//     eigenvectors as V = Xᵀ·U·Λ^(−1/2), O(N·T² + T³) — the fast side when
+//     the ensemble is short relative to the grid AND short in absolute
+//     terms, since the dense T×T eigensolve grows cubically in T.
+type TrainMethod string
+
+// Available training methods.
+const (
+	// AutoMethod (the default) picks the measured-cheaper side: gram when
+	// T < N and T ≤ max(128, 8·KMax), covariance otherwise (the T³
+	// eigensolve loses past a few hundred snapshots unless a wide basis
+	// block slows the covariance iteration to match).
+	AutoMethod TrainMethod = "auto"
+	// CovarianceMethod forces block subspace iteration.
+	CovarianceMethod TrainMethod = "covariance"
+	// GramMethod forces the snapshot-Gram dual (method of snapshots).
+	GramMethod TrainMethod = "gram"
+)
+
 // TrainOptions parameterize Train.
 type TrainOptions struct {
 	// KMax is the largest subspace dimension the model will support.
@@ -32,7 +58,22 @@ type TrainOptions struct {
 	Basis BasisFamily
 	// Seed drives the PCA eigensolver's starting block.
 	Seed int64
+	// Method selects the PCA eigensolver side. Default AutoMethod.
+	// Ignored by the DCT families.
+	Method TrainMethod
+	// Workers caps the goroutines used by the snapshot-Gram path's parallel
+	// Gram accumulation and eigenvector lift (0 = all CPUs, 1 = sequential).
+	// Negative values fail Train with an OptionError.
+	Workers int
 }
+
+// OptionError is the typed error Train returns for invalid TrainOptions or
+// a degenerate ensemble (T < 2 snapshots, negative Workers). Match with
+// errors.As, or errors.Is against ErrInvalidOptions.
+type OptionError = core.OptionError
+
+// ErrInvalidOptions is the errors.Is target for all OptionError values.
+var ErrInvalidOptions = core.ErrInvalidOptions
 
 // Model is a trained thermal-map model: basis, mean map and training energy.
 type Model struct {
@@ -51,10 +92,23 @@ func Train(e *Ensemble, opt TrainOptions) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("eigenmaps: unknown basis family %q", opt.Basis)
 	}
+	var method basis.PCAMethod
+	switch opt.Method {
+	case "", AutoMethod:
+		method = basis.PCAAuto
+	case CovarianceMethod:
+		method = basis.PCACovariance
+	case GramMethod:
+		method = basis.PCAGram
+	default:
+		return nil, &OptionError{Option: "Method", Reason: fmt.Sprintf("unknown training method %q (want %q, %q or %q)", opt.Method, AutoMethod, CovarianceMethod, GramMethod)}
+	}
 	m, err := core.Train(e.ds, core.TrainOptions{
-		KMax: opt.KMax,
-		Kind: kind,
-		Seed: opt.Seed,
+		KMax:    opt.KMax,
+		Kind:    kind,
+		Seed:    opt.Seed,
+		Method:  method,
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err
