@@ -10,6 +10,7 @@ package eigenmaps_test
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -21,7 +22,9 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/mat"
 	"repro/internal/place"
+	"repro/internal/power"
 	"repro/internal/recon"
+	"repro/internal/thermal"
 	"repro/internal/track"
 )
 
@@ -525,7 +528,7 @@ func BenchmarkGreedyPlacementFullScale(b *testing.B) {
 // the paper's grid size (the inner loop of dataset generation).
 func BenchmarkThermalStep(b *testing.B) {
 	ens, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
-		Grid: eigenmaps.Grid{W: 60, H: 56}, Snapshots: 1, Seed: 1,
+		Grid: eigenmaps.Grid{W: 60, H: 56}, Snapshots: 4, Seed: 1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -556,3 +559,66 @@ func BenchmarkSymEigen(b *testing.B) {
 }
 
 func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// BenchmarkTransientStep measures one backward-Euler step of the RC model
+// at the paper's full 60×56 grid under a realistic mixed-workload power
+// trace, one sub-benchmark per solver arm. The direct arm solves against
+// the model's factor-once banded Cholesky (the acceptance criterion pins it
+// at ≥5× the CG arm); the CG arm is the original warm-started iteration.
+func BenchmarkTransientStep(b *testing.B) {
+	for _, s := range []thermal.Solver{thermal.SolverCG, thermal.SolverDirect} {
+		b.Run("solver="+s.String(), func(b *testing.B) {
+			fp := floorplan.UltraSparcT1()
+			g := floorplan.Grid{W: 60, H: 56}
+			raster := fp.Rasterize(g)
+			gen := power.NewGenerator(fp, power.Config{
+				Scenario: power.ScenarioMixed, Seed: 7, LoadCoupling: 0.75,
+			})
+			maps := make([][]float64, 64)
+			for i := range maps {
+				maps[i] = power.SpreadToCells(raster, gen.Step())
+			}
+			m := thermal.NewModel(g, thermal.Config{Solver: s})
+			dst := make([]float64, g.N())
+			tr := m.NewTransient()
+			if err := tr.SetSteadyState(maps[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tr.StepInto(dst, maps[i%len(maps)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerate measures full design-time ensemble generation at the
+// quick-config scale, sequential versus one worker per CPU. (The "all"
+// arm equals the sequential one on a 1-CPU machine; the generation fans
+// out over independent scenario segments, so multi-core runners overlap
+// them.)
+func BenchmarkGenerate(b *testing.B) {
+	arms := []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", runtime.NumCPU()}}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := dataset.GenConfig{
+				Grid:      floorplan.Grid{W: 24, H: 22},
+				Snapshots: 240,
+				Seed:      5,
+				Workers:   arm.workers,
+			}
+			fp := floorplan.UltraSparcT1()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dataset.Generate(fp, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/place"
 	"repro/internal/power"
+	"repro/internal/thermal"
 	"repro/internal/track"
 )
 
@@ -62,13 +63,18 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
-// trainKey identifies one trained model in the cache.
+// trainKey identifies one trained model in the cache. Solver is the
+// *resolved* simulation solver arm ("cg" or "direct"), so "auto", "" and
+// "direct" alias to one cache entry; the worker count is deliberately not
+// part of the key because the generated ensemble is bit-identical for every
+// worker count.
 type trainKey struct {
 	Floorplan string
 	W, H      int
 	Snapshots int
 	Seed      int64
 	KMax      int
+	Solver    string
 }
 
 // modelEntry is a lazily trained model; once.Do gates training so concurrent
@@ -145,6 +151,9 @@ type createRequest struct {
 	Sensors   []int   `json:"sensors"`  // explicit sensor cells; overrides M/strategy
 	Tracking  bool    `json:"tracking"` // also build a Kalman tracker
 	Rho       float64 `json:"rho"`      // tracker AR(1) coefficient
+
+	SimSolver  string `json:"sim_solver"`  // transient linear solver: "auto" (default), "cg", "direct"
+	SimWorkers int    `json:"sim_workers"` // goroutine cap for ensemble generation (0 = all CPUs)
 }
 
 type createResponse struct {
@@ -200,8 +209,18 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown floorplan %q (want t1 or athlon)", req.Floorplan)
 		return
 	}
+	solver, err := thermal.ParseSolver(req.SimSolver)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sim_solver %q (want auto, cg or direct)", req.SimSolver)
+		return
+	}
+	if req.SimWorkers < 0 {
+		httpError(w, http.StatusBadRequest, "sim_workers %d is negative (0 = all CPUs)", req.SimWorkers)
+		return
+	}
 	key := trainKey{Floorplan: req.Floorplan, W: req.GridW, H: req.GridH,
-		Snapshots: req.Snapshots, Seed: req.Seed, KMax: req.KMax}
+		Snapshots: req.Snapshots, Seed: req.Seed, KMax: req.KMax,
+		Solver: thermal.ResolveSolver(solver).String()}
 	entry, ok := s.modelFor(key)
 	if !ok {
 		httpError(w, http.StatusTooManyRequests,
@@ -214,6 +233,8 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			Snapshots: key.Snapshots,
 			Seed:      key.Seed,
 			Power:     power.Config{LoadCoupling: 0.75},
+			Solver:    solver,
+			Workers:   req.SimWorkers,
 		})
 		if entry.err == nil {
 			entry.model, entry.err = core.Train(entry.ds, core.TrainOptions{KMax: key.KMax, Seed: key.Seed})

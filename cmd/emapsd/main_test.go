@@ -285,3 +285,32 @@ func TestDaemonMultiplexesMonitorsConcurrently(t *testing.T) {
 		t.Fatalf("stats %+v (want 2 models, 6 monitors)", stats)
 	}
 }
+
+func TestCreateSimSolverOptions(t *testing.T) {
+	ts := httptest.NewServer(newServer(64))
+	defer ts.Close()
+
+	// Both explicit solver arms train successfully; the auto spelling
+	// aliases to the direct cache entry.
+	for _, extra := range []string{`,"sim_solver":"direct","sim_workers":2`, `,"sim_solver":"cg"`, `,"sim_solver":"auto"`} {
+		cr := createMonitor(t, ts, extra)
+		if len(cr.Sensors) != 8 {
+			t.Fatalf("create %s: %+v", extra, cr)
+		}
+	}
+
+	var out map[string]string
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		fmt.Sprintf(createBody, `,"sim_solver":"jacobi"`), &out); resp.StatusCode != 400 {
+		t.Fatalf("bad sim_solver: status %d (%v)", resp.StatusCode, out)
+	}
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		fmt.Sprintf(createBody, `,"sim_workers":-1`), &out); resp.StatusCode != 400 {
+		t.Fatalf("negative sim_workers: status %d (%v)", resp.StatusCode, out)
+	}
+	// Degenerate generation config surfaces as a 400, not a panic.
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":2,"seed":3,"kmax":8,"k":4,"m":8}`, &out); resp.StatusCode != 400 {
+		t.Fatalf("too-few snapshots: status %d (%v)", resp.StatusCode, out)
+	}
+}

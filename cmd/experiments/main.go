@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
 	"repro/internal/render"
+	"repro/internal/thermal"
 )
 
 func main() {
@@ -42,6 +43,9 @@ func main() {
 		seedArg = flag.Int64("seed", 0, "override seed")
 		method  = flag.String("train-method", "auto", "PCA eigensolver side: auto, covariance or gram")
 		workers = flag.Int("workers", 0, "goroutine cap for snapshot-Gram training (0 = all CPUs)")
+
+		simSolver  = flag.String("sim-solver", "auto", "transient linear solver: auto, cg or direct")
+		simWorkers = flag.Int("sim-workers", 0, "goroutine cap for simulating workload segments (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -66,11 +70,20 @@ func main() {
 		log.Fatalf("unknown -train-method %q (want auto, covariance or gram)", *method)
 	}
 	cfg.Workers = *workers
+	solver, serr := thermal.ParseSolver(*simSolver)
+	if serr != nil {
+		log.Fatalf("bad -sim-solver: %v", serr)
+	}
+	cfg.SimSolver = solver
+	cfg.SimWorkers = *simWorkers
 
 	start := time.Now()
 	var env *experiments.Env
 	var err error
 	if *dsPath != "" {
+		if *simSolver != "auto" || *simWorkers != 0 {
+			log.Printf("warning: -sim-solver/-sim-workers are ignored with -dataset (the ensemble is loaded, not simulated)")
+		}
 		ds, lerr := dataset.LoadFile(*dsPath)
 		if lerr != nil {
 			log.Fatal(lerr)
@@ -89,8 +102,12 @@ func main() {
 	}
 	fmt.Printf("environment ready in %v (T=%d, N=%d, KMax=%d)\n",
 		time.Since(start).Round(time.Millisecond), env.DS.T(), env.DS.N(), env.Cfg.KMax)
-	fmt.Printf("  simulate %v · train eigenmaps %v [%v] · train k-lse %v\n\n",
-		env.Timing.Simulate.Round(time.Millisecond),
+	simTag := "" // no solver attribution when a cached dataset skipped simulation
+	if env.Timing.Simulate > 0 {
+		simTag = fmt.Sprintf(" [%v]", env.Timing.SimSolver)
+	}
+	fmt.Printf("  simulate %v%s · train eigenmaps %v [%v] · train k-lse %v\n\n",
+		env.Timing.Simulate.Round(time.Millisecond), simTag,
 		env.Timing.TrainPCA.Round(time.Millisecond), env.Timing.PCAMethod,
 		env.Timing.TrainKLSE.Round(time.Millisecond))
 

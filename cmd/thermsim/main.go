@@ -6,6 +6,7 @@
 //
 //	thermsim -o maps.emds [-w 60] [-hh 56] [-t 2652] [-seed 2012]
 //	         [-scenarios web,compute,mixed,idle] [-leakage]
+//	         [-solver auto|cg|direct] [-workers N]
 package main
 
 import (
@@ -35,8 +36,15 @@ func main() {
 		leakage   = flag.Bool("leakage", false, "enable temperature-dependent leakage feedback")
 		steps     = flag.Int("steps-per-snapshot", 1, "simulation steps between recorded snapshots")
 		coupling  = flag.Float64("coupling", 0.75, "core load coupling in [0,1] (0 = independent cores)")
+		solver    = flag.String("solver", "auto", "transient linear solver: auto, cg or direct")
+		workers   = flag.Int("workers", 0, "goroutine cap for simulating scenario segments (0 = all CPUs)")
 	)
 	flag.Parse()
+
+	sv, err := thermal.ParseSolver(*solver)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var scen []power.Scenario
 	for _, s := range strings.Split(*scenarios, ",") {
@@ -62,6 +70,8 @@ func main() {
 		Seed:             *seed,
 		StepsPerSnapshot: *steps,
 		Power:            power.Config{LoadCoupling: *coupling},
+		Solver:           sv,
+		Workers:          *workers,
 	}
 	if *leakage {
 		cfg.Thermal.Leakage = &thermal.LeakageModel{BaseWPerCell: 0.002, TRefC: 45, TSlopeC: 30}

@@ -377,3 +377,50 @@ func TestRenderFacade(t *testing.T) {
 		t.Fatal("PGM payload too short")
 	}
 }
+
+func TestSimulateT1SolverAndWorkersFacade(t *testing.T) {
+	opts := func(solver eigenmaps.Solver, workers int) eigenmaps.SimOptions {
+		return eigenmaps.SimOptions{
+			Grid: eigenmaps.Grid{W: 12, H: 10}, Snapshots: 16, Seed: 9,
+			Solver: solver, Workers: workers,
+		}
+	}
+	want, err := eigenmaps.SimulateT1(opts(eigenmaps.SolverDirect, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto resolves to direct, and the worker count never changes bytes.
+	for _, o := range []eigenmaps.SimOptions{opts("", 4), opts(eigenmaps.SolverAuto, 0), opts(eigenmaps.SolverDirect, 3)} {
+		got, err := eigenmaps.SimulateT1(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < want.T(); j++ {
+			wj, gj := want.Map(j), got.Map(j)
+			for i := range wj {
+				if wj[i] != gj[i] {
+					t.Fatalf("opts %+v: map %d differs from direct/1-worker run", o, j)
+				}
+			}
+		}
+	}
+	// The CG arm agrees to the pinned tolerance.
+	cg, err := eigenmaps.SimulateT1(opts(eigenmaps.SolverCG, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < want.T(); j++ {
+		wj, cj := want.Map(j), cg.Map(j)
+		for i := range wj {
+			if d := math.Abs(wj[i] - cj[i]); d > 1e-6 {
+				t.Fatalf("map %d cell %d: |direct−cg| = %g °C", j, i, d)
+			}
+		}
+	}
+	if _, err := eigenmaps.SimulateT1(opts("multigrid", 0)); err == nil {
+		t.Fatal("expected unknown-solver error")
+	}
+	if _, err := eigenmaps.SimulateT1(opts("", -1)); err == nil {
+		t.Fatal("expected negative-workers error")
+	}
+}

@@ -6,6 +6,7 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -149,7 +150,38 @@ type GenConfig struct {
 	Seed    int64
 	Thermal thermal.Config
 	Power   power.Config // Scenario and Seed fields are overridden per segment
+
+	// Solver overrides Thermal.Solver when non-auto: the linear-solver arm
+	// of the transient simulation (auto/cg/direct; see thermal.Solver).
+	Solver thermal.Solver
+
+	// Workers caps the goroutines generating scenario segments concurrently
+	// (0 = all CPUs, 1 = sequential). Segments are fully independent — each
+	// owns its seeded workload generator and its Transient over the shared
+	// read-only thermal model — so the output is bit-identical for every
+	// worker count.
+	Workers int
 }
+
+// ConfigError reports a GenConfig field that would silently produce a
+// degenerate ensemble. Match with errors.As, or errors.Is against
+// ErrInvalidConfig. It mirrors core.OptionError (which dataset cannot
+// import without a cycle).
+type ConfigError struct {
+	Option string // offending field, e.g. "Snapshots"
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("dataset: invalid %s: %s", e.Option, e.Reason)
+}
+
+// Is makes every ConfigError match ErrInvalidConfig.
+func (e *ConfigError) Is(target error) bool { return target == ErrInvalidConfig }
+
+// ErrInvalidConfig is the errors.Is target for all ConfigError values.
+var ErrInvalidConfig = errors.New("dataset: invalid generation config")
 
 func (c *GenConfig) defaults() {
 	if c.Grid.W == 0 || c.Grid.H == 0 {
@@ -168,49 +200,110 @@ func (c *GenConfig) defaults() {
 	}
 }
 
+// validate rejects configurations that used to fail silently: fewer
+// snapshots than scenarios gave the early scenarios zero snapshots and the
+// last one everything, a negative worker cap is always a caller bug, and an
+// out-of-range solver would panic deep inside thermal.NewModel.
+func (c *GenConfig) validate() error {
+	if c.Snapshots < len(c.Scenarios) {
+		return &ConfigError{Option: "Snapshots", Reason: fmt.Sprintf(
+			"%d snapshots cannot cover %d scenarios (each scenario segment needs at least one snapshot)",
+			c.Snapshots, len(c.Scenarios))}
+	}
+	if c.Workers < 0 {
+		return &ConfigError{Option: "Workers", Reason: fmt.Sprintf(
+			"%d is negative (0 = all CPUs, 1 = sequential)", c.Workers)}
+	}
+	if !thermal.ValidSolver(c.Solver) {
+		return &ConfigError{Option: "Solver", Reason: fmt.Sprintf("unknown solver %v", c.Solver)}
+	}
+	if !thermal.ValidSolver(c.Thermal.Solver) {
+		return &ConfigError{Option: "Thermal.Solver", Reason: fmt.Sprintf("unknown solver %v", c.Thermal.Solver)}
+	}
+	return nil
+}
+
 // Generate runs the full design-time pipeline: for each scenario segment it
 // builds a workload generator, starts the thermal model at the steady state
 // of the first power map, and records the die temperature after every
 // StepsPerSnapshot transient steps.
+//
+// Scenario segments are generated concurrently across cfg.Workers
+// goroutines. Each segment owns its seeded power generator and Transient
+// and writes to its own row range, while all of them share the model's
+// factored system matrix read-only, so the result is bit-identical to a
+// sequential run (pinned by the determinism tests).
 func Generate(fp *floorplan.Floorplan, cfg GenConfig) (*Dataset, error) {
 	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if err := fp.Validate(); err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	raster := fp.Rasterize(cfg.Grid)
-	model := thermal.NewModel(cfg.Grid, cfg.Thermal)
+	tcfg := cfg.Thermal
+	if cfg.Solver != thermal.SolverAuto {
+		tcfg.Solver = cfg.Solver
+	}
+	model := thermal.NewModel(cfg.Grid, tcfg)
 
 	maps := mat.New(cfg.Snapshots, cfg.Grid.N())
-	perSeg := cfg.Snapshots / len(cfg.Scenarios)
-	row := 0
-	for si, sc := range cfg.Scenarios {
-		segSnaps := perSeg
-		if si == len(cfg.Scenarios)-1 {
-			segSnaps = cfg.Snapshots - row // absorb remainder
-		}
-		pcfg := cfg.Power
-		pcfg.Scenario = sc
-		pcfg.Seed = cfg.Seed + int64(si)*7919
-		gen := power.NewGenerator(fp, pcfg)
+	// Segment si covers rows [starts[si], starts[si+1]); the last segment
+	// absorbs the division remainder.
+	nseg := len(cfg.Scenarios)
+	perSeg := cfg.Snapshots / nseg
+	starts := make([]int, nseg+1)
+	for si := 0; si < nseg; si++ {
+		starts[si] = si * perSeg
+	}
+	starts[nseg] = cfg.Snapshots
 
-		tr := model.NewTransient()
-		first := power.SpreadToCells(raster, gen.Step())
-		if err := tr.SetSteadyState(first); err != nil {
-			return nil, fmt.Errorf("dataset: scenario %v warm start: %w", sc, err)
+	errs := make([]error, nseg)
+	mat.ParallelChunks(nseg, cfg.Workers, func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			errs[si] = generateSegment(fp, raster, model, &cfg, si, starts[si], starts[si+1], maps)
 		}
-		for s := 0; s < segSnaps; s++ {
-			var temps []float64
-			var err error
-			for k := 0; k < cfg.StepsPerSnapshot; k++ {
-				cellP := power.SpreadToCells(raster, gen.Step())
-				temps, err = tr.Step(cellP)
-				if err != nil {
-					return nil, fmt.Errorf("dataset: scenario %v step: %w", sc, err)
-				}
-			}
-			maps.SetRow(row, temps)
-			row++
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return &Dataset{Grid: cfg.Grid, Maps: maps}, nil
+}
+
+// generateSegment simulates scenario segment si, writing snapshots into
+// rows [start, end) of maps. The transient inner loop is allocation-free:
+// power is spread into a reused cell buffer and temperatures are written
+// straight into the dataset rows (intermediate un-recorded steps land in a
+// scratch row).
+func generateSegment(fp *floorplan.Floorplan, raster *floorplan.Raster, model *thermal.Model,
+	cfg *GenConfig, si, start, end int, maps *mat.Matrix) error {
+	sc := cfg.Scenarios[si]
+	pcfg := cfg.Power
+	pcfg.Scenario = sc
+	pcfg.Seed = cfg.Seed + int64(si)*7919
+	gen := power.NewGenerator(fp, pcfg)
+
+	tr := model.NewTransient()
+	cellP := make([]float64, cfg.Grid.N())
+	scratch := make([]float64, cfg.Grid.N())
+	power.SpreadToCellsInto(cellP, raster, gen.Step())
+	if err := tr.SetSteadyState(cellP); err != nil {
+		return fmt.Errorf("dataset: scenario %v warm start: %w", sc, err)
+	}
+	for row := start; row < end; row++ {
+		for k := 0; k < cfg.StepsPerSnapshot; k++ {
+			power.SpreadToCellsInto(cellP, raster, gen.Step())
+			dst := scratch
+			if k == cfg.StepsPerSnapshot-1 {
+				dst = maps.Row(row)
+			}
+			if err := tr.StepInto(dst, cellP); err != nil {
+				return fmt.Errorf("dataset: scenario %v step: %w", sc, err)
+			}
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/mat"
 	"repro/internal/power"
+	"repro/internal/thermal"
 )
 
 // tinyConfig keeps Generate fast in tests.
@@ -281,5 +283,115 @@ func TestValidateRejectsGridMismatch(t *testing.T) {
 	d.Grid = floorplan.Grid{W: 3, H: 3}
 	if err := d.Validate(); err == nil {
 		t.Fatal("expected grid mismatch error")
+	}
+}
+
+func TestGenerateWorkersBitIdentical(t *testing.T) {
+	// The tentpole parallelism pin: every worker count must produce the
+	// same bytes, because segments are fully independent.
+	base := tinyConfig(30, 21)
+	base.Workers = 1
+	want, err := Generate(floorplan.UltraSparcT1(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4} {
+		cfg := tinyConfig(30, 21)
+		cfg.Workers = workers
+		got, err := Generate(floorplan.UltraSparcT1(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Maps.Equal(want.Maps, 0) {
+			t.Fatalf("workers=%d produced different bytes than workers=1", workers)
+		}
+	}
+}
+
+func TestGenerateSolverAgreement(t *testing.T) {
+	// Direct vs CG die temperatures agree to < 1e-6 °C across scenarios,
+	// leakage on/off, and both bundled floorplans (the tentpole agreement
+	// criterion at the dataset level).
+	plans := map[string]*floorplan.Floorplan{
+		"t1":     floorplan.UltraSparcT1(),
+		"athlon": floorplan.AthlonDualCore(),
+	}
+	for name, fp := range plans {
+		for _, leak := range []bool{false, true} {
+			cfg := tinyConfig(24, 33)
+			if leak {
+				cfg.Thermal.Leakage = &thermal.LeakageModel{BaseWPerCell: 0.002, TRefC: 45, TSlopeC: 30}
+			}
+			cfg.Solver = thermal.SolverDirect
+			direct, err := Generate(fp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Solver = thermal.SolverCG
+			cg, err := Generate(fp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < direct.T(); j++ {
+				dj, cj := direct.Map(j), cg.Map(j)
+				for i := range dj {
+					if d := math.Abs(dj[i] - cj[i]); d > 1e-6 {
+						t.Fatalf("%s leakage=%v map %d cell %d: |direct−cg| = %g °C", name, leak, j, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsTooFewSnapshots(t *testing.T) {
+	cfg := tinyConfig(3, 1) // 3 snapshots over 4 default scenarios
+	_, err := Generate(floorplan.UltraSparcT1(), cfg)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Option != "Snapshots" {
+		t.Fatalf("err = %v, want ConfigError{Option: Snapshots}", err)
+	}
+}
+
+func TestGenerateRejectsNegativeWorkers(t *testing.T) {
+	cfg := tinyConfig(8, 1)
+	cfg.Workers = -2
+	_, err := Generate(floorplan.UltraSparcT1(), cfg)
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Option != "Workers" {
+		t.Fatalf("err = %v, want ConfigError{Option: Workers}", err)
+	}
+}
+
+func TestGenerateRejectsUnknownSolver(t *testing.T) {
+	cfg := tinyConfig(8, 1)
+	cfg.Solver = thermal.Solver(42)
+	_, err := Generate(floorplan.UltraSparcT1(), cfg)
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Option != "Solver" {
+		t.Fatalf("err = %v, want ConfigError{Option: Solver}", err)
+	}
+	cfg = tinyConfig(8, 1)
+	cfg.Thermal.Solver = thermal.Solver(42)
+	if _, err := Generate(floorplan.UltraSparcT1(), cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig for Thermal.Solver", err)
+	}
+}
+
+func TestGenerateSolverArmsBothWork(t *testing.T) {
+	// Smoke: both arms produce plausible ensembles through the public path.
+	for _, s := range []thermal.Solver{thermal.SolverCG, thermal.SolverDirect} {
+		cfg := tinyConfig(8, 2)
+		cfg.Solver = s
+		d, err := Generate(floorplan.UltraSparcT1(), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if st := d.Stats(); st.MinC < 44 || st.MaxC > 150 {
+			t.Fatalf("%v: implausible range %v..%v", s, st.MinC, st.MaxC)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/floorplan"
 	"repro/internal/power"
+	"repro/internal/thermal"
 )
 
 // Config scales the experiment suite. DefaultConfig reproduces the paper's
@@ -45,6 +46,13 @@ type Config struct {
 	// Workers forwards to core.TrainOptions: the goroutine cap for the
 	// snapshot-Gram training path (0 = all CPUs).
 	Workers int
+
+	// SimSolver forwards to dataset.GenConfig: the transient linear-solver
+	// arm (default auto — the factor-once banded direct solver).
+	SimSolver thermal.Solver
+	// SimWorkers forwards to dataset.GenConfig: the goroutine cap for
+	// generating scenario segments concurrently (0 = all CPUs).
+	SimWorkers int
 }
 
 // DefaultConfig returns the paper-scale configuration: 60×56 grid, T = 2652
@@ -87,6 +95,10 @@ type Timing struct {
 	TrainPCA  time.Duration // EigenMaps training
 	TrainKLSE time.Duration // DCT baseline training
 	PCAMethod basis.PCAMethod
+	// SimSolver is the resolved solver arm the simulation ran with; it is
+	// left zero (auto) when a cached dataset was supplied and nothing was
+	// simulated.
+	SimSolver thermal.Solver
 }
 
 // Env holds the shared precomputed state every experiment driver reuses:
@@ -109,6 +121,8 @@ func NewEnv(cfg Config) (*Env, error) {
 		Snapshots: cfg.Snapshots,
 		Seed:      cfg.Seed,
 		Power:     power.Config{LoadCoupling: cfg.LoadCoupling},
+		Solver:    cfg.SimSolver,
+		Workers:   cfg.SimWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: simulate: %w", err)
@@ -118,6 +132,9 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Attributed here, not in NewEnvWithDataset: a preloaded dataset was not
+	// produced by this process, so no solver arm can be claimed for it.
+	env.Timing.SimSolver = thermal.ResolveSolver(cfg.SimSolver)
 	env.Timing.Simulate = simTime
 	return env, nil
 }

@@ -370,10 +370,23 @@ func TotalPower(blockPowers []float64) float64 {
 // (the paper's "large blocks having the same average power consumption").
 // Cells not covered by any block receive zero.
 func SpreadToCells(r *floorplan.Raster, blockPowers []float64) []float64 {
+	out := make([]float64, r.Grid.N())
+	SpreadToCellsInto(out, r, blockPowers)
+	return out
+}
+
+// SpreadToCellsInto is the allocation-free form of SpreadToCells: the
+// per-cell watts are written into dst (length N), which is zeroed first.
+func SpreadToCellsInto(dst []float64, r *floorplan.Raster, blockPowers []float64) {
 	if len(blockPowers) != len(r.Plan.Blocks) {
 		panic(fmt.Sprintf("power: %d block powers for %d blocks", len(blockPowers), len(r.Plan.Blocks)))
 	}
-	out := make([]float64, r.Grid.N())
+	if len(dst) != r.Grid.N() {
+		panic(fmt.Sprintf("power: dst length %d for %d cells", len(dst), r.Grid.N()))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for b, watts := range blockPowers {
 		cells := r.CellsOf(b)
 		if len(cells) == 0 {
@@ -381,8 +394,7 @@ func SpreadToCells(r *floorplan.Raster, blockPowers []float64) []float64 {
 		}
 		per := watts / float64(len(cells))
 		for _, i := range cells {
-			out[i] = per
+			dst[i] = per
 		}
 	}
-	return out
 }

@@ -296,3 +296,37 @@ func TestLoadCouplingKeepsPowerBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestSpreadToCellsIntoMatchesAndZeroAlloc(t *testing.T) {
+	fp := floorplan.UltraSparcT1()
+	r := fp.Rasterize(floorplan.Grid{W: 16, H: 14})
+	bp := make([]float64, len(fp.Blocks))
+	for i := range bp {
+		bp[i] = float64(i) * 0.3
+	}
+	want := SpreadToCells(r, bp)
+	dst := make([]float64, r.Grid.N())
+	for i := range dst {
+		dst[i] = 99 // must be overwritten, including uncovered cells
+	}
+	SpreadToCellsInto(dst, r, bp)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("cell %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() { SpreadToCellsInto(dst, r, bp) }); allocs != 0 {
+		t.Fatalf("SpreadToCellsInto allocated %v times per run", allocs)
+	}
+}
+
+func TestSpreadToCellsIntoBadDstPanics(t *testing.T) {
+	fp := floorplan.UltraSparcT1()
+	r := fp.Rasterize(floorplan.Grid{W: 8, H: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpreadToCellsInto(make([]float64, 3), r, make([]float64, len(fp.Blocks)))
+}

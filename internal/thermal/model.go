@@ -8,16 +8,89 @@
 // interface material (TIM) to spreader cells; spreader cells connect through
 // the per-area share of the heat-sink resistance to ambient. Power is
 // injected in the die layer. Time integration is backward Euler (always
-// stable), with the SPD linear system solved by Jacobi-preconditioned
-// conjugate gradients, warm-started from the previous step.
+// stable).
+//
+// The backward-Euler system matrix A = C/dt + G is constant across all
+// steps, so the default solver factors it once as a banded Cholesky under an
+// interleaved die/spreader ordering (bandwidth 2·min(W,H) instead of n under
+// the layer-major ordering) and advances every step with two O(n·bw) triangular
+// substitutions — exact and with deterministic per-step cost. The original
+// Jacobi-preconditioned conjugate-gradient arm remains available behind
+// Config.Solver for ablation and for cross-checking; see DESIGN.md.
 package thermal
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/floorplan"
+	"repro/internal/mat"
 )
+
+// Solver selects how the SPD linear systems of the model are solved.
+type Solver int
+
+// Solver arms.
+const (
+	// SolverAuto picks the best solver for the grid; it currently always
+	// resolves to SolverDirect (see ResolveSolver).
+	SolverAuto Solver = iota
+	// SolverCG is Jacobi-preconditioned conjugate gradients, warm-started
+	// from the previous step (the original iterative arm; per-step cost
+	// depends on the power map through the iteration count).
+	SolverCG
+	// SolverDirect factors A (and G) once as banded Choleskys and solves
+	// each step by two triangular substitutions.
+	SolverDirect
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	switch s {
+	case SolverAuto:
+		return "auto"
+	case SolverCG:
+		return "cg"
+	case SolverDirect:
+		return "direct"
+	}
+	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
+// ParseSolver converts a flag/JSON spelling into a Solver. The empty string
+// means auto.
+func ParseSolver(s string) (Solver, error) {
+	switch s {
+	case "", "auto":
+		return SolverAuto, nil
+	case "cg":
+		return SolverCG, nil
+	case "direct":
+		return SolverDirect, nil
+	}
+	return 0, fmt.Errorf("thermal: unknown solver %q (want auto, cg or direct)", s)
+}
+
+// ValidSolver reports whether s is one of the defined solver arms (config
+// validators use this to reject garbage values with a typed error instead
+// of panicking deep in the simulator).
+func ValidSolver(s Solver) bool {
+	return s == SolverAuto || s == SolverCG || s == SolverDirect
+}
+
+// ResolveSolver maps SolverAuto to the concrete arm NewModel will use.
+// The banded factor wins at every grid shape this repository simulates: its
+// O(n·bw) per-step cost beats CG's many stencil sweeps per step even at
+// the paper's full 60×56 grid, and the one-time O(n·bw²) factor amortizes
+// over the thousands of steps of a dataset run, so auto always resolves to
+// SolverDirect. The explicit arms are returned unchanged.
+func ResolveSolver(s Solver) Solver {
+	if s == SolverAuto {
+		return SolverDirect
+	}
+	return s
+}
 
 // Material bundles the two bulk properties the RC model needs.
 type Material struct {
@@ -56,7 +129,11 @@ type Config struct {
 	// die cell, closing the electro-thermal feedback loop.
 	Leakage *LeakageModel
 
-	// CG controls for the inner solver.
+	// Solver selects the linear-solver arm (auto/cg/direct). The zero value
+	// (auto) resolves via ResolveSolver.
+	Solver Solver
+
+	// CG controls for the iterative arm (ignored by SolverDirect).
 	CGTol     float64 // relative residual; default 1e-8
 	CGMaxIter int     // default 2000
 }
@@ -135,6 +212,18 @@ type Model struct {
 	cDie, cSpr float64
 
 	diag []float64 // diagonal of G (conductance matrix), length 2n
+
+	solver Solver // resolved arm (never SolverAuto)
+	ord    []int  // banded-system cell permutation (see cellOrder)
+
+	// Banded Cholesky factors of A = C/dt + G (transient steps) and G
+	// (steady states), assembled under the interleaved die/spreader
+	// ordering. Factored lazily exactly once and then shared read-only by
+	// every Transient of this model — concurrent dataset-generation workers
+	// all solve against the same factor.
+	onceA, onceG sync.Once
+	facA, facG   *mat.BandCholesky
+	errA, errG   error
 }
 
 // NewModel assembles the RC network for grid g under cfg (zero fields take
@@ -160,7 +249,12 @@ func NewModel(g floorplan.Grid, cfg Config) *Model {
 		cDie:  cfg.Die.VolumetricC * area * cfg.DieThicknessM,
 		cSpr:  cfg.Spreader.VolumetricC * area * cfg.SpreaderThicknessM,
 	}
+	if !ValidSolver(cfg.Solver) {
+		panic(fmt.Sprintf("thermal: invalid solver %v", cfg.Solver))
+	}
+	m.solver = ResolveSolver(cfg.Solver)
 	m.diag = m.conductanceDiagonal()
+	m.ord = m.cellOrder()
 	return m
 }
 
@@ -253,35 +347,144 @@ func (m *Model) applyA(x, y []float64) {
 	}
 }
 
+// cellOrder returns the permutation placing cell i's unknowns at
+// 2·ord[i] (die) and 2·ord[i]+1 (spreader) in the banded system, chosen so
+// adjacent-in-order cells are neighbours along the grid's *minor*
+// dimension: the identity (column-stacked) order when H ≤ W, the row-major
+// transpose when H > W. Either way the widest coupling — the lateral hop
+// along the major dimension — sits 2·min(W,H) unknowns away, so the
+// bandwidth is 2·min(W,H) regardless of the grid's orientation (the TIM
+// coupling sits at 1 and the minor-dimension hop at 2). Compare n = W·H
+// under the layer-major ordering.
+func (m *Model) cellOrder() []int {
+	g := m.Grid
+	ord := make([]int, m.n)
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			i := g.Index(row, col)
+			if g.H > g.W {
+				ord[i] = row*g.W + col
+			} else {
+				ord[i] = i
+			}
+		}
+	}
+	return ord
+}
+
+// bandwidth returns the number of sub-diagonals of A (and G) under the
+// cellOrder interleaving (clamped by NewSymBand for degenerate grids).
+func (m *Model) bandwidth() int {
+	minor := m.Grid.H
+	if m.Grid.W < minor {
+		minor = m.Grid.W
+	}
+	return 2 * minor
+}
+
+// assembleBand builds the conductance matrix G — plus the C/dt mass terms
+// when withMass is set, giving the backward-Euler matrix A — in symmetric
+// band form under the cellOrder interleaving.
+func (m *Model) assembleBand(withMass bool) *mat.SymBand {
+	g := m.Grid
+	n := m.n
+	a := mat.NewSymBand(2*n, m.bandwidth())
+	var cd, cs float64
+	if withMass {
+		cd = m.cDie / m.Cfg.DtSeconds
+		cs = m.cSpr / m.Cfg.DtSeconds
+	}
+	ord := m.ord
+	for row := 0; row < g.H; row++ {
+		for col := 0; col < g.W; col++ {
+			i := g.Index(row, col)
+			oi := ord[i]
+			a.Set(2*oi, 2*oi, m.diag[i]+cd)
+			a.Set(2*oi+1, 2*oi+1, m.diag[n+i]+cs)
+			a.Set(2*oi+1, 2*oi, -m.gTIM)
+			if row > 0 {
+				oj := ord[i-1]
+				a.Set(2*oi, 2*oj, -m.gyDie)
+				a.Set(2*oi+1, 2*oj+1, -m.gySpr)
+			}
+			if col > 0 {
+				oj := ord[i-g.H]
+				a.Set(2*oi, 2*oj, -m.gxDie)
+				a.Set(2*oi+1, 2*oj+1, -m.gxSpr)
+			}
+		}
+	}
+	return a
+}
+
+// factorA returns the banded Cholesky factor of A = C/dt + G, computing it
+// exactly once per model. Safe for concurrent use.
+func (m *Model) factorA() (*mat.BandCholesky, error) {
+	m.onceA.Do(func() {
+		m.facA, m.errA = mat.NewBandCholesky(m.assembleBand(true))
+	})
+	return m.facA, m.errA
+}
+
+// factorG returns the banded Cholesky factor of G, computing it exactly
+// once per model. Safe for concurrent use.
+func (m *Model) factorG() (*mat.BandCholesky, error) {
+	m.onceG.Do(func() {
+		m.facG, m.errG = mat.NewBandCholesky(m.assembleBand(false))
+	})
+	return m.facG, m.errG
+}
+
+// interleave packs the layer-major vector x (die rises in [0,n), spreader
+// rises in [n,2n)) into z with cell i's unknowns at 2·ord[i] and 2·ord[i]+1.
+func (m *Model) interleave(z, x []float64) {
+	for i, oi := range m.ord {
+		z[2*oi] = x[i]
+		z[2*oi+1] = x[m.n+i]
+	}
+}
+
+// deinterleave is the inverse permutation of interleave.
+func (m *Model) deinterleave(x, z []float64) {
+	for i, oi := range m.ord {
+		x[i] = z[2*oi]
+		x[m.n+i] = z[2*oi+1]
+	}
+}
+
 // SteadyState solves G·T = P for the equilibrium temperature rise under the
 // per-die-cell power vector (length n) and returns die temperatures in °C.
 func (m *Model) SteadyState(cellPowerW []float64) ([]float64, error) {
 	if len(cellPowerW) != m.n {
 		panic("thermal: SteadyState power length mismatch")
 	}
-	b := make([]float64, 2*m.n)
-	copy(b, cellPowerW)
-	x := make([]float64, 2*m.n)
-	precond := m.diag
-	if err := m.cg(m.ApplyG, b, x, precond); err != nil {
+	tr := m.NewTransient()
+	if err := tr.SetSteadyState(cellPowerW); err != nil {
 		return nil, err
 	}
-	out := make([]float64, m.n)
-	for i := range out {
-		out[i] = x[i] + m.Cfg.AmbientC
+	return tr.DieTemperatures(), nil
+}
+
+// cgScratch holds the four work vectors of the CG iteration so the hot path
+// allocates nothing per solve.
+type cgScratch struct {
+	r, z, p, ap []float64
+}
+
+func newCGScratch(n int) *cgScratch {
+	return &cgScratch{
+		r:  make([]float64, n),
+		z:  make([]float64, n),
+		p:  make([]float64, n),
+		ap: make([]float64, n),
 	}
-	return out, nil
 }
 
 // cg solves apply(x) = b by preconditioned conjugate gradients with the
 // Jacobi preconditioner diag. x holds the warm start on entry and the
-// solution on exit.
-func (m *Model) cg(apply func(x, y []float64), b, x, diag []float64) error {
-	n := len(b)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+// solution on exit. Work vectors come from s (length 2n each).
+func (m *Model) cg(apply func(x, y []float64), b, x, diag []float64, s *cgScratch) error {
+	r, z, p, ap := s.r, s.z, s.p, s.ap
 
 	apply(x, r)
 	for i := range r {

@@ -1,0 +1,276 @@
+package thermal
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestSolverString(t *testing.T) {
+	cases := map[Solver]string{
+		SolverAuto: "auto", SolverCG: "cg", SolverDirect: "direct", Solver(9): "Solver(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestParseSolver(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Solver
+	}{{"", SolverAuto}, {"auto", SolverAuto}, {"cg", SolverCG}, {"direct", SolverDirect}} {
+		got, err := ParseSolver(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSolver(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSolver("jacobi"); err == nil {
+		t.Fatal("expected error for unknown solver name")
+	}
+}
+
+func TestResolveSolver(t *testing.T) {
+	if ResolveSolver(SolverAuto) != SolverDirect {
+		t.Fatal("auto must resolve to direct")
+	}
+	if ResolveSolver(SolverCG) != SolverCG || ResolveSolver(SolverDirect) != SolverDirect {
+		t.Fatal("explicit arms must pass through unchanged")
+	}
+}
+
+func TestNewModelRejectsUnknownSolver(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModel(floorplan.Grid{W: 4, H: 4}, Config{Solver: Solver(42)})
+}
+
+// stepPowers builds a deterministic sequence of spatially-structured power
+// maps that moves enough between steps to exercise both solver arms.
+func stepPowers(n, steps int) [][]float64 {
+	out := make([][]float64, steps)
+	for s := range out {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = 0.01 + 0.02*math.Abs(math.Sin(float64(i*(s+3)+7)))
+		}
+		out[s] = p
+	}
+	return out
+}
+
+// TestDirectMatchesCGTransient pins the tentpole agreement criterion at the
+// thermal level: stepping the same trace through both arms, with and
+// without leakage, die temperatures stay within 1e-6 °C.
+func TestDirectMatchesCGTransient(t *testing.T) {
+	for _, lk := range []*LeakageModel{nil, {BaseWPerCell: 0.004, TRefC: 45, TSlopeC: 30}} {
+		g := floorplan.Grid{W: 14, H: 11}
+		powers := stepPowers(g.N(), 60)
+		run := func(s Solver) [][]float64 {
+			m := NewModel(g, Config{Solver: s, Leakage: lk})
+			tr := m.NewTransient()
+			if err := tr.SetSteadyState(powers[0]); err != nil {
+				t.Fatal(err)
+			}
+			var outs [][]float64
+			for _, p := range powers {
+				temps, err := tr.Step(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				outs = append(outs, temps)
+			}
+			return outs
+		}
+		direct := run(SolverDirect)
+		cg := run(SolverCG)
+		for s := range direct {
+			for i := range direct[s] {
+				if d := math.Abs(direct[s][i] - cg[s][i]); d > 1e-6 {
+					t.Fatalf("leakage=%v step %d cell %d: |direct−cg| = %g °C", lk != nil, s, i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDirectMatchesCGSteadyState(t *testing.T) {
+	g := floorplan.Grid{W: 12, H: 10}
+	p := stepPowers(g.N(), 1)[0]
+	direct, err := NewModel(g, Config{Solver: SolverDirect}).SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := NewModel(g, Config{Solver: SolverCG}).SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if d := math.Abs(direct[i] - cg[i]); d > 1e-6 {
+			t.Fatalf("cell %d: |direct−cg| = %g °C", i, d)
+		}
+	}
+}
+
+func TestStepIntoMatchesStep(t *testing.T) {
+	for _, s := range []Solver{SolverDirect, SolverCG} {
+		g := floorplan.Grid{W: 9, H: 7}
+		powers := stepPowers(g.N(), 10)
+		m := NewModel(g, Config{Solver: s})
+		trA, trB := m.NewTransient(), m.NewTransient()
+		dst := make([]float64, g.N())
+		for _, p := range powers {
+			want, err := trA.Step(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := trB.StepInto(dst, p); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("%v: StepInto diverged from Step at cell %d", s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStepIntoZeroAlloc pins the hot path of dataset generation at zero
+// allocations per step for both solver arms (the CG arm's work vectors live
+// on the Transient, the direct arm solves in place against the shared
+// factor).
+func TestStepIntoZeroAlloc(t *testing.T) {
+	for _, s := range []Solver{SolverDirect, SolverCG} {
+		g := floorplan.Grid{W: 12, H: 10}
+		p := stepPowers(g.N(), 1)[0]
+		m := NewModel(g, Config{Solver: s})
+		tr := m.NewTransient()
+		if err := tr.SetSteadyState(p); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, g.N())
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := tr.StepInto(dst, p); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: StepInto allocated %v times per step", s, allocs)
+		}
+	}
+}
+
+func TestSetSteadyStateZeroAllocAfterFirst(t *testing.T) {
+	g := floorplan.Grid{W: 10, H: 8}
+	p := stepPowers(g.N(), 1)[0]
+	m := NewModel(g, Config{})
+	tr := m.NewTransient()
+	if err := tr.SetSteadyState(p); err != nil { // first call factors G
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := tr.SetSteadyState(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SetSteadyState allocated %v times per call", allocs)
+	}
+}
+
+func TestDieTemperaturesInto(t *testing.T) {
+	g := floorplan.Grid{W: 6, H: 5}
+	m := NewModel(g, Config{})
+	tr := m.NewTransient()
+	if err := tr.SetSteadyState(stepPowers(g.N(), 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := tr.DieTemperatures()
+	got := make([]float64, g.N())
+	tr.DieTemperaturesInto(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("DieTemperaturesInto mismatch")
+		}
+	}
+}
+
+// TestSharedFactorConcurrentTransients runs several Transients over one
+// Model from separate goroutines (the parallel dataset-generation shape);
+// under -race this pins that the lazily-computed factor is safely shared.
+func TestSharedFactorConcurrentTransients(t *testing.T) {
+	g := floorplan.Grid{W: 10, H: 9}
+	m := NewModel(g, Config{})
+	powers := stepPowers(g.N(), 8)
+	want := func() []float64 {
+		tr := m.NewTransient()
+		var last []float64
+		for _, p := range powers {
+			var err error
+			if last, err = tr.Step(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return last
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := m.NewTransient()
+			var last []float64
+			for _, p := range powers {
+				var err error
+				if last, err = tr.Step(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for i := range want {
+				if last[i] != want[i] {
+					t.Errorf("concurrent transient diverged at cell %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTallGridAgreement pins the minor-dimension ordering: a grid with
+// H > W must produce the same physics (direct vs CG < 1e-6 °C) while the
+// band stays at 2·min(W,H) wide rather than 2·H.
+func TestTallGridAgreement(t *testing.T) {
+	g := floorplan.Grid{W: 6, H: 20}
+	powers := stepPowers(g.N(), 30)
+	run := func(s Solver) []float64 {
+		m := NewModel(g, Config{Solver: s})
+		if bw := m.bandwidth(); bw != 12 {
+			t.Fatalf("bandwidth %d for 6×20 grid, want 2·min(W,H) = 12", bw)
+		}
+		tr := m.NewTransient()
+		var last []float64
+		for _, p := range powers {
+			var err error
+			if last, err = tr.Step(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return last
+	}
+	direct, cg := run(SolverDirect), run(SolverCG)
+	for i := range direct {
+		if d := math.Abs(direct[i] - cg[i]); d > 1e-6 {
+			t.Fatalf("cell %d: |direct−cg| = %g °C", i, d)
+		}
+	}
+}

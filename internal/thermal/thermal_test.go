@@ -47,7 +47,7 @@ func TestSteadyStateEnergyBalance(t *testing.T) {
 	b := make([]float64, 2*m.Grid.N())
 	copy(b, p)
 	x := make([]float64, 2*m.Grid.N())
-	if err := m.cg(m.ApplyG, b, x, m.diag); err != nil {
+	if err := m.cg(m.ApplyG, b, x, m.diag, newCGScratch(len(b))); err != nil {
 		t.Fatal(err)
 	}
 	var out float64

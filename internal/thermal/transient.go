@@ -1,6 +1,14 @@
 package thermal
 
 // Transient integrates the RC model in time with backward Euler.
+//
+// Each step solves A·t⁺ = C/dt·t + p with A = C/dt + G constant, so under
+// SolverDirect the step is two banded triangular substitutions against the
+// model's factor-once Cholesky (exact, allocation-free, per-step cost
+// independent of the power map); under SolverCG it is the original
+// warm-started Jacobi-preconditioned CG iteration. Multiple Transients may
+// run concurrently over one shared Model: the model's factors and
+// conductances are read-only after first use.
 type Transient struct {
 	m *Model
 	// t holds temperature *rise above ambient* for all 2n unknowns; the
@@ -8,53 +16,114 @@ type Transient struct {
 	t []float64
 
 	// scratch
-	b     []float64
-	diagA []float64
+	b     []float64  // right-hand side, layer-major
+	z     []float64  // interleaved permutation buffer (direct arm)
+	diagA []float64  // Jacobi preconditioner of A (CG arm)
+	cgs   *cgScratch // CG work vectors (CG arm)
 }
 
 // NewTransient starts a transient run from thermal equilibrium at ambient
 // (zero rise everywhere).
 func (m *Model) NewTransient() *Transient {
 	tr := &Transient{
-		m:     m,
-		t:     make([]float64, 2*m.n),
-		b:     make([]float64, 2*m.n),
-		diagA: make([]float64, 2*m.n),
+		m: m,
+		t: make([]float64, 2*m.n),
+		b: make([]float64, 2*m.n),
 	}
-	cd := m.cDie / m.Cfg.DtSeconds
-	cs := m.cSpr / m.Cfg.DtSeconds
-	for i := 0; i < m.n; i++ {
-		tr.diagA[i] = m.diag[i] + cd
-		tr.diagA[m.n+i] = m.diag[m.n+i] + cs
+	if m.solver == SolverDirect {
+		tr.z = make([]float64, 2*m.n)
+	} else {
+		tr.diagA = make([]float64, 2*m.n)
+		tr.cgs = newCGScratch(2 * m.n)
+		cd := m.cDie / m.Cfg.DtSeconds
+		cs := m.cSpr / m.Cfg.DtSeconds
+		for i := 0; i < m.n; i++ {
+			tr.diagA[i] = m.diag[i] + cd
+			tr.diagA[m.n+i] = m.diag[m.n+i] + cs
+		}
 	}
 	return tr
 }
 
 // SetSteadyState initializes the run at the equilibrium for the given power
-// map, avoiding a long warm-up transient.
+// map (length n), avoiding a long warm-up transient. It reuses the
+// transient's scratch, so repeated calls allocate nothing.
 func (tr *Transient) SetSteadyState(cellPowerW []float64) error {
 	m := tr.m
-	b := make([]float64, 2*m.n)
-	copy(b, cellPowerW)
+	if len(cellPowerW) != m.n {
+		panic("thermal: SetSteadyState power length mismatch")
+	}
+	copy(tr.b, cellPowerW)
+	for i := m.n; i < 2*m.n; i++ {
+		tr.b[i] = 0
+	}
+	if m.solver == SolverDirect {
+		fac, err := m.factorG()
+		if err != nil {
+			return err
+		}
+		m.interleave(tr.z, tr.b)
+		fac.SolveInto(tr.z, tr.z)
+		m.deinterleave(tr.t, tr.z)
+		return nil
+	}
 	for i := range tr.t {
 		tr.t[i] = 0
 	}
-	return m.cg(m.ApplyG, b, tr.t, m.diag)
+	return m.cg(m.ApplyG, tr.b, tr.t, m.diag, tr.cgs)
 }
 
 // Step advances one time step under the per-die-cell power vector (length n)
-// and returns the die-layer temperatures in °C (a fresh slice).
+// and returns the die-layer temperatures in °C (a fresh slice). See StepInto
+// for the allocation-free form.
+func (tr *Transient) Step(cellPowerW []float64) ([]float64, error) {
+	dst := make([]float64, tr.m.n)
+	if err := tr.StepInto(dst, cellPowerW); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// StepInto advances one time step under the per-die-cell power vector
+// (length n) and writes the die-layer temperatures in °C into dst (length
+// n). It allocates nothing, making it the inner loop of dataset generation.
 //
 // If the model has a leakage configuration, leakage power computed from the
 // *current* (pre-step) die temperatures is added to the injected power —
 // the standard explicit electro-thermal coupling.
-func (tr *Transient) Step(cellPowerW []float64) ([]float64, error) {
+func (tr *Transient) StepInto(dst, cellPowerW []float64) error {
 	m := tr.m
 	if len(cellPowerW) != m.n {
 		panic("thermal: Step power length mismatch")
 	}
+	if len(dst) != m.n {
+		panic("thermal: Step dst length mismatch")
+	}
 	cd := m.cDie / m.Cfg.DtSeconds
 	cs := m.cSpr / m.Cfg.DtSeconds
+	if m.solver == SolverDirect {
+		fac, err := m.factorA()
+		if err != nil {
+			return err
+		}
+		// Build the RHS directly in interleaved order, fusing the
+		// permutation into the assembly pass.
+		for i, oi := range m.ord {
+			p := cellPowerW[i]
+			if lk := m.Cfg.Leakage; lk != nil {
+				p += lk.Power(tr.t[i] + m.Cfg.AmbientC)
+			}
+			tr.z[2*oi] = cd*tr.t[i] + p
+			tr.z[2*oi+1] = cs * tr.t[m.n+i]
+		}
+		fac.SolveInto(tr.z, tr.z)
+		for i, oi := range m.ord {
+			tr.t[i] = tr.z[2*oi]
+			tr.t[m.n+i] = tr.z[2*oi+1]
+			dst[i] = tr.z[2*oi] + m.Cfg.AmbientC
+		}
+		return nil
+	}
 	for i := 0; i < m.n; i++ {
 		p := cellPowerW[i]
 		if lk := m.Cfg.Leakage; lk != nil {
@@ -64,19 +133,31 @@ func (tr *Transient) Step(cellPowerW []float64) ([]float64, error) {
 		tr.b[m.n+i] = cs * tr.t[m.n+i]
 	}
 	// Warm start from the previous temperatures (already in tr.t).
-	if err := m.cg(m.applyA, tr.b, tr.t, tr.diagA); err != nil {
-		return nil, err
+	if err := m.cg(m.applyA, tr.b, tr.t, tr.diagA, tr.cgs); err != nil {
+		return err
 	}
-	return tr.DieTemperatures(), nil
+	for i := range dst {
+		dst[i] = tr.t[i] + m.Cfg.AmbientC
+	}
+	return nil
 }
 
 // DieTemperatures returns the current die-layer temperatures in °C.
 func (tr *Transient) DieTemperatures() []float64 {
 	out := make([]float64, tr.m.n)
-	for i := range out {
-		out[i] = tr.t[i] + tr.m.Cfg.AmbientC
-	}
+	tr.DieTemperaturesInto(out)
 	return out
+}
+
+// DieTemperaturesInto writes the current die-layer temperatures in °C into
+// dst (length n) without allocating.
+func (tr *Transient) DieTemperaturesInto(dst []float64) {
+	if len(dst) != tr.m.n {
+		panic("thermal: DieTemperaturesInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = tr.t[i] + tr.m.Cfg.AmbientC
+	}
 }
 
 // SpreaderTemperatures returns the current spreader-layer temperatures in °C.
