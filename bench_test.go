@@ -26,6 +26,7 @@ import (
 	"repro/internal/recon"
 	"repro/internal/thermal"
 	"repro/internal/track"
+	"repro/internal/workload"
 )
 
 // benchEnv is shared across figure benches (building it is itself measured
@@ -620,5 +621,86 @@ func BenchmarkGenerate(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWorkloadStep measures one step of the spec-driven workload
+// engine: the preset path (plain Markov dynamics), a feature-heavy
+// declarative spec (MMPP arrivals + DVFS governor + duty envelopes +
+// migration chain), and the preset dynamics scaled to a generated 256-core
+// die (per-step cost is linear in the block count).
+func BenchmarkWorkloadStep(b *testing.B) {
+	heavy := &workload.Spec{
+		Name: "heavy",
+		Phases: []workload.Phase{
+			{Steps: 200, Rates: workload.Rates{IdleToBusy: 0.2, BusyToIdle: 0.08, BusyToFPU: 0.05, FPUToBusy: 0.15}},
+			{Steps: 100, Rates: workload.Rates{IdleToBusy: 0.35, BusyToIdle: 0.03, BusyToFPU: 0.1, FPUToBusy: 0.05}},
+		},
+		Arrival:   &workload.Arrival{BurstFactor: 4, PEnter: 0.05, PExit: 0.15},
+		DVFS:      &workload.DVFS{Levels: []float64{0.5, 0.75, 1}, UpAt: 0.8, DownAt: 0.4, Hold: 25},
+		Migration: workload.Migration{Period: 20, Rate: 0.1},
+		Envelopes: []workload.Envelope{
+			{Kind: "core", Period: 400, Min: 0.3, Max: 1},
+			{Kind: "fpu", Period: 300, Min: 0.5, Max: 1, Shape: "saw"},
+		},
+	}
+	manycore, err := floorplan.Manycore(256, 64, floorplan.Grid{W: 16, H: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	presetSpec, err := workload.Parse("web")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arms := []struct {
+		name string
+		fp   *floorplan.Floorplan
+		spec *workload.Spec
+		cfg  power.Config
+	}{
+		{"spec=web/t1", floorplan.UltraSparcT1(), presetSpec, power.Config{Seed: 7}},
+		{"spec=heavy/t1", floorplan.UltraSparcT1(), heavy, power.Config{Seed: 7}},
+		{"spec=web/manycore256", manycore, presetSpec, power.ManycoreConfig(256, 64)},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := arm.cfg
+			cfg.Seed = 7
+			gen, err := power.NewSpecGenerator(arm.fp, arm.spec, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateManycore measures end-to-end ensemble generation on the
+// generated 256-core die (the robustness harness's reference floorplan) at
+// a 32×32 grid — the scaling arm next to BenchmarkGenerate's T1 runs.
+func BenchmarkGenerateManycore(b *testing.B) {
+	fp, err := floorplan.Manycore(256, 64, floorplan.Grid{W: 16, H: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs, err := workload.ParseList("bursty,dvfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dataset.GenConfig{
+		Grid:      floorplan.Grid{W: 32, H: 32},
+		Snapshots: 60,
+		Specs:     specs,
+		Seed:      5,
+		Power:     power.ManycoreConfig(256, 64),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(fp, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

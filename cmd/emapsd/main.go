@@ -18,13 +18,22 @@
 //	POST /v1/monitors/{id}/estimate    batched least-squares reconstruction
 //	POST /v1/monitors/{id}/track       batched Kalman-smoothed tracking
 //	POST /v1/monitors/{id}/simulate    estimate simulated (optionally noisy)
-//	                                   snapshots from the training ensemble
+//	                                   snapshots from the training ensemble,
+//	                                   or from a fresh "workload"/"workload_spec"
+//	                                   scenario (cross-scenario evaluation)
 //	GET  /healthz                      liveness
 //	GET  /v1/stats                     request/snapshot totals
 //
+// Monitors are created on "t1", "athlon", a registry "manycore-<cores>c"
+// die, or a fully parametric {"floorplan":"manycore","cores":...,"caches":...,
+// "mesh_w":...,"mesh_h":...} layout; the training mix is selected with
+// "workloads" (registry scenario names) and/or an inline declarative
+// "workload_spec" JSON document.
+//
 // Degenerate requests — M < K, duplicate or out-of-range sensors, NaN or Inf
-// readings, wrong-length vectors — are rejected with 400s; they never panic
-// the daemon or poison other monitors.
+// readings, wrong-length vectors, unknown workload names, malformed or
+// out-of-schema workload specs, impossible many-core meshes — are rejected
+// with 400s; they never panic the daemon or poison other monitors.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -50,6 +60,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/thermal"
 	"repro/internal/track"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -67,22 +78,35 @@ func main() {
 // *resolved* simulation solver arm ("cg" or "direct"), so "auto", "" and
 // "direct" alias to one cache entry; the worker count is deliberately not
 // part of the key because the generated ensemble is bit-identical for every
-// worker count.
+// worker count. Workload is the canonical workload identity: the
+// comma-joined scenario names plus, for an inline spec, its canonical JSON
+// ("" = the default four-preset mix). Cores/Caches/MeshW/MeshH pin
+// parametric many-core requests whose floorplan name alone does not
+// determine the layout.
 type trainKey struct {
 	Floorplan string
+	Cores     int
+	Caches    int
+	MeshW     int
+	MeshH     int
 	W, H      int
 	Snapshots int
 	Seed      int64
 	KMax      int
 	Solver    string
+	Workload  string
 }
 
 // modelEntry is a lazily trained model; once.Do gates training so concurrent
-// creates for the same configuration train exactly once.
+// creates for the same configuration train exactly once. fp and pcfg are
+// the resolved floorplan and power budgets, kept so simulate-with-workload
+// requests can generate fresh ensembles on the monitor's exact die.
 type modelEntry struct {
 	once  sync.Once
 	model *core.Model
 	ds    *dataset.Dataset
+	fp    *floorplan.Floorplan
+	pcfg  power.Config
 	err   error
 }
 
@@ -93,6 +117,8 @@ type monitorEntry struct {
 	mon       *core.Monitor
 	kf        *track.Kalman // nil unless tracking was requested
 	ds        *dataset.Dataset
+	fp        *floorplan.Floorplan
+	pcfg      power.Config
 	snapshots atomic.Int64
 }
 
@@ -107,6 +133,12 @@ type server struct {
 
 	requests  atomic.Int64
 	snapshots atomic.Int64
+
+	// simGen bounds the thermal simulations run by simulate-with-workload
+	// requests, which (unlike create's cached training) are uncached
+	// per-request work: excess requests queue here instead of saturating
+	// every CPU.
+	simGen chan struct{}
 }
 
 func newServer(maxBatch int) *server {
@@ -115,6 +147,7 @@ func newServer(maxBatch int) *server {
 		maxModels: 32,
 		models:    make(map[trainKey]*modelEntry),
 		monitors:  make(map[string]*monitorEntry),
+		simGen:    make(chan struct{}, runtime.NumCPU()),
 	}
 }
 
@@ -139,7 +172,11 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // --- create ---
 
 type createRequest struct {
-	Floorplan string  `json:"floorplan"` // "t1" (default) or "athlon"
+	Floorplan string  `json:"floorplan"` // "t1" (default), "athlon", "manycore-<cores>c" or "manycore"
+	Cores     int     `json:"cores"`     // "manycore" only: core count (mesh_w*mesh_h)
+	Caches    int     `json:"caches"`    // "manycore" only: cache bank count
+	MeshW     int     `json:"mesh_w"`    // "manycore" only: core-mesh columns
+	MeshH     int     `json:"mesh_h"`    // "manycore" only: core-mesh rows
 	GridW     int     `json:"grid_w"`    // default 16
 	GridH     int     `json:"grid_h"`    // default 14
 	Snapshots int     `json:"snapshots"` // training ensemble size, default 150
@@ -151,6 +188,13 @@ type createRequest struct {
 	Sensors   []int   `json:"sensors"`  // explicit sensor cells; overrides M/strategy
 	Tracking  bool    `json:"tracking"` // also build a Kalman tracker
 	Rho       float64 `json:"rho"`      // tracker AR(1) coefficient
+
+	// Workloads are registry scenario names for the training ensemble
+	// (default: web,compute,mixed,idle); WorkloadSpec is an inline
+	// declarative spec run as an additional segment. Bad names or specs
+	// are rejected with 400s.
+	Workloads    []string        `json:"workloads"`
+	WorkloadSpec json.RawMessage `json:"workload_spec"`
 
 	SimSolver  string `json:"sim_solver"`  // transient linear solver: "auto" (default), "cg", "direct"
 	SimWorkers int    `json:"sim_workers"` // goroutine cap for ensemble generation (0 = all CPUs)
@@ -200,14 +244,44 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	req.defaults()
 	var fp *floorplan.Floorplan
-	switch req.Floorplan {
-	case "t1":
-		fp = floorplan.UltraSparcT1()
-	case "athlon":
-		fp = floorplan.AthlonDualCore()
-	default:
-		httpError(w, http.StatusBadRequest, "unknown floorplan %q (want t1 or athlon)", req.Floorplan)
+	var err error
+	if req.Floorplan == "manycore" {
+		fp, err = floorplan.Manycore(req.Cores, req.Caches, floorplan.Grid{W: req.MeshW, H: req.MeshH})
+	} else {
+		fp, err = floorplan.Named(req.Floorplan)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad floorplan: %v", err)
 		return
+	}
+	// Workload selection: registry names and/or one inline declarative
+	// spec. nil specs = the default four-preset mix.
+	var specs []*workload.Spec
+	var wlParts []string
+	for _, name := range req.Workloads {
+		spec, perr := workload.Parse(name)
+		if perr != nil {
+			httpError(w, http.StatusBadRequest, "bad workload: %v", perr)
+			return
+		}
+		specs = append(specs, spec)
+		wlParts = append(wlParts, spec.Name)
+	}
+	if len(req.WorkloadSpec) > 0 {
+		spec, derr := workload.Decode(req.WorkloadSpec)
+		if derr != nil {
+			httpError(w, http.StatusBadRequest, "bad workload_spec: %v", derr)
+			return
+		}
+		specs = append(specs, spec)
+		// Canonical JSON (struct field order), not the client's raw bytes,
+		// so formatting differences alias to one cache entry.
+		canon, merr := json.Marshal(spec)
+		if merr != nil {
+			httpError(w, http.StatusInternalServerError, "canonicalize workload_spec: %v", merr)
+			return
+		}
+		wlParts = append(wlParts, "inline:"+string(canon))
 	}
 	solver, err := thermal.ParseSolver(req.SimSolver)
 	if err != nil {
@@ -218,9 +292,13 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sim_workers %d is negative (0 = all CPUs)", req.SimWorkers)
 		return
 	}
-	key := trainKey{Floorplan: req.Floorplan, W: req.GridW, H: req.GridH,
+	pcfg := power.ConfigFor(fp, 0.75)
+	key := trainKey{Floorplan: fp.Name,
+		Cores: req.Cores, Caches: req.Caches, MeshW: req.MeshW, MeshH: req.MeshH,
+		W: req.GridW, H: req.GridH,
 		Snapshots: req.Snapshots, Seed: req.Seed, KMax: req.KMax,
-		Solver: thermal.ResolveSolver(solver).String()}
+		Solver:   thermal.ResolveSolver(solver).String(),
+		Workload: strings.Join(wlParts, ",")}
 	entry, ok := s.modelFor(key)
 	if !ok {
 		httpError(w, http.StatusTooManyRequests,
@@ -228,11 +306,13 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry.once.Do(func() {
+		entry.fp, entry.pcfg = fp, pcfg
 		entry.ds, entry.err = dataset.Generate(fp, dataset.GenConfig{
 			Grid:      floorplan.Grid{W: key.W, H: key.H},
 			Snapshots: key.Snapshots,
+			Specs:     specs,
 			Seed:      key.Seed,
-			Power:     power.Config{LoadCoupling: 0.75},
+			Power:     pcfg,
 			Solver:    solver,
 			Workers:   req.SimWorkers,
 		})
@@ -300,7 +380,8 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("mon-%d", s.nextID)
-	s.monitors[id] = &monitorEntry{id: id, key: key, mon: mon, kf: kf, ds: entry.ds}
+	s.monitors[id] = &monitorEntry{id: id, key: key, mon: mon, kf: kf,
+		ds: entry.ds, fp: entry.fp, pcfg: entry.pcfg}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, createResponse{
 		ID: id, N: mon.N(), K: mon.K(), M: len(mon.Sensors()),
@@ -497,14 +578,22 @@ func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorE
 type simulateRequest struct {
 	Count   int     `json:"count"`   // snapshots to draw, default 16
 	SNRdB   float64 `json:"snr_db"`  // 0 = noiseless
-	Seed    int64   `json:"seed"`    // noise seed
+	Seed    int64   `json:"seed"`    // noise (and fresh-simulation) seed
 	Workers int     `json:"workers"` // estimation worker pool
+
+	// Workload (a registry name) or WorkloadSpec (an inline declarative
+	// spec) switches the snapshot source: instead of replaying the
+	// training ensemble, the daemon simulates Count fresh maps of that
+	// scenario on the monitor's floorplan — a server-side cross-scenario
+	// evaluation (train on the monitor's mix, measure on this workload).
+	Workload     string          `json:"workload"`
+	WorkloadSpec json.RawMessage `json:"workload_spec"`
 }
 
 // handleSimulate drives the noisy-monitoring scenario end to end on the
-// server: sample maps from the training ensemble, corrupt the sensor
-// readings at the requested SNR, reconstruct, and report the error against
-// ground truth.
+// server: sample maps from the training ensemble (or a freshly simulated
+// scenario), corrupt the sensor readings at the requested SNR, reconstruct,
+// and report the error against ground truth.
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
 	var req simulateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -518,13 +607,62 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		httpError(w, http.StatusBadRequest, "count %d outside [1,%d]", req.Count, s.maxBatch)
 		return
 	}
+	src := e.ds
+	var spec *workload.Spec
+	if req.Workload != "" {
+		var err error
+		if spec, err = workload.Parse(req.Workload); err != nil {
+			httpError(w, http.StatusBadRequest, "bad workload: %v", err)
+			return
+		}
+	}
+	if len(req.WorkloadSpec) > 0 {
+		if spec != nil {
+			httpError(w, http.StatusBadRequest, "workload and workload_spec are mutually exclusive")
+			return
+		}
+		var err error
+		if spec, err = workload.Decode(req.WorkloadSpec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad workload_spec: %v", err)
+			return
+		}
+	}
+	if spec != nil {
+		// The monitor's resolved solver arm, so cross-scenario ground truth
+		// is reproducible against an offline run of the same configuration
+		// (cg and direct are not bit-identical).
+		solver, err := thermal.ParseSolver(e.key.Solver)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "monitor solver: %v", err)
+			return
+		}
+		s.simGen <- struct{}{}
+		ds, err := dataset.Generate(e.fp, dataset.GenConfig{
+			Grid:      floorplan.Grid{W: e.key.W, H: e.key.H},
+			Snapshots: req.Count,
+			Specs:     []*workload.Spec{spec},
+			Seed:      req.Seed,
+			Power:     e.pcfg,
+			Solver:    solver,
+		})
+		<-s.simGen
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "simulate workload: %v", err)
+			return
+		}
+		src = ds
+	}
 	rng := rand.New(rand.NewSource(req.Seed))
 	rec := e.mon.Reconstructor()
-	meanS := rec.Sample(e.ds.Mean()) // loop-invariant: training mean at the sensors
+	// Loop-invariant: the *source* ensemble's mean at the sensors — for a
+	// cross-scenario run the fresh scenario's own mean, so SNR calibrates
+	// against that scenario's fluctuation power, not the DC offset between
+	// the training mix and the evaluated workload.
+	meanS := rec.Sample(src.Mean())
 	truth := make([][]float64, req.Count)
 	readings := make([][]float64, req.Count)
 	for i := 0; i < req.Count; i++ {
-		x := e.ds.Map(i % e.ds.T())
+		x := src.Map(i % src.T())
 		truth[i] = x
 		xS := rec.Sample(x)
 		if req.SNRdB != 0 && !math.IsInf(req.SNRdB, 1) {

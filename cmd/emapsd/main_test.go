@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -312,5 +313,135 @@ func TestCreateSimSolverOptions(t *testing.T) {
 	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
 		`{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":2,"seed":3,"kmax":8,"k":4,"m":8}`, &out); resp.StatusCode != 400 {
 		t.Fatalf("too-few snapshots: status %d (%v)", resp.StatusCode, out)
+	}
+}
+
+func TestCreateWorkloadOptions(t *testing.T) {
+	ts := httptest.NewServer(newServer(64))
+	defer ts.Close()
+
+	// Registry names select the training mix.
+	var cr createResponse
+	resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"grid_w":10,"grid_h":8,"snapshots":24,"kmax":6,"k":4,"workloads":["bursty","web"]}`, &cr)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("workloads create: status %d (%+v)", resp.StatusCode, cr)
+	}
+
+	// An inline declarative spec is accepted as an extra segment.
+	spec := `{"name":"custom","phases":[{"rates":{"idle_to_busy":0.2,"busy_to_idle":0.1,"busy_to_fpu":0.05,"fpu_to_busy":0.2}}],"migration":{"period":15}}`
+	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"grid_w":10,"grid_h":8,"snapshots":24,"kmax":6,"k":4,"workload_spec":`+spec+`}`, &cr)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("inline spec create: status %d (%+v)", resp.StatusCode, cr)
+	}
+
+	// Bad names and bad specs are 400s, never panics.
+	var em map[string]string
+	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"snapshots":24,"workloads":["cryptomining"]}`, &em)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(em["error"], "cryptomining") {
+		t.Fatalf("bad workload name: status %d %v", resp.StatusCode, em)
+	}
+	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"snapshots":24,"workload_spec":{"phases":[]}}`, &em)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-phase spec: status %d %v", resp.StatusCode, em)
+	}
+	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"snapshots":24,"workload_spec":{"phases":[{"rates":{}}],"frobnicate":1}}`, &em)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(em["error"], "frobnicate") {
+		t.Fatalf("unknown spec field: status %d %v", resp.StatusCode, em)
+	}
+}
+
+func TestCreateWorkloadsSplitModelCache(t *testing.T) {
+	// Different workload mixes must train different models; identical
+	// mixes must share one cache entry.
+	ts := httptest.NewServer(newServer(64))
+	defer ts.Close()
+	body := `{"grid_w":10,"grid_h":8,"snapshots":24,"kmax":6,"k":4,"workloads":["web"]}`
+	var cr createResponse
+	for i := 0; i < 2; i++ { // same mix twice -> one model
+		if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors", body, &cr); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d failed: %d", i, resp.StatusCode)
+		}
+	}
+	var stats map[string]any
+	doJSON(t, ts, http.MethodGet, "/v1/stats", "", &stats)
+	if n := stats["models"].(float64); n != 1 {
+		t.Fatalf("identical workload mixes trained %v models, want 1", n)
+	}
+	body2 := `{"grid_w":10,"grid_h":8,"snapshots":24,"kmax":6,"k":4,"workloads":["idle"]}`
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors", body2, &cr); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second mix create failed: %d", resp.StatusCode)
+	}
+	doJSON(t, ts, http.MethodGet, "/v1/stats", "", &stats)
+	if n := stats["models"].(float64); n != 2 {
+		t.Fatalf("distinct workload mixes share %v models, want 2", n)
+	}
+}
+
+func TestCreateManycoreFloorplans(t *testing.T) {
+	ts := httptest.NewServer(newServer(64))
+	defer ts.Close()
+	var cr createResponse
+	// By registry name.
+	resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"floorplan":"manycore-16c","grid_w":12,"grid_h":12,"snapshots":24,"kmax":6,"k":4}`, &cr)
+	if resp.StatusCode != http.StatusCreated || cr.N != 144 {
+		t.Fatalf("manycore-16c create: status %d (%+v)", resp.StatusCode, cr)
+	}
+	// Fully parametric.
+	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"floorplan":"manycore","cores":16,"caches":8,"mesh_w":4,"mesh_h":4,"grid_w":12,"grid_h":12,"snapshots":24,"kmax":6,"k":4}`, &cr)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("parametric manycore create: status %d (%+v)", resp.StatusCode, cr)
+	}
+	// Degenerate parameters are 400s.
+	var em map[string]string
+	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
+		`{"floorplan":"manycore","cores":16,"caches":8,"mesh_w":3,"mesh_h":4}`, &em)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mesh: status %d %v", resp.StatusCode, em)
+	}
+}
+
+func TestSimulateWorkloadOverride(t *testing.T) {
+	ts := httptest.NewServer(newServer(64))
+	defer ts.Close()
+	cr := createMonitor(t, ts, `,"workloads":["web"]`)
+
+	// Cross-scenario evaluation: the monitor trained on web, measured on
+	// freshly simulated compute maps.
+	var out map[string]any
+	resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/simulate",
+		`{"count":8,"workload":"compute"}`, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate workload: status %d %v", resp.StatusCode, out)
+	}
+	crossMSE := out["mse_c2"].(float64)
+	if crossMSE <= 0 {
+		t.Fatalf("cross-scenario MSE %v, want positive (unseen workload)", crossMSE)
+	}
+	// Inline spec flavor.
+	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/simulate",
+		`{"count":8,"workload_spec":{"name":"x","phases":[{"rates":{"idle_to_busy":0.3,"busy_to_idle":0.05,"busy_to_fpu":0.1,"fpu_to_busy":0.1}}],"migration":{"period":25}}}`, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate inline spec: status %d %v", resp.StatusCode, out)
+	}
+	// Rejections: unknown name, invalid spec, both at once.
+	var em map[string]any
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/simulate",
+		`{"count":4,"workload":"nope"}`, &em); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown workload: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/simulate",
+		`{"count":4,"workload_spec":{"phases":[]}}`, &em); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors/"+cr.ID+"/simulate",
+		`{"count":4,"workload":"web","workload_spec":{"phases":[{"rates":{}}]}}`, &em); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("both workload spellings: status %d", resp.StatusCode)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/render"
 	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func main() {
 
 		simSolver  = flag.String("sim-solver", "auto", "transient linear solver: auto, cg or direct")
 		simWorkers = flag.Int("sim-workers", 0, "goroutine cap for simulating workload segments (0 = all CPUs)")
+
+		specFiles = flag.String("scenario-spec", "", "comma-separated JSON workload-spec files replacing the default scenario mix")
 	)
 	flag.Parse()
 
@@ -76,11 +79,33 @@ func main() {
 	}
 	cfg.SimSolver = solver
 	cfg.SimWorkers = *simWorkers
+	fileSpecs, ferr := workload.DecodeFiles(*specFiles)
+	if ferr != nil {
+		log.Fatal(ferr)
+	}
+	cfg.Specs = append(cfg.Specs, fileSpecs...)
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want[f] = true
+		}
+	}
+	// The robust harness generates its own ensembles and models; only the
+	// other figures need the shared paper-scale environment.
+	needEnv := false
+	for f := range want {
+		if f != "robust" {
+			needEnv = true
+		}
+	}
 
 	start := time.Now()
 	var env *experiments.Env
 	var err error
-	if *dsPath != "" {
+	if !needEnv {
+		env = &experiments.Env{Cfg: cfg}
+	} else if *dsPath != "" {
 		if *simSolver != "auto" || *simWorkers != 0 {
 			log.Printf("warning: -sim-solver/-sim-workers are ignored with -dataset (the ensemble is loaded, not simulated)")
 		}
@@ -100,20 +125,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("environment ready in %v (T=%d, N=%d, KMax=%d)\n",
-		time.Since(start).Round(time.Millisecond), env.DS.T(), env.DS.N(), env.Cfg.KMax)
-	simTag := "" // no solver attribution when a cached dataset skipped simulation
-	if env.Timing.Simulate > 0 {
-		simTag = fmt.Sprintf(" [%v]", env.Timing.SimSolver)
-	}
-	fmt.Printf("  simulate %v%s · train eigenmaps %v [%v] · train k-lse %v\n\n",
-		env.Timing.Simulate.Round(time.Millisecond), simTag,
-		env.Timing.TrainPCA.Round(time.Millisecond), env.Timing.PCAMethod,
-		env.Timing.TrainKLSE.Round(time.Millisecond))
-
-	want := map[string]bool{}
-	for _, f := range strings.Split(*figs, ",") {
-		want[strings.TrimSpace(f)] = true
+	if needEnv {
+		fmt.Printf("environment ready in %v (T=%d, N=%d, KMax=%d)\n",
+			time.Since(start).Round(time.Millisecond), env.DS.T(), env.DS.N(), env.Cfg.KMax)
+		simTag := "" // no solver attribution when a cached dataset skipped simulation
+		if env.Timing.Simulate > 0 {
+			simTag = fmt.Sprintf(" [%v]", env.Timing.SimSolver)
+		}
+		fmt.Printf("  simulate %v%s · train eigenmaps %v [%v] · train k-lse %v\n\n",
+			env.Timing.Simulate.Round(time.Millisecond), simTag,
+			env.Timing.TrainPCA.Round(time.Millisecond), env.Timing.PCAMethod,
+			env.Timing.TrainKLSE.Round(time.Millisecond))
 	}
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		if !want[name] {
@@ -155,10 +177,23 @@ func main() {
 	run("6", func() (fmt.Stringer, error) { return env.Fig6() })
 	run("headline", func() (fmt.Stringer, error) { return env.Headline() })
 	// Extensions beyond the paper's figures (off by default; enable with
-	// -figs ...,stability,tracking,crossfloorplan).
+	// -figs ...,stability,tracking,crossfloorplan,robust).
 	run("stability", func() (fmt.Stringer, error) { return env.Stability() })
 	run("tracking", func() (fmt.Stringer, error) { return env.Tracking() })
 	run("crossfloorplan", func() (fmt.Stringer, error) { return env.CrossFloorplan() })
+	run("robust", func() (fmt.Stringer, error) {
+		// Cross-scenario robustness on the generated 256-core die; the
+		// environment's specs (e.g. from -scenario-spec) override the
+		// six-family default catalog cross-section, everything else is
+		// filled by the harness defaults.
+		return experiments.Robust(experiments.RobustConfig{
+			Seed:         env.Cfg.Seed,
+			Specs:        env.Cfg.Specs,
+			LoadCoupling: env.Cfg.LoadCoupling,
+			SimSolver:    env.Cfg.SimSolver,
+			SimWorkers:   env.Cfg.SimWorkers,
+		})
+	})
 
 	fmt.Printf("all requested figures done in %v\n", time.Since(start).Round(time.Millisecond))
 	if *pgmDir != "" {

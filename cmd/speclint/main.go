@@ -1,0 +1,109 @@
+// Command speclint is the schema-drift gate for committed workload
+// scenario specs: it walks the given directories for *.workload.json
+// files and round-trips each one through the workload package's strict
+// decoder (unknown fields rejected), validation, re-encode and re-decode,
+// failing if any file no longer matches the Go schema or loses information
+// in the round trip.
+//
+// CI runs `speclint .` so a Spec field rename, type change or dropped
+// feature that would silently orphan the committed scenario catalog turns
+// the build red instead.
+//
+// Exit codes: 0 all specs clean, 1 at least one spec failed, 2 no spec
+// files found (an empty sweep must not pass silently — it usually means
+// the naming convention or the search root drifted).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("speclint: ")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: speclint dir [dir...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// Don't descend into VCS internals.
+				if d.Name() == ".git" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".workload.json") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("walking %s: %v", root, err)
+		}
+	}
+	if len(files) == 0 {
+		log.Printf("no *.workload.json files under %s", strings.Join(roots, ", "))
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, path := range files {
+		if err := lint(path); err != nil {
+			log.Printf("FAIL %s: %v", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %s\n", path)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d spec files failed", failed, len(files))
+	}
+	fmt.Printf("%d spec files round-trip clean\n", len(files))
+}
+
+// lint round-trips one spec file: strict decode + validate, re-encode,
+// decode the re-encoding, and require deep equality. A spec that survives
+// this matches the current Go schema exactly.
+func lint(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.Decode(data)
+	if err != nil {
+		return err
+	}
+	out, err := spec.Encode()
+	if err != nil {
+		return err
+	}
+	back, err := workload.Decode(out)
+	if err != nil {
+		return fmt.Errorf("re-decoding own encoding: %w", err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		return fmt.Errorf("encode/decode round trip changed the spec")
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintAcceptsValidSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "ok.workload.json", `{
+	  "name": "ok",
+	  "phases": [{"rates": {"idle_to_busy": 0.2, "busy_to_idle": 0.1, "busy_to_fpu": 0.05, "fpu_to_busy": 0.2}}],
+	  "migration": {"period": 30}
+	}`)
+	if err := lint(path); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestLintRejectsSchemaDrift(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"unknown field": `{"name":"x","phases":[{"rates":{}}],"new_feature":1}`,
+		"invalid spec":  `{"name":"x","phases":[]}`,
+		"not json":      `{"name":`,
+	}
+	for what, content := range cases {
+		path := write(t, dir, "bad.workload.json", content)
+		if err := lint(path); err == nil {
+			t.Fatalf("%s: lint accepted it", what)
+		}
+	}
+}
+
+func TestCommittedSpecsAreClean(t *testing.T) {
+	// The same check CI's speclint step performs, kept in the tier-1 suite
+	// so local `go test ./...` catches schema drift before CI does.
+	roots := []string{"../../specs", "../../examples"}
+	found := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".workload.json") {
+				found++
+				if lerr := lint(path); lerr != nil {
+					t.Errorf("%s: %v", path, lerr)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if found < 5 {
+		t.Fatalf("only %d committed spec files found; the catalog (or the naming convention) drifted", found)
+	}
+}

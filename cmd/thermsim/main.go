@@ -1,12 +1,16 @@
-// Command thermsim runs the design-time thermal simulation of the bundled
-// UltraSPARC T1 floorplan and writes the snapshot ensemble to a dataset file
-// consumed by emaps and experiments.
+// Command thermsim runs the design-time thermal simulation and writes the
+// snapshot ensemble to a dataset file consumed by emaps and experiments.
 //
 // Usage:
 //
 //	thermsim -o maps.emds [-w 60] [-hh 56] [-t 2652] [-seed 2012]
-//	         [-scenarios web,compute,mixed,idle] [-leakage]
-//	         [-solver auto|cg|direct] [-workers N]
+//	         [-scenarios web,compute,mixed,idle] [-scenario-spec a.json,b.json]
+//	         [-floorplan t1|athlon|manycore-<cores>c] [-leakage]
+//	         [-solver auto|cg|direct] [-workers N] [-list-scenarios]
+//
+// Scenario names resolve against the workload registry (see
+// -list-scenarios); -scenario-spec loads declarative JSON workload specs
+// and runs them as additional segments after the named scenarios.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/power"
 	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -32,44 +37,51 @@ func main() {
 		h         = flag.Int("hh", 56, "grid height (rows)")
 		t         = flag.Int("t", 2652, "number of snapshots")
 		seed      = flag.Int64("seed", 2012, "simulation seed")
-		scenarios = flag.String("scenarios", "web,compute,mixed,idle", "comma-separated workload scenarios")
+		scenarios = flag.String("scenarios", "web,compute,mixed,idle", "comma-separated workload scenario names")
+		specFiles = flag.String("scenario-spec", "", "comma-separated JSON workload-spec files, run after -scenarios")
+		fpName    = flag.String("floorplan", "t1", "floorplan: t1, athlon or manycore-<cores>c")
 		leakage   = flag.Bool("leakage", false, "enable temperature-dependent leakage feedback")
 		steps     = flag.Int("steps-per-snapshot", 1, "simulation steps between recorded snapshots")
-		coupling  = flag.Float64("coupling", 0.75, "core load coupling in [0,1] (0 = independent cores)")
+		coupling  = flag.Float64("coupling", 0.75, "default core load coupling in [0,1] for scenarios that declare no load_coupling of their own")
 		solver    = flag.String("solver", "auto", "transient linear solver: auto, cg or direct")
 		workers   = flag.Int("workers", 0, "goroutine cap for simulating scenario segments (0 = all CPUs)")
+		list      = flag.Bool("list-scenarios", false, "print the workload registry and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return
+	}
 
 	sv, err := thermal.ParseSolver(*solver)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var scen []power.Scenario
-	for _, s := range strings.Split(*scenarios, ",") {
-		switch strings.TrimSpace(s) {
-		case "web":
-			scen = append(scen, power.ScenarioWeb)
-		case "compute":
-			scen = append(scen, power.ScenarioCompute)
-		case "mixed":
-			scen = append(scen, power.ScenarioMixed)
-		case "idle":
-			scen = append(scen, power.ScenarioIdle)
-		case "":
-		default:
-			log.Fatalf("unknown scenario %q", s)
-		}
+	specs, err := workload.ParseList(*scenarios)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fileSpecs, err := workload.DecodeFiles(*specFiles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs = append(specs, fileSpecs...)
+
+	fp, err := floorplan.Named(*fpName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := power.ConfigFor(fp, *coupling)
 
 	cfg := dataset.GenConfig{
 		Grid:             floorplan.Grid{W: *w, H: *h},
 		Snapshots:        *t,
-		Scenarios:        scen,
+		Specs:            specs,
 		Seed:             *seed,
 		StepsPerSnapshot: *steps,
-		Power:            power.Config{LoadCoupling: *coupling},
+		Power:            pcfg,
 		Solver:           sv,
 		Workers:          *workers,
 	}
@@ -77,7 +89,7 @@ func main() {
 		cfg.Thermal.Leakage = &thermal.LeakageModel{BaseWPerCell: 0.002, TRefC: 45, TSlopeC: 30}
 	}
 
-	ds, err := dataset.Generate(floorplan.UltraSparcT1(), cfg)
+	ds, err := dataset.Generate(fp, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,6 +97,6 @@ func main() {
 		log.Fatal(err)
 	}
 	st := ds.Stats()
-	fmt.Fprintf(os.Stdout, "wrote %s: T=%d maps on %dx%d grid (N=%d)\n", *out, st.T, *h, *w, st.N)
+	fmt.Fprintf(os.Stdout, "wrote %s: T=%d maps of %s on %dx%d grid (N=%d)\n", *out, st.T, fp.Name, *h, *w, st.N)
 	fmt.Fprintf(os.Stdout, "temperature range %.2f..%.2f C, ensemble mean %.2f C\n", st.MinC, st.MaxC, st.MeanC)
 }

@@ -7,7 +7,10 @@
 //
 //   - a compact transient RC thermal simulator (a 3D-ICE substitute) driving
 //     an 8-core UltraSPARC T1 floorplan under synthetic workload power
-//     traces, producing the design-time snapshot ensemble;
+//     traces, producing the design-time snapshot ensemble — workloads are
+//     declarative, JSON-serializable scenario specs (see WorkloadSpec and
+//     the registry behind WorkloadNames), with the classic presets
+//     available by name;
 //   - the optimal low-dimensional approximation of thermal maps by PCA
 //     ("EigenMaps", Proposition 1), with the DCT subspace of the k-LSE
 //     baseline alongside;
@@ -30,14 +33,17 @@
 package eigenmaps
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/floorplan"
 	"repro/internal/power"
 	"repro/internal/render"
 	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
 // Grid is the discretization of the die into H rows × W columns; thermal
@@ -101,10 +107,14 @@ func LoadEnsembleFile(path string) (*Ensemble, error) {
 	return &Ensemble{ds: ds}, nil
 }
 
-// Workload names a power-trace scenario.
+// Workload names a power-trace scenario from the workload registry. Beyond
+// the four classic presets below, any name in WorkloadNames() is valid —
+// e.g. "bursty" (MMPP flash-crowd arrivals), "wave" (duty-cycled
+// streaming), "dvfs" (frequency-throttled compute) or "thrash" (scheduler
+// churn).
 type Workload string
 
-// Available workloads.
+// The classic workload presets.
 const (
 	WorkloadWeb     Workload = "web"
 	WorkloadCompute Workload = "compute"
@@ -112,18 +122,65 @@ const (
 	WorkloadIdle    Workload = "idle"
 )
 
-func (w Workload) internal() (power.Scenario, error) {
-	switch w {
-	case WorkloadWeb:
-		return power.ScenarioWeb, nil
-	case WorkloadCompute:
-		return power.ScenarioCompute, nil
-	case WorkloadMixed:
-		return power.ScenarioMixed, nil
-	case WorkloadIdle:
-		return power.ScenarioIdle, nil
+func (w Workload) internal() (*workload.Spec, error) {
+	s, err := workload.Parse(string(w))
+	if err != nil {
+		return nil, fmt.Errorf("eigenmaps: unknown workload %q (known: %s)",
+			w, strings.Join(workload.Names(), ", "))
 	}
-	return 0, fmt.Errorf("eigenmaps: unknown workload %q", w)
+	return s, nil
+}
+
+// WorkloadSpec is a declarative, JSON-serializable workload scenario: a
+// phase schedule of Markov activity regimes plus optional bursty (MMPP)
+// arrivals, task-migration chains, DVFS ladders and periodic duty
+// envelopes. Build one from JSON with ParseWorkloadSpec, or fetch a
+// registry entry with NamedWorkload; pass it to SimOptions.Specs. Traces
+// are bit-reproducible given (spec, seed).
+type WorkloadSpec struct {
+	spec *workload.Spec
+}
+
+// ParseWorkloadSpec decodes and validates a JSON workload spec. Unknown
+// fields are rejected, so a spec written for a different schema version
+// fails loudly instead of silently dropping dynamics.
+func ParseWorkloadSpec(data []byte) (*WorkloadSpec, error) {
+	s, err := workload.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("eigenmaps: %w", err)
+	}
+	return &WorkloadSpec{spec: s}, nil
+}
+
+// NamedWorkload fetches a scenario spec from the workload registry.
+func NamedWorkload(name string) (*WorkloadSpec, error) {
+	s, err := workload.Parse(name)
+	if err != nil {
+		return nil, fmt.Errorf("eigenmaps: %w", err)
+	}
+	return &WorkloadSpec{spec: s}, nil
+}
+
+// WorkloadNames lists the registered scenario names, sorted.
+func WorkloadNames() []string { return workload.Names() }
+
+// Name returns the spec's name (may be empty for inline specs).
+func (w *WorkloadSpec) Name() string { return w.spec.Name }
+
+// MarshalJSON renders the spec in its canonical JSON schema.
+func (w *WorkloadSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(w.spec)
+}
+
+// UnmarshalJSON decodes and validates a spec (strict schema, like
+// ParseWorkloadSpec).
+func (w *WorkloadSpec) UnmarshalJSON(data []byte) error {
+	s, err := workload.Decode(data)
+	if err != nil {
+		return fmt.Errorf("eigenmaps: %w", err)
+	}
+	w.spec = s
+	return nil
 }
 
 // Solver names the linear-solver arm of the transient thermal simulation.
@@ -152,8 +209,13 @@ type SimOptions struct {
 	// Snapshots defaults to the paper's T = 2652.
 	Snapshots int
 	// Workloads are run back-to-back, splitting Snapshots equally.
-	// Default: web, compute, mixed, idle.
+	// Default: web, compute, mixed, idle. Any registry name is accepted
+	// (see WorkloadNames).
 	Workloads []Workload
+	// Specs are declarative workload scenarios (see ParseWorkloadSpec),
+	// run back-to-back after any Workloads. Named presets passed either
+	// way produce bit-identical ensembles.
+	Specs []*WorkloadSpec
 	// Seed makes the simulation reproducible.
 	Seed int64
 	// EnableLeakage adds temperature-dependent leakage feedback.
@@ -186,11 +248,17 @@ func SimulateT1(opt SimOptions) (*Ensemble, error) {
 		Workers:   opt.Workers,
 	}
 	for _, w := range opt.Workloads {
-		sc, err := w.internal()
+		s, err := w.internal()
 		if err != nil {
 			return nil, err
 		}
-		cfg.Scenarios = append(cfg.Scenarios, sc)
+		cfg.Specs = append(cfg.Specs, s)
+	}
+	for i, ws := range opt.Specs {
+		if ws == nil || ws.spec == nil {
+			return nil, fmt.Errorf("eigenmaps: SimOptions.Specs[%d] is nil", i)
+		}
+		cfg.Specs = append(cfg.Specs, ws.spec)
 	}
 	if opt.EnableLeakage {
 		cfg.Thermal.Leakage = &thermal.LeakageModel{

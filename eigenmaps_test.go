@@ -424,3 +424,92 @@ func TestSimulateT1SolverAndWorkersFacade(t *testing.T) {
 		t.Fatal("expected negative-workers error")
 	}
 }
+
+func TestWorkloadSpecFacade(t *testing.T) {
+	names := eigenmaps.WorkloadNames()
+	if len(names) < 6 {
+		t.Fatalf("workload catalog has only %d entries: %v", len(names), names)
+	}
+	for _, want := range []string{"web", "compute", "mixed", "idle", "bursty"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("catalog %v missing %q", names, want)
+		}
+	}
+	ws, err := eigenmaps.NamedWorkload("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Name() != "bursty" {
+		t.Fatalf("Name = %q", ws.Name())
+	}
+	if _, err := eigenmaps.NamedWorkload("cryptomining"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+
+	// JSON round trip through the public type.
+	data, err := ws.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := eigenmaps.ParseWorkloadSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "bursty" {
+		t.Fatalf("round-tripped name %q", back.Name())
+	}
+	if _, err := eigenmaps.ParseWorkloadSpec([]byte(`{"phases":[]}`)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := eigenmaps.ParseWorkloadSpec([]byte(`{"phases":[{"rates":{}}],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestSimulateT1SpecsMatchWorkloads(t *testing.T) {
+	// The same presets spelled as Workload names or as WorkloadSpecs must
+	// produce bit-identical ensembles.
+	opt := eigenmaps.SimOptions{Grid: eigenmaps.Grid{W: 10, H: 8}, Snapshots: 24, Seed: 9}
+	byName := opt
+	byName.Workloads = []eigenmaps.Workload{"web", "idle"}
+	a, err := eigenmaps.SimulateT1(byName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySpec := opt
+	for _, n := range []string{"web", "idle"} {
+		ws, err := eigenmaps.NamedWorkload(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySpec.Specs = append(bySpec.Specs, ws)
+	}
+	b, err := eigenmaps.SimulateT1(bySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < a.T(); j++ {
+		am, bm := a.Map(j), b.Map(j)
+		for i := range am {
+			if am[i] != bm[i] {
+				t.Fatalf("map %d cell %d differs: %v vs %v", j, i, am[i], bm[i])
+			}
+		}
+	}
+}
+
+func TestSimulateT1RejectsNilSpec(t *testing.T) {
+	_, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+		Grid: eigenmaps.Grid{W: 8, H: 8}, Snapshots: 8,
+		Specs: []*eigenmaps.WorkloadSpec{nil},
+	})
+	if err == nil {
+		t.Fatal("nil spec accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Custom-workload example: define a scenario the built-in catalog does not
+// ship — bursty ML inference serving with periodic recompilation phases, a
+// DVFS governor and FPU duty cycling — as a declarative JSON spec, simulate
+// it next to the classic "web" preset, and measure how well a monitor
+// trained on one workload reconstructs the other (the cross-scenario
+// robustness question, served here through the public API).
+//
+//	go run ./examples/custom_workload
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	eigenmaps "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Load the spec shipped next to this file (see spec.workload.json; any
+	// JSON document in the same schema works).
+	_, self, _, _ := runtime.Caller(0)
+	data, err := os.ReadFile(filepath.Join(filepath.Dir(self), "spec.workload.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	custom, err := eigenmaps.ParseWorkloadSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded custom workload %q (registry has: %v)\n\n",
+		custom.Name(), eigenmaps.WorkloadNames())
+
+	// Two single-scenario ensembles on the same grid and seed.
+	simulate := func(opt eigenmaps.SimOptions) *eigenmaps.Ensemble {
+		opt.Grid = eigenmaps.Grid{W: 20, H: 18}
+		opt.Snapshots = 240
+		opt.Seed = 7
+		ens, err := eigenmaps.SimulateT1(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ens
+	}
+	customEns := simulate(eigenmaps.SimOptions{Specs: []*eigenmaps.WorkloadSpec{custom}})
+	webEns := simulate(eigenmaps.SimOptions{Workloads: []eigenmaps.Workload{eigenmaps.WorkloadWeb}})
+
+	// Train a model + sensor layout per ensemble, evaluate both ways.
+	build := func(ens *eigenmaps.Ensemble) (*eigenmaps.Model, *eigenmaps.Monitor) {
+		model, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{KMax: 12, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sensors, err := model.PlaceSensors(10, eigenmaps.PlaceOptions{K: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mon, err := model.NewMonitor(6, sensors[:10])
+		if err != nil {
+			log.Fatal(err)
+		}
+		return model, mon
+	}
+	_, customMon := build(customEns)
+	_, webMon := build(webEns)
+
+	eval := func(mon *eigenmaps.Monitor, ens *eigenmaps.Ensemble) float64 {
+		res, err := mon.Evaluate(ens, eigenmaps.EvalOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.MSE
+	}
+	fmt.Println("reconstruction MSE [°C²] (rows: training workload, cols: evaluated workload)")
+	fmt.Printf("%-18s %12s %12s\n", "train\\eval", custom.Name(), "web")
+	fmt.Printf("%-18s %12.4g %12.4g\n", custom.Name(),
+		eval(customMon, customEns), eval(customMon, webEns))
+	fmt.Printf("%-18s %12.4g %12.4g\n", "web",
+		eval(webMon, customEns), eval(webMon, webEns))
+	fmt.Println("\noff-diagonal growth = the price of deploying a basis on traffic it never saw")
+}

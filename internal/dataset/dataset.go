@@ -14,6 +14,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/power"
 	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
 // Dataset is an ensemble of T vectorized thermal maps on a common grid.
@@ -139,8 +140,14 @@ type GenConfig struct {
 
 	// Scenarios are run back-to-back, splitting Snapshots equally; the
 	// resulting ensemble mixes workload regimes like the paper's trace set.
-	// Default: web, compute, mixed, idle.
+	// Default: web, compute, mixed, idle. Mutually exclusive with Specs.
 	Scenarios []power.Scenario
+
+	// Specs are declarative workload scenarios run back-to-back like
+	// Scenarios. When set, Scenarios must be empty — the two spellings of
+	// the same knob cannot be mixed. Preset specs from the workload
+	// registry produce ensembles bit-identical to their Scenario enums.
+	Specs []*workload.Spec
 
 	// StepsPerSnapshot inserts extra un-recorded simulation steps between
 	// snapshots (decorrelates consecutive maps). Default 1 (record every
@@ -190,7 +197,7 @@ func (c *GenConfig) defaults() {
 	if c.Snapshots == 0 {
 		c.Snapshots = 2652
 	}
-	if len(c.Scenarios) == 0 {
+	if len(c.Scenarios) == 0 && len(c.Specs) == 0 {
 		c.Scenarios = []power.Scenario{
 			power.ScenarioWeb, power.ScenarioCompute, power.ScenarioMixed, power.ScenarioIdle,
 		}
@@ -205,10 +212,23 @@ func (c *GenConfig) defaults() {
 // last one everything, a negative worker cap is always a caller bug, and an
 // out-of-range solver would panic deep inside thermal.NewModel.
 func (c *GenConfig) validate() error {
-	if c.Snapshots < len(c.Scenarios) {
+	if len(c.Scenarios) > 0 && len(c.Specs) > 0 {
+		return &ConfigError{Option: "Specs", Reason: fmt.Sprintf(
+			"%d Specs and %d Scenarios both set; use exactly one spelling (registry presets cover the enum scenarios)",
+			len(c.Specs), len(c.Scenarios))}
+	}
+	for i, s := range c.Specs {
+		if s == nil {
+			return &ConfigError{Option: "Specs", Reason: fmt.Sprintf("spec %d is nil", i)}
+		}
+		if err := s.Validate(); err != nil {
+			return &ConfigError{Option: "Specs", Reason: err.Error()}
+		}
+	}
+	if c.Snapshots < c.segments() {
 		return &ConfigError{Option: "Snapshots", Reason: fmt.Sprintf(
 			"%d snapshots cannot cover %d scenarios (each scenario segment needs at least one snapshot)",
-			c.Snapshots, len(c.Scenarios))}
+			c.Snapshots, c.segments())}
 	}
 	if c.Workers < 0 {
 		return &ConfigError{Option: "Workers", Reason: fmt.Sprintf(
@@ -221,6 +241,15 @@ func (c *GenConfig) validate() error {
 		return &ConfigError{Option: "Thermal.Solver", Reason: fmt.Sprintf("unknown solver %v", c.Thermal.Solver)}
 	}
 	return nil
+}
+
+// segments returns the number of workload segments the ensemble is split
+// into (specs when given, legacy enum scenarios otherwise).
+func (c *GenConfig) segments() int {
+	if len(c.Specs) > 0 {
+		return len(c.Specs)
+	}
+	return len(c.Scenarios)
 }
 
 // Generate runs the full design-time pipeline: for each scenario segment it
@@ -251,7 +280,7 @@ func Generate(fp *floorplan.Floorplan, cfg GenConfig) (*Dataset, error) {
 	maps := mat.New(cfg.Snapshots, cfg.Grid.N())
 	// Segment si covers rows [starts[si], starts[si+1]); the last segment
 	// absorbs the division remainder.
-	nseg := len(cfg.Scenarios)
+	nseg := cfg.segments()
 	perSeg := cfg.Snapshots / nseg
 	starts := make([]int, nseg+1)
 	for si := 0; si < nseg; si++ {
@@ -280,11 +309,26 @@ func Generate(fp *floorplan.Floorplan, cfg GenConfig) (*Dataset, error) {
 // scratch row).
 func generateSegment(fp *floorplan.Floorplan, raster *floorplan.Raster, model *thermal.Model,
 	cfg *GenConfig, si, start, end int, maps *mat.Matrix) error {
-	sc := cfg.Scenarios[si]
 	pcfg := cfg.Power
-	pcfg.Scenario = sc
 	pcfg.Seed = cfg.Seed + int64(si)*7919
-	gen := power.NewGenerator(fp, pcfg)
+	var gen *power.Generator
+	var sc string // segment name for error reporting
+	if len(cfg.Specs) > 0 {
+		spec := cfg.Specs[si]
+		sc = spec.Name
+		if sc == "" {
+			sc = fmt.Sprintf("spec[%d]", si)
+		}
+		var err error
+		gen, err = power.NewSpecGenerator(fp, spec, pcfg)
+		if err != nil {
+			return fmt.Errorf("dataset: scenario %s: %w", sc, err)
+		}
+	} else {
+		pcfg.Scenario = cfg.Scenarios[si]
+		sc = pcfg.Scenario.String()
+		gen = power.NewGenerator(fp, pcfg)
+	}
 
 	tr := model.NewTransient()
 	cellP := make([]float64, cfg.Grid.N())

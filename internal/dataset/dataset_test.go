@@ -11,6 +11,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/power"
 	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
 // tinyConfig keeps Generate fast in tests.
@@ -393,5 +394,95 @@ func TestGenerateSolverArmsBothWork(t *testing.T) {
 		if st := d.Stats(); st.MinC < 44 || st.MaxC > 150 {
 			t.Fatalf("%v: implausible range %v..%v", s, st.MinC, st.MaxC)
 		}
+	}
+}
+
+func TestGenerateSpecsMatchEnumScenarios(t *testing.T) {
+	// Registry preset specs must reproduce the enum-scenario ensemble
+	// bit-for-bit: the spec migration cannot change any existing dataset.
+	fp := floorplan.UltraSparcT1()
+	base := GenConfig{
+		Grid: floorplan.Grid{W: 12, H: 10}, Snapshots: 40, Seed: 99,
+		Scenarios: []power.Scenario{power.ScenarioWeb, power.ScenarioMixed},
+	}
+	enum, err := Generate(fp, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specCfg := base
+	specCfg.Scenarios = nil
+	for _, name := range []string{"web", "mixed"} {
+		s, err := workload.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specCfg.Specs = append(specCfg.Specs, s)
+	}
+	spec, err := Generate(fp, specCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < enum.T(); j++ {
+		a, b := enum.Map(j), spec.Map(j)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("map %d cell %d: enum %v != spec %v", j, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsSpecsPlusScenarios(t *testing.T) {
+	s, _ := workload.Parse("web")
+	_, err := Generate(floorplan.UltraSparcT1(), GenConfig{
+		Grid: floorplan.Grid{W: 8, H: 8}, Snapshots: 8,
+		Scenarios: []power.Scenario{power.ScenarioWeb},
+		Specs:     []*workload.Spec{s},
+	})
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Option != "Specs" {
+		t.Fatalf("Specs+Scenarios err = %v", err)
+	}
+}
+
+func TestGenerateRejectsNilAndInvalidSpecs(t *testing.T) {
+	cfg := GenConfig{Grid: floorplan.Grid{W: 8, H: 8}, Snapshots: 8,
+		Specs: []*workload.Spec{nil}}
+	if _, err := Generate(floorplan.UltraSparcT1(), cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("nil spec err = %v", err)
+	}
+	cfg.Specs = []*workload.Spec{{Name: "empty"}}
+	if _, err := Generate(floorplan.UltraSparcT1(), cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("invalid spec err = %v", err)
+	}
+}
+
+func TestGenerateManycoreWithCatalogSpecs(t *testing.T) {
+	// A generated 64-core die driven by catalog specs end to end.
+	fp, err := floorplan.Manycore(64, 16, floorplan.Grid{W: 8, H: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []*workload.Spec
+	for _, name := range []string{"bursty", "dvfs"} {
+		s, err := workload.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	ds, err := Generate(fp, GenConfig{
+		Grid: floorplan.Grid{W: 16, H: 16}, Snapshots: 24, Seed: 4, Specs: specs,
+		Power: power.ManycoreConfig(64, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Stats()
+	if st.MeanC < 20 || st.MeanC > 150 {
+		t.Fatalf("manycore ensemble mean %v °C implausible", st.MeanC)
 	}
 }

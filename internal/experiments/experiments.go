@@ -16,6 +16,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/power"
 	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
 // Config scales the experiment suite. DefaultConfig reproduces the paper's
@@ -53,6 +54,11 @@ type Config struct {
 	// SimWorkers forwards to dataset.GenConfig: the goroutine cap for
 	// generating scenario segments concurrently (0 = all CPUs).
 	SimWorkers int
+
+	// Specs, when non-empty, replaces the default scenario mix with
+	// declarative workload specs (dataset.GenConfig.Specs). The robustness
+	// harness also uses them as its scenario families.
+	Specs []*workload.Spec
 }
 
 // DefaultConfig returns the paper-scale configuration: 60×56 grid, T = 2652
@@ -119,6 +125,7 @@ func NewEnv(cfg Config) (*Env, error) {
 	ds, err := dataset.Generate(fp, dataset.GenConfig{
 		Grid:      cfg.Grid,
 		Snapshots: cfg.Snapshots,
+		Specs:     cfg.Specs,
 		Seed:      cfg.Seed,
 		Power:     power.Config{LoadCoupling: cfg.LoadCoupling},
 		Solver:    cfg.SimSolver,

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/workload"
+)
+
+// TestRobustDefaultMatrix pins the acceptance criterion of the robustness
+// harness: the default configuration produces a train-family × eval-family
+// reconstruction-error matrix over six distinct scenario specs on a
+// generated 256-core floorplan.
+func TestRobustDefaultMatrix(t *testing.T) {
+	cfg, err := DefaultRobustConfig(2012)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Robust(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Floorplan != "manycore-256c" {
+		t.Fatalf("floorplan %q, want the generated 256-core die", res.Floorplan)
+	}
+	if len(res.Names) != 6 {
+		t.Fatalf("matrix covers %d families, want 6 (%v)", len(res.Names), res.Names)
+	}
+	seen := map[string]bool{}
+	for _, n := range res.Names {
+		if seen[n] {
+			t.Fatalf("duplicate family %q in %v", n, res.Names)
+		}
+		seen[n] = true
+	}
+	for i := range res.Names {
+		if len(res.MSE[i]) != 6 {
+			t.Fatalf("row %d has %d entries", i, len(res.MSE[i]))
+		}
+		for j, v := range res.MSE[i] {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("MSE[%d][%d] = %v; want positive finite", i, j, v)
+			}
+		}
+		if !(res.Cond[i] >= 1) {
+			t.Fatalf("cond[%d] = %v", i, res.Cond[i])
+		}
+	}
+	if gap := res.GeneralizationGap(); !(gap > 0) || math.IsInf(gap, 0) {
+		t.Fatalf("generalization gap %v", gap)
+	}
+	if !seen[res.MostRobustFamily()] {
+		t.Fatalf("most robust family %q not among %v", res.MostRobustFamily(), res.Names)
+	}
+	out := res.String()
+	for _, want := range []string{"manycore-256c", "train\\eval", "bursty", "most robust"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRobustRejectsDuplicateFamilies(t *testing.T) {
+	a, _ := workload.Parse("web")
+	b, _ := workload.Parse("web")
+	fp, _ := floorplan.Manycore(4, 2, floorplan.Grid{W: 2, H: 2})
+	_, err := Robust(RobustConfig{
+		Floorplan: fp, Grid: floorplan.Grid{W: 8, H: 8},
+		Snapshots: 8, KMax: 4, K: 2, M: 3,
+		Specs: []*workload.Spec{a, b},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate families err = %v", err)
+	}
+}
+
+func TestRobustSmallCustomConfig(t *testing.T) {
+	// A non-default configuration (tiny die, two families) exercises the
+	// explicit-field path.
+	fp, err := floorplan.Manycore(16, 4, floorplan.Grid{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, _ := workload.Parse("web")
+	idle, _ := workload.Parse("idle")
+	res, err := Robust(RobustConfig{
+		Floorplan: fp, Grid: floorplan.Grid{W: 12, H: 12},
+		Snapshots: 30, KMax: 6, K: 4, M: 6, Seed: 7,
+		Specs: []*workload.Spec{web, idle},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 2 || res.Names[0] != "web" || res.Names[1] != "idle" {
+		t.Fatalf("names %v", res.Names)
+	}
+}

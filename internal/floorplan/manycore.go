@@ -1,0 +1,154 @@
+package floorplan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Manycore generates a parametric tiled many-core floorplan so scenarios
+// can scale far beyond the bundled T1/Athlon dies: `cores` core tiles in a
+// mesh.W × mesh.H grid across the top of the die, a full-width NoC router
+// band (KindCrossbar) under them, `caches` shared L2/L3 banks tiled below
+// the NoC, and an uncore strip (vector/FPU complex plus memory controllers
+// as KindOther) along the bottom edge.
+//
+// The layout keeps the structural properties the power and placement
+// models rely on: every block kind the engine powers is present, cache
+// banks map onto cores proportionally in layout order, and the blocks tile
+// the unit die without overlap (Validate clean by construction).
+//
+// Manycore(256, 64, Grid{W: 16, H: 16}) is the reference ≥256-core
+// configuration used by the cross-scenario robustness harness.
+func Manycore(cores, caches int, mesh Grid) (*Floorplan, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("floorplan: manycore needs at least 1 core, got %d", cores)
+	}
+	if mesh.W < 1 || mesh.H < 1 {
+		return nil, fmt.Errorf("floorplan: manycore mesh %dx%d is degenerate", mesh.W, mesh.H)
+	}
+	if mesh.W*mesh.H != cores {
+		return nil, fmt.Errorf("floorplan: manycore mesh %dx%d holds %d tiles, not %d cores",
+			mesh.W, mesh.H, mesh.W*mesh.H, cores)
+	}
+	if caches < 0 {
+		return nil, fmt.Errorf("floorplan: manycore cache count %d is negative", caches)
+	}
+
+	// Vertical band budget (fractions of die height). Without caches the
+	// core mesh absorbs the cache band.
+	const (
+		nocH    = 0.08
+		uncoreH = 0.06
+	)
+	cacheH := 0.24
+	if caches == 0 {
+		cacheH = 0
+	}
+	coreH := 1 - nocH - uncoreH - cacheH
+
+	fp := &Floorplan{Name: fmt.Sprintf("manycore-%dc", cores)}
+
+	// Core mesh: mesh.H rows × mesh.W columns tiling the top band.
+	tileW := 1.0 / float64(mesh.W)
+	tileH := coreH / float64(mesh.H)
+	for r := 0; r < mesh.H; r++ {
+		for c := 0; c < mesh.W; c++ {
+			fp.Blocks = append(fp.Blocks, Block{
+				Name: fmt.Sprintf("core%d", r*mesh.W+c), Kind: KindCore,
+				X: float64(c) * tileW, Y: float64(r) * tileH, W: tileW, H: tileH,
+			})
+		}
+	}
+
+	// NoC router band: the many-core analogue of the T1 crossbar.
+	fp.Blocks = append(fp.Blocks, Block{
+		Name: "noc", Kind: KindCrossbar, X: 0, Y: coreH, W: 1, H: nocH,
+	})
+
+	// Cache banks: rows of mesh.W banks below the NoC; a final partial row
+	// widens its banks to keep the die tiled.
+	if caches > 0 {
+		rows := (caches + mesh.W - 1) / mesh.W
+		bankH := cacheH / float64(rows)
+		y := coreH + nocH
+		for r := 0; r < rows; r++ {
+			inRow := mesh.W
+			if rem := caches - r*mesh.W; rem < inRow {
+				inRow = rem
+			}
+			bankW := 1.0 / float64(inRow)
+			for c := 0; c < inRow; c++ {
+				fp.Blocks = append(fp.Blocks, Block{
+					Name: fmt.Sprintf("l2b%d", r*mesh.W+c), Kind: KindCache,
+					X: float64(c) * bankW, Y: y + float64(r)*bankH, W: bankW, H: bankH,
+				})
+			}
+		}
+	}
+
+	// Uncore strip: shared vector/FPU complex on the left fifth, memory
+	// controllers and IO filling the rest.
+	uy := 1 - uncoreH
+	fp.Blocks = append(fp.Blocks,
+		Block{Name: "vpu", Kind: KindFPU, X: 0, Y: uy, W: 0.2, H: uncoreH},
+		Block{Name: "mc", Kind: KindOther, X: 0.2, Y: uy, W: 0.8, H: uncoreH},
+	)
+
+	if err := fp.Validate(); err != nil {
+		// Unreachable for accepted parameters; kept as an internal check.
+		return nil, fmt.Errorf("floorplan: manycore generation produced an invalid plan: %w", err)
+	}
+	return fp, nil
+}
+
+// Named resolves a floorplan by registry name: "t1" (or "ultrasparc-t1"),
+// "athlon" (or "athlon-dual-core"), and "manycore-<cores>c" for a generated
+// many-core die with a square-ish mesh and one cache bank per four cores.
+// It is the single floorplan-name parser shared by the daemon and the CLIs.
+func Named(name string) (*Floorplan, error) {
+	switch name {
+	case "t1", "ultrasparc-t1":
+		return UltraSparcT1(), nil
+	case "athlon", "athlon-dual-core":
+		return AthlonDualCore(), nil
+	}
+	// Strict "manycore-<cores>c" parse: the whole name must match, so a
+	// typo like "manycore-16cores" is rejected instead of silently
+	// selecting a 16-core die.
+	if num, ok := strings.CutPrefix(name, "manycore-"); ok {
+		if digits, ok := strings.CutSuffix(num, "c"); ok {
+			cores, err := strconv.Atoi(digits)
+			if err == nil && cores > 0 {
+				mesh, merr := squareMesh(cores)
+				if merr != nil {
+					return nil, merr
+				}
+				caches := cores / 4
+				if caches == 0 {
+					caches = 1
+				}
+				return Manycore(cores, caches, mesh)
+			}
+		}
+	}
+	return nil, fmt.Errorf("floorplan: unknown floorplan %q (want t1, athlon or manycore-<cores>c)", name)
+}
+
+// squareMesh factors cores into the most square W×H mesh, rejecting counts
+// that only factor as degenerate 1×N strips (primes above 3).
+func squareMesh(cores int) (Grid, error) {
+	if cores < 1 {
+		return Grid{}, fmt.Errorf("floorplan: manycore needs at least 1 core, got %d", cores)
+	}
+	best := Grid{W: cores, H: 1}
+	for h := 2; h*h <= cores; h++ {
+		if cores%h == 0 {
+			best = Grid{W: cores / h, H: h}
+		}
+	}
+	if best.H == 1 && cores > 3 {
+		return Grid{}, fmt.Errorf("floorplan: %d cores only factor as a 1x%d strip; pick a composite core count", cores, cores)
+	}
+	return best, nil
+}

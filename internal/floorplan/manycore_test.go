@@ -1,0 +1,135 @@
+package floorplan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestManycoreGeneratesValidPlans(t *testing.T) {
+	cases := []struct {
+		cores, caches int
+		mesh          Grid
+	}{
+		{4, 2, Grid{W: 2, H: 2}},
+		{16, 4, Grid{W: 4, H: 4}},
+		{64, 16, Grid{W: 8, H: 8}},
+		{256, 64, Grid{W: 16, H: 16}},
+		{12, 5, Grid{W: 4, H: 3}}, // partial cache row
+		{9, 0, Grid{W: 3, H: 3}},  // cacheless die
+	}
+	for _, tc := range cases {
+		fp, err := Manycore(tc.cores, tc.caches, tc.mesh)
+		if err != nil {
+			t.Fatalf("Manycore(%d,%d,%v): %v", tc.cores, tc.caches, tc.mesh, err)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("Manycore(%d,%d,%v) invalid: %v", tc.cores, tc.caches, tc.mesh, err)
+		}
+		if got := len(fp.KindBlocks(KindCore)); got != tc.cores {
+			t.Fatalf("%s: %d cores, want %d", fp.Name, got, tc.cores)
+		}
+		if got := len(fp.KindBlocks(KindCache)); got != tc.caches {
+			t.Fatalf("%s: %d caches, want %d", fp.Name, got, tc.caches)
+		}
+		if got := len(fp.KindBlocks(KindCrossbar)); got != 1 {
+			t.Fatalf("%s: %d crossbars, want 1", fp.Name, got)
+		}
+		if got := len(fp.KindBlocks(KindFPU)); got != 1 {
+			t.Fatalf("%s: %d fpus, want 1", fp.Name, got)
+		}
+		if cov := fp.CoverageFraction(); cov < 0.999 || cov > 1.001 {
+			t.Fatalf("%s: coverage %v, want ≈1 (the die must tile)", fp.Name, cov)
+		}
+	}
+}
+
+func TestManycore256RasterizesEveryCore(t *testing.T) {
+	fp, err := Manycore(256, 64, Grid{W: 16, H: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fp.Rasterize(Grid{W: 32, H: 32})
+	for b, blk := range fp.Blocks {
+		if blk.Kind == KindCore && r.CellCount(b) == 0 {
+			t.Fatalf("core %q received no raster cells on a 32x32 grid", blk.Name)
+		}
+	}
+	if r.CoveredCells() != 32*32 {
+		t.Fatalf("only %d of %d cells covered", r.CoveredCells(), 32*32)
+	}
+}
+
+func TestManycoreRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		cores, caches int
+		mesh          Grid
+		want          string
+	}{
+		{0, 4, Grid{W: 1, H: 1}, "at least 1 core"},
+		{4, 4, Grid{W: 0, H: 4}, "degenerate"},
+		{4, 4, Grid{W: 3, H: 2}, "not 4 cores"},
+		{4, -1, Grid{W: 2, H: 2}, "negative"},
+	}
+	for _, tc := range cases {
+		_, err := Manycore(tc.cores, tc.caches, tc.mesh)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Manycore(%d,%d,%v) err = %v, want mention of %q",
+				tc.cores, tc.caches, tc.mesh, err, tc.want)
+		}
+	}
+}
+
+func TestNamedResolvesFloorplans(t *testing.T) {
+	for name, wantPlan := range map[string]string{
+		"t1":               "ultrasparc-t1",
+		"ultrasparc-t1":    "ultrasparc-t1",
+		"athlon":           "athlon-dual-core",
+		"athlon-dual-core": "athlon-dual-core",
+		"manycore-256c":    "manycore-256c",
+		"manycore-64c":     "manycore-64c",
+	} {
+		fp, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if fp.Name != wantPlan {
+			t.Fatalf("Named(%q) = %q, want %q", name, fp.Name, wantPlan)
+		}
+	}
+	if _, err := Named("pentium"); err == nil {
+		t.Fatal("unknown floorplan accepted")
+	}
+	if _, err := Named("manycore-7c"); err == nil {
+		t.Fatal("prime core count should be rejected (1xN strip)")
+	}
+	for _, bad := range []string{"manycore-16cores", "manycore-16c-v2", "manycore-c", "manycore-0c", "manycore--4c"} {
+		if _, err := Named(bad); err == nil {
+			t.Fatalf("Named(%q) accepted a malformed manycore name", bad)
+		}
+	}
+	fp, err := Named("manycore-12c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fp.KindBlocks(KindCache)); got != 3 {
+		t.Fatalf("manycore-12c default caches = %d, want 3", got)
+	}
+}
+
+func TestManycorePowersUnderSpecEngine(t *testing.T) {
+	// The generated plan must be drivable end to end; the real check lives
+	// in internal/power and internal/dataset — here we only pin the layout
+	// order contract: cores come first, in row-major mesh order.
+	fp, err := Manycore(16, 4, Grid{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if fp.Blocks[i].Kind != KindCore {
+			t.Fatalf("block %d is %v, want core (layout-order contract)", i, fp.Blocks[i].Kind)
+		}
+	}
+	if fp.Blocks[1].X <= fp.Blocks[0].X || fp.Blocks[4].Y <= fp.Blocks[0].Y {
+		t.Fatal("cores not in row-major mesh order")
+	}
+}

@@ -7,16 +7,28 @@
 // power coupled to core activity, and occasional FPU bursts. What the
 // EigenMaps method actually depends on is the *ensemble diversity* of
 // spatially structured power patterns, which this engine provides.
+//
+// The engine is driven by declarative workload.Spec scenarios: phase
+// schedules of Markov rate regimes, bursty (MMPP) arrival modulation,
+// task-migration chains, DVFS ladders and periodic duty envelopes. The
+// historical Scenario enum remains as a thin compatibility layer whose four
+// presets delegate to the workload registry — by construction the delegated
+// engine consumes the RNG in exactly the legacy order, so preset traces are
+// bit-identical to the pre-spec implementation (pinned by
+// TestPresetSpecBitEquivalence).
 package power
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/floorplan"
+	"repro/internal/workload"
 )
 
-// Scenario selects a workload preset.
+// Scenario selects a workload preset (legacy spelling; the presets live in
+// the workload registry and can also be addressed by name there).
 type Scenario int
 
 // Workload presets.
@@ -48,6 +60,22 @@ func (s Scenario) String() string {
 	return fmt.Sprintf("Scenario(%d)", int(s))
 }
 
+// presetSpec maps the enum onto its registry spec. Unknown enum values keep
+// their historical behavior: generic fallback rates and no migration.
+func presetSpec(s Scenario) *workload.Spec {
+	switch s {
+	case ScenarioWeb, ScenarioCompute, ScenarioMixed, ScenarioIdle:
+		return workload.Preset(s.String())
+	}
+	return &workload.Spec{
+		Name: s.String(),
+		Phases: []workload.Phase{{
+			Rates: workload.Rates{IdleToBusy: 0.1, BusyToIdle: 0.1, BusyToFPU: 0.02, FPUToBusy: 0.2},
+		}},
+		Migration: workload.Migration{Period: -1},
+	}
+}
+
 // Config parameterizes a Generator. The zero value plus a Seed is a usable
 // web-scenario configuration.
 type Config struct {
@@ -74,15 +102,17 @@ type Config struct {
 	OtherW float64
 
 	// MigrationPeriod is the number of steps between OS rebalancing events.
-	// Default depends on scenario.
+	// Zero defers to the workload spec; negative disables rebalancing.
 	MigrationPeriod int
 
 	// LoadCoupling ∈ [0,1] blends each core's utilization target with a
-	// shared, slowly varying system-load level: 0 leaves the cores fully
-	// independent, 1 makes them track the global load exactly. Throughput
-	// machines like the T1 run strongly correlated cores (every core serves
-	// the same request mix), which concentrates the thermal ensemble's
-	// energy in fewer principal components.
+	// shared, slowly varying system-load level: 1 makes cores track the
+	// global load exactly. It is the default for specs that declare no
+	// load_coupling of their own — a spec's non-zero value wins, since
+	// coupling is part of the scenario definition. Throughput machines
+	// like the T1 run strongly correlated cores (every core serves the
+	// same request mix), which concentrates the thermal ensemble's energy
+	// in fewer principal components.
 	LoadCoupling float64
 }
 
@@ -114,18 +144,42 @@ func (c *Config) defaults() {
 	if c.OtherW == 0 {
 		c.OtherW = 0.5
 	}
-	if c.MigrationPeriod == 0 {
-		switch c.Scenario {
-		case ScenarioWeb:
-			c.MigrationPeriod = 20
-		case ScenarioCompute:
-			c.MigrationPeriod = 120
-		case ScenarioMixed:
-			c.MigrationPeriod = 40
-		case ScenarioIdle:
-			c.MigrationPeriod = 60
-		}
+}
+
+// ManycoreConfig returns a Config whose per-block power budgets are scaled
+// for a generated many-core die (floorplan.Manycore): per-core and per-bank
+// budgets shrink with the core/bank counts so the total die power stays in
+// a T1-class envelope (tens of watts) regardless of scale — matching how
+// real many-core parts trade per-core power for core count on a fixed
+// thermal budget. With cores = caches = 8 it reproduces the T1 defaults.
+func ManycoreConfig(cores, caches int) Config {
+	var c Config
+	c.defaults()
+	if cores > 0 {
+		f := 8.0 / float64(cores)
+		c.CoreIdleW *= f
+		c.CoreBusyW *= f
 	}
+	if caches > 0 {
+		f := 8.0 / float64(caches)
+		c.CacheBaseW *= f
+		c.CacheActiveW *= f
+	}
+	return c
+}
+
+// ConfigFor returns the Config for simulating fp at the given default load
+// coupling: T1-class dies (≤ 8 cores) get the standard budgets, larger
+// generated dies get ManycoreConfig scaling. It is the single place the
+// "scale budgets past 8 cores" policy lives — the daemon, the CLIs and the
+// robustness harness all build their configs here.
+func ConfigFor(fp *floorplan.Floorplan, coupling float64) Config {
+	var c Config
+	if cores := len(fp.KindBlocks(floorplan.KindCore)); cores > 8 {
+		c = ManycoreConfig(cores, len(fp.KindBlocks(floorplan.KindCache)))
+	}
+	c.LoadCoupling = coupling
+	return c
 }
 
 // coreState is the per-core Markov state.
@@ -137,31 +191,28 @@ const (
 	coreFPU // busy with FPU-heavy work
 )
 
-// transition probabilities per scenario: {idle→busy, busy→idle, busy→fpu, fpu→busy}
-type rates struct {
-	idleToBusy, busyToIdle, busyToFPU, fpuToBusy float64
+// kind indices for the per-step envelope multipliers.
+const (
+	envCore = iota
+	envCache
+	envCrossbar
+	envFPU
+	envOther
+	envKinds
+)
+
+var envKindIndex = map[string]int{
+	"core": envCore, "cache": envCache, "crossbar": envCrossbar,
+	"fpu": envFPU, "other": envOther,
 }
 
-func scenarioRates(s Scenario) rates {
-	switch s {
-	case ScenarioWeb:
-		return rates{idleToBusy: 0.15, busyToIdle: 0.10, busyToFPU: 0.02, fpuToBusy: 0.20}
-	case ScenarioCompute:
-		return rates{idleToBusy: 0.30, busyToIdle: 0.02, busyToFPU: 0.10, fpuToBusy: 0.05}
-	case ScenarioMixed:
-		return rates{idleToBusy: 0.20, busyToIdle: 0.06, busyToFPU: 0.05, fpuToBusy: 0.10}
-	case ScenarioIdle:
-		return rates{idleToBusy: 0.04, busyToIdle: 0.25, busyToFPU: 0.01, fpuToBusy: 0.30}
-	}
-	return rates{idleToBusy: 0.1, busyToIdle: 0.1, busyToFPU: 0.02, fpuToBusy: 0.2}
-}
-
-// Generator produces a per-block power vector at each step.
+// Generator produces a per-block power vector at each step, driven by a
+// declarative workload spec.
 type Generator struct {
-	cfg   Config
-	plan  *floorplan.Floorplan
-	rng   *rand.Rand
-	rates rates
+	cfg  Config
+	spec *workload.Spec
+	plan *floorplan.Floorplan
+	rng  *rand.Rand
 
 	cores  []int // block indices of cores, layout order
 	caches []int
@@ -173,17 +224,46 @@ type Generator struct {
 	util       []float64   // per core, smoothed utilization in [0,1]
 	globalLoad float64     // shared system-load level in [0,1]
 	step       int
+
+	coupling  float64 // effective load coupling (Config overrides spec)
+	migPeriod int     // effective migration period (Config overrides spec)
+
+	burst bool // MMPP modulating-chain state (specs with Arrival)
+
+	dvfsLevel []int // per core: index into spec.DVFS.Levels
+	dvfsHold  []int // per core: steps until the governor may act again
+
+	hasEnv bool
+	envMul [envKinds]float64 // per-kind duty multiplier for the current step
+	uEff   []float64         // envelope-modulated utilization (aliases util without envelopes)
 }
 
 // NewGenerator builds a Generator for fp under cfg. The generator is
-// deterministic given cfg.Seed.
+// deterministic given cfg.Seed. The enum scenario delegates to its workload
+// registry spec; traces are bit-identical to the historical enum arms.
 func NewGenerator(fp *floorplan.Floorplan, cfg Config) *Generator {
+	g, err := NewSpecGenerator(fp, presetSpec(cfg.Scenario), cfg)
+	if err != nil {
+		// Preset specs are valid by construction.
+		panic(fmt.Sprintf("power: preset %v: %v", cfg.Scenario, err))
+	}
+	return g
+}
+
+// NewSpecGenerator builds a Generator driven by a declarative workload
+// spec. cfg supplies the hardware power budgets (its Scenario field is
+// ignored); spec supplies the dynamics. The trace is bit-reproducible given
+// (spec, cfg.Seed).
+func NewSpecGenerator(fp *floorplan.Floorplan, spec *workload.Spec, cfg Config) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	g := &Generator{
-		cfg:   cfg,
-		plan:  fp,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		rates: scenarioRates(cfg.Scenario),
+		cfg:  cfg,
+		spec: spec.Clone(),
+		plan: fp,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for i, b := range fp.Blocks {
 		switch b.Kind {
@@ -199,9 +279,34 @@ func NewGenerator(fp *floorplan.Floorplan, cfg Config) *Generator {
 			g.others = append(g.others, i)
 		}
 	}
+	// The spec's load_coupling is part of the scenario definition and wins
+	// when set; Config.LoadCoupling is the caller-side default for specs
+	// that don't declare one. (Presets declare none, so the historical
+	// Config knob keeps its exact effect on them.)
+	g.coupling = g.spec.LoadCoupling
+	if g.coupling == 0 {
+		g.coupling = cfg.LoadCoupling
+	}
+	g.migPeriod = cfg.MigrationPeriod
+	if g.migPeriod == 0 {
+		g.migPeriod = g.spec.Migration.Period
+	}
 	g.state = make([]coreState, len(g.cores))
 	g.util = make([]float64, len(g.cores))
 	g.globalLoad = 0.5
+	if d := g.spec.DVFS; d != nil {
+		g.dvfsLevel = make([]int, len(g.cores))
+		g.dvfsHold = make([]int, len(g.cores))
+		for c := range g.dvfsLevel {
+			g.dvfsLevel[c] = len(d.Levels) - 1 // start at nominal frequency
+		}
+	}
+	g.hasEnv = len(g.spec.Envelopes) > 0
+	if g.hasEnv {
+		g.uEff = make([]float64, len(g.cores))
+	} else {
+		g.uEff = g.util
+	}
 	// Start a representative subset of cores busy so traces don't all begin
 	// from a cold idle map.
 	for c := range g.state {
@@ -210,18 +315,34 @@ func NewGenerator(fp *floorplan.Floorplan, cfg Config) *Generator {
 			g.util[c] = 0.5 + 0.5*g.rng.Float64()
 		}
 	}
-	return g
+	return g, nil
 }
 
 // NumBlocks returns the number of blocks (the length of Step's result).
 func (g *Generator) NumBlocks() int { return len(g.plan.Blocks) }
 
+// Spec returns a copy of the workload spec driving this generator. (A
+// copy, not the internal pointer: the generator's derived state — DVFS
+// ladders, envelope buffers — is frozen at construction, so mutating the
+// live spec could never take effect and could only corrupt a run.)
+func (g *Generator) Spec() *workload.Spec { return g.spec.Clone() }
+
 // Step advances the workload one time step and returns the per-block power
 // vector in watts (indexed like fp.Blocks).
 func (g *Generator) Step() []float64 {
 	g.advanceStates()
-	if g.cfg.MigrationPeriod > 0 && g.step > 0 && g.step%g.cfg.MigrationPeriod == 0 {
+	if g.migPeriod > 0 && g.step > 0 && g.step%g.migPeriod == 0 {
 		g.migrate()
+	}
+	// Task-migration Markov chain: an extra per-step migration draw on top
+	// of the periodic policy (specs with Migration.Rate > 0 only, so the
+	// presets consume no extra randomness here).
+	if rate := g.spec.Migration.Rate; rate > 0 && g.rng.Float64() < rate {
+		g.migrate()
+	}
+	g.advanceDVFS()
+	if g.hasEnv {
+		g.evalEnvelopes(g.step)
 	}
 	g.step++
 	return g.blockPowers()
@@ -229,13 +350,22 @@ func (g *Generator) Step() []float64 {
 
 // advanceStates runs the per-core Markov transitions and smooths utilization.
 func (g *Generator) advanceStates() {
-	r := g.rates
-	if g.cfg.Scenario == ScenarioMixed {
-		// Alternate regime every 300 steps.
-		if (g.step/300)%2 == 1 {
-			r = scenarioRates(ScenarioCompute)
-		} else {
-			r = scenarioRates(ScenarioWeb)
+	r := g.spec.PhaseAt(g.step).Rates
+	if a := g.spec.Arrival; a != nil {
+		// MMPP modulating chain: one draw per step, then scale arrivals.
+		p := g.rng.Float64()
+		if g.burst {
+			if p < a.PExit {
+				g.burst = false
+			}
+		} else if p < a.PEnter {
+			g.burst = true
+		}
+		if g.burst {
+			r.IdleToBusy *= a.BurstFactor
+			if r.IdleToBusy > 1 {
+				r.IdleToBusy = 1
+			}
 		}
 	}
 	// Shared system load: bounded random walk, slower than per-core churn.
@@ -250,23 +380,23 @@ func (g *Generator) advanceStates() {
 		p := g.rng.Float64()
 		switch g.state[c] {
 		case coreIdle:
-			if p < r.idleToBusy {
+			if p < r.IdleToBusy {
 				g.state[c] = coreBusy
 			}
 		case coreBusy:
 			switch {
-			case p < r.busyToIdle:
+			case p < r.BusyToIdle:
 				g.state[c] = coreIdle
-			case p < r.busyToIdle+r.busyToFPU:
+			case p < r.BusyToIdle+r.BusyToFPU:
 				g.state[c] = coreFPU
 			}
 		case coreFPU:
-			if p < r.fpuToBusy {
+			if p < r.FPUToBusy {
 				g.state[c] = coreBusy
 			}
 		}
 		// Smooth utilization toward the state target (AR(1) with jitter),
-		// blended with the shared load by LoadCoupling.
+		// blended with the shared load by the effective coupling.
 		target := 0.0
 		switch g.state[c] {
 		case coreBusy:
@@ -274,7 +404,7 @@ func (g *Generator) advanceStates() {
 		case coreFPU:
 			target = 0.85 + 0.15*g.rng.Float64()
 		}
-		if cpl := g.cfg.LoadCoupling; cpl > 0 {
+		if cpl := g.coupling; cpl > 0 {
 			target = (1-cpl)*target + cpl*g.globalLoad
 		}
 		const alpha = 0.35
@@ -286,6 +416,76 @@ func (g *Generator) advanceStates() {
 			g.util[c] = 1
 		}
 	}
+}
+
+// advanceDVFS runs the per-core frequency governor: step up when smoothed
+// utilization exceeds UpAt, down below DownAt, at most once per Hold steps.
+// Deterministic — no RNG draws.
+func (g *Generator) advanceDVFS() {
+	d := g.spec.DVFS
+	if d == nil {
+		return
+	}
+	for c := range g.dvfsLevel {
+		if g.dvfsHold[c] > 0 {
+			g.dvfsHold[c]--
+			continue
+		}
+		switch {
+		case g.util[c] > d.UpAt && g.dvfsLevel[c] < len(d.Levels)-1:
+			g.dvfsLevel[c]++
+			g.dvfsHold[c] = d.Hold
+		case g.util[c] < d.DownAt && g.dvfsLevel[c] > 0:
+			g.dvfsLevel[c]--
+			g.dvfsHold[c] = d.Hold
+		}
+	}
+}
+
+// evalEnvelopes computes the per-kind duty multipliers for step idx.
+// Envelopes targeting the same kind (or the catch-all "") compose
+// multiplicatively.
+func (g *Generator) evalEnvelopes(idx int) {
+	for k := range g.envMul {
+		g.envMul[k] = 1
+	}
+	for i := range g.spec.Envelopes {
+		e := &g.spec.Envelopes[i]
+		v := envelopeValue(e, idx)
+		if e.Kind == "" {
+			for k := range g.envMul {
+				g.envMul[k] *= v
+			}
+			continue
+		}
+		g.envMul[envKindIndex[e.Kind]] *= v
+	}
+}
+
+// clampActivity keeps an envelope-modulated activity a fraction: activity
+// feeds Base + Active·act power models whose budgets assume act ∈ [0,1].
+func clampActivity(a float64) float64 {
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// envelopeValue evaluates one envelope's waveform at step idx.
+func envelopeValue(e *workload.Envelope, idx int) float64 {
+	pos := math.Mod(float64(idx)/float64(e.Period)+e.Phase, 1)
+	var w float64
+	switch e.Shape {
+	case "", "sine":
+		w = 0.5 * (1 + math.Sin(2*math.Pi*pos))
+	case "square":
+		if pos < 0.5 {
+			w = 1
+		}
+	case "saw":
+		w = pos
+	}
+	return e.Min + (e.Max-e.Min)*w
 }
 
 // migrate emulates OS rebalancing: move the hottest task to the idlest core.
@@ -310,10 +510,28 @@ func (g *Generator) migrate() {
 func (g *Generator) blockPowers() []float64 {
 	c := g.cfg
 	p := make([]float64, len(g.plan.Blocks))
+	if g.hasEnv {
+		// Duty envelopes modulate the activity feeding the power model;
+		// core utilization stays clamped to [0,1] so budget bounds hold.
+		m := g.envMul[envCore]
+		for ci, u := range g.util {
+			u *= m
+			if u > 1 {
+				u = 1
+			}
+			g.uEff[ci] = u
+		}
+	}
 	var meanUtil, fpuShare float64
 	for ci, b := range g.cores {
-		u := g.util[ci]
-		p[b] = c.CoreIdleW + (c.CoreBusyW-c.CoreIdleW)*u
+		u := g.uEff[ci]
+		du := u
+		if d := g.spec.DVFS; d != nil {
+			// Dynamic power ∝ f·V² with V ∝ f: cube the relative frequency.
+			f := d.Levels[g.dvfsLevel[ci]]
+			du = u * f * f * f
+		}
+		p[b] = c.CoreIdleW + (c.CoreBusyW-c.CoreIdleW)*du
 		meanUtil += u
 		if g.state[ci] == coreFPU {
 			fpuShare++
@@ -327,16 +545,31 @@ func (g *Generator) blockPowers() []float64 {
 	// column position (nearest cores by layout order).
 	for k, b := range g.caches {
 		act := g.cacheActivity(k)
+		if g.hasEnv {
+			act = clampActivity(act * g.envMul[envCache])
+		}
 		p[b] = c.CacheBaseW + c.CacheActiveW*act
 	}
 	for _, b := range g.xbars {
-		p[b] = c.CrossbarBaseW + c.CrossbarActiveW*meanUtil
+		act := meanUtil
+		if g.hasEnv {
+			act = clampActivity(act * g.envMul[envCrossbar])
+		}
+		p[b] = c.CrossbarBaseW + c.CrossbarActiveW*act
 	}
 	for _, b := range g.fpus {
-		p[b] = c.FPUBaseW + c.FPUActiveW*fpuShare
+		act := fpuShare
+		if g.hasEnv {
+			act = clampActivity(act * g.envMul[envFPU])
+		}
+		p[b] = c.FPUBaseW + c.FPUActiveW*act
 	}
 	for _, b := range g.others {
-		p[b] = c.OtherW
+		w := c.OtherW
+		if g.hasEnv {
+			w *= g.envMul[envOther]
+		}
+		p[b] = w
 	}
 	return p
 }
@@ -349,11 +582,11 @@ func (g *Generator) cacheActivity(k int) float64 {
 		return 0
 	}
 	if len(g.caches) == len(g.cores) {
-		return g.util[k]
+		return g.uEff[k]
 	}
 	// General fallback: proportionally map banks onto cores.
 	ci := k * len(g.cores) / len(g.caches)
-	return g.util[ci]
+	return g.uEff[ci]
 }
 
 // TotalPower sums a per-block power vector.

@@ -108,6 +108,14 @@ func TestBatchShapeErrors(t *testing.T) {
 // TestReconstructIntoZeroAlloc pins the acceptance criterion: the pooled
 // steady-state path allocates nothing per snapshot.
 func TestReconstructIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool deliberately randomizes its fast path when race.Enabled
+		// (poolRaceHat dropping ~25% of puts), so AllocsPerRun occasionally
+		// observes a pool miss under -race. The pin is exact without -race;
+		// CI's bench-smoke job re-runs this test race-free to keep it
+		// enforced, and plain local `go test` runs it too.
+		t.Skip("pool-backed zero-alloc pin is not meaningful under the race detector")
+	}
 	r, readings, _ := batchFixture(t)
 	dst := make([]float64, testBasis.N())
 	// Warm the pool.

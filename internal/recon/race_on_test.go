@@ -1,0 +1,9 @@
+//go:build race
+
+package recon
+
+// raceEnabled reports whether this test binary was built with -race.
+// sync.Pool intentionally randomizes its per-P fast path under the race
+// detector (to shake out misuse), so pool-backed zero-allocation pins are
+// only meaningful without it.
+const raceEnabled = true
