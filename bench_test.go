@@ -9,6 +9,7 @@
 package eigenmaps_test
 
 import (
+	"bytes"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -675,6 +676,81 @@ func BenchmarkWorkloadStep(b *testing.B) {
 				gen.Step()
 			}
 		})
+	}
+}
+
+// --- Monitor persistence (the durable serving layer) ---
+
+// monitorStoreFixture trains a daemon-sized monitor (grid 16×14, KMax 12,
+// K=8/M=16 — the emapsd defaults) through the public pipeline.
+func monitorStoreFixture(b *testing.B) *eigenmaps.Monitor {
+	b.Helper()
+	ens, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+		Grid: eigenmaps.Grid{W: 16, H: 14}, Snapshots: 150, Seed: 9, LoadCoupling: 0.75,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{KMax: 12, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sensors, err := model.PlaceSensors(16, eigenmaps.PlaceOptions{K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := model.NewMonitor(8, sensors)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mon
+}
+
+// BenchmarkMonitorSave measures serializing a trained monitor (basis +
+// placement + cached QR) into the versioned store format.
+func BenchmarkMonitorSave(b *testing.B) {
+	mon := monitorStoreFixture(b)
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := mon.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorLoad measures rebuilding a serving-ready monitor from its
+// store bytes — the warm-start path. The whole point of the store is that
+// this is orders of magnitude cheaper than the simulate+train+place
+// pipeline the fixture ran once (BenchmarkMonitorTrainPipeline is that
+// pipeline at the same scale; DESIGN.md states the measured ratio).
+func BenchmarkMonitorLoad(b *testing.B) {
+	mon := monitorStoreFixture(b)
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eigenmaps.LoadMonitor(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorTrainPipeline is the retraining arm BenchmarkMonitorLoad
+// is measured against: the full simulate → train → place → factor pipeline
+// at the identical configuration.
+func BenchmarkMonitorTrainPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = monitorStoreFixture(b)
 	}
 }
 

@@ -22,7 +22,18 @@
 //	                                   or from a fresh "workload"/"workload_spec"
 //	                                   scenario (cross-scenario evaluation)
 //	GET  /healthz                      liveness
+//	GET  /metrics                      Prometheus text exposition: request
+//	                                   counts and latency histograms per
+//	                                   route, model-cache hit/miss, store
+//	                                   traffic, snapshot totals
 //	GET  /v1/stats                     request/snapshot totals
+//
+// With -store-dir the daemon is durable: every trained model and every
+// created monitor is persisted (atomic write + rename, see internal/store),
+// a restart warm-starts all monitors with zero retraining and bit-identical
+// estimates, and a full model cache evicts its least-recently-used model to
+// disk instead of refusing the request with a 429. Requests are logged as
+// JSON lines, and SIGINT/SIGTERM drain in-flight batches before exit.
 //
 // Monitors are created on "t1", "athlon", a registry "manycore-<cores>c"
 // die, or a fully parametric {"floorplan":"manycore","cores":...,"caches":...,
@@ -37,18 +48,25 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -63,15 +81,56 @@ import (
 	"repro/internal/workload"
 )
 
+// defaultLoadCoupling is the core-utilization correlation every training
+// ensemble is generated with — throughput workloads like the T1's sit near
+// it (see SimOptions.LoadCoupling). Persisted in each record's metadata so
+// ensemble regeneration after a warm start reproduces training exactly.
+const defaultLoadCoupling = 0.75
+
 func main() {
 	addr := flag.String("addr", ":8760", "listen address")
 	maxSnap := flag.Int("max-batch", 4096, "largest accepted snapshot batch")
 	maxModels := flag.Int("max-models", 32, "largest number of cached trained models")
+	storeDir := flag.String("store-dir", "", "trained-monitor persistence directory (empty = in-memory only)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := newServer(*maxSnap)
 	srv.maxModels = *maxModels
-	log.Printf("emapsd listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	srv.logger = logger
+	if *storeDir != "" {
+		if err := srv.openStore(*storeDir); err != nil {
+			logger.Error("store", "err", err)
+			os.Exit(1)
+		}
+		loaded, skipped := srv.warmStart()
+		logger.Info("warm start", "store_dir", *storeDir, "monitors", loaded, "skipped", skipped)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr, "store_dir", *storeDir, "max_models", *maxModels)
+
+	select {
+	case err := <-serveErr:
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Stop accepting, then drain: every accepted batch finishes (bounded by
+	// the drain timeout) before the process exits.
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("drained")
 }
 
 // trainKey identifies one trained model in the cache. Solver is the
@@ -100,17 +159,25 @@ type trainKey struct {
 // modelEntry is a lazily trained model; once.Do gates training so concurrent
 // creates for the same configuration train exactly once. fp and pcfg are
 // the resolved floorplan and power budgets, kept so simulate-with-workload
-// requests can generate fresh ensembles on the monitor's exact die.
+// requests can generate fresh ensembles on the monitor's exact die. ready
+// flips once the entry holds a servable model (trained or store-loaded), and
+// lastUse drives least-recently-used eviction when the cache is full.
 type modelEntry struct {
-	once  sync.Once
-	model *core.Model
-	ds    *dataset.Dataset
-	fp    *floorplan.Floorplan
-	pcfg  power.Config
-	err   error
+	once    sync.Once
+	ready   atomic.Bool
+	lastUse atomic.Int64 // unix nanos of the last cache hit
+	model   *core.Model
+	ds      *dataset.Dataset // nil for store-loaded entries (regenerated lazily)
+	fp      *floorplan.Floorplan
+	pcfg    power.Config
+	specs   []*workload.Spec
+	err     error
 }
 
-// monitorEntry is one live monitor behind the request loop.
+// monitorEntry is one live monitor behind the request loop. ds is nil for
+// warm-started monitors until simulate's replay path first needs it (see
+// ensureEnsemble); workloads/specJSON/rho record the creation request so
+// the monitor can be persisted and later warm-started faithfully.
 type monitorEntry struct {
 	id        string
 	key       trainKey
@@ -119,12 +186,21 @@ type monitorEntry struct {
 	ds        *dataset.Dataset
 	fp        *floorplan.Floorplan
 	pcfg      power.Config
+	rho       float64
+	workloads []string
+	specJSON  json.RawMessage
+	specs     []*workload.Spec
+	genOnce   sync.Once
+	genErr    error
 	snapshots atomic.Int64
 }
 
 type server struct {
 	maxBatch  int
 	maxModels int // training-config cache cap; keys are client-controlled
+	storeDir  string
+	logger    *slog.Logger
+	metrics   *metricsSet
 
 	mu       sync.Mutex
 	models   map[trainKey]*modelEntry
@@ -145,28 +221,76 @@ func newServer(maxBatch int) *server {
 	return &server{
 		maxBatch:  maxBatch,
 		maxModels: 32,
+		metrics:   newMetricsSet(),
 		models:    make(map[trainKey]*modelEntry),
 		monitors:  make(map[string]*monitorEntry),
 		simGen:    make(chan struct{}, runtime.NumCPU()),
 	}
 }
 
+// logf emits a structured warning (daemon-survivable problems: store
+// failures, skipped records). No-op for logger-less servers (tests).
+func (s *server) logf(msg string, args ...any) {
+	if s.logger != nil {
+		s.logger.Warn(msg, args...)
+	}
+}
+
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	s.requests.Add(1)
+	route := s.dispatch(sw, r)
+	dur := time.Since(start)
+	s.metrics.observe(route, sw.status, dur)
+	if s.logger != nil {
+		s.logger.Info("request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", sw.status, "dur_ms", float64(dur.Microseconds())/1000,
+			"bytes", sw.bytes)
+	}
+}
+
+// dispatch routes the request and returns the route label used by metrics
+// and the request log ({id} collapsed so per-monitor paths aggregate).
+func (s *server) dispatch(w http.ResponseWriter, r *http.Request) string {
 	switch {
 	case r.URL.Path == "/healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return "healthz"
+	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
+		s.handleMetrics(w)
+		return "metrics"
 	case r.URL.Path == "/v1/stats" && r.Method == http.MethodGet:
 		s.handleStats(w)
+		return "stats"
 	case r.URL.Path == "/v1/monitors" && r.Method == http.MethodPost:
 		s.handleCreate(w, r)
+		return "create"
 	case r.URL.Path == "/v1/monitors" && r.Method == http.MethodGet:
 		s.handleList(w)
+		return "list"
 	case strings.HasPrefix(r.URL.Path, "/v1/monitors/"):
-		s.handleMonitor(w, r)
+		return s.handleMonitor(w, r)
 	default:
 		httpError(w, http.StatusNotFound, "no such route")
+		return "notfound"
 	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter) {
+	s.mu.Lock()
+	g := gauges{models: len(s.models), monitors: len(s.monitors)}
+	s.mu.Unlock()
+	g.requests = s.requests.Load()
+	g.snapshots = s.snapshots.Load()
+	// Render to memory first: render briefly holds the metrics mutex that
+	// every completing request touches, so it must never block on a slow
+	// scraper's connection.
+	var buf bytes.Buffer
+	s.metrics.render(&buf, g)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
 }
 
 // --- create ---
@@ -256,32 +380,10 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Workload selection: registry names and/or one inline declarative
 	// spec. nil specs = the default four-preset mix.
-	var specs []*workload.Spec
-	var wlParts []string
-	for _, name := range req.Workloads {
-		spec, perr := workload.Parse(name)
-		if perr != nil {
-			httpError(w, http.StatusBadRequest, "bad workload: %v", perr)
-			return
-		}
-		specs = append(specs, spec)
-		wlParts = append(wlParts, spec.Name)
-	}
-	if len(req.WorkloadSpec) > 0 {
-		spec, derr := workload.Decode(req.WorkloadSpec)
-		if derr != nil {
-			httpError(w, http.StatusBadRequest, "bad workload_spec: %v", derr)
-			return
-		}
-		specs = append(specs, spec)
-		// Canonical JSON (struct field order), not the client's raw bytes,
-		// so formatting differences alias to one cache entry.
-		canon, merr := json.Marshal(spec)
-		if merr != nil {
-			httpError(w, http.StatusInternalServerError, "canonicalize workload_spec: %v", merr)
-			return
-		}
-		wlParts = append(wlParts, "inline:"+string(canon))
+	specs, wlKey, err := resolveWorkloads(req.Workloads, req.WorkloadSpec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad workload: %v", err)
+		return
 	}
 	solver, err := thermal.ParseSolver(req.SimSolver)
 	if err != nil {
@@ -292,13 +394,13 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sim_workers %d is negative (0 = all CPUs)", req.SimWorkers)
 		return
 	}
-	pcfg := power.ConfigFor(fp, 0.75)
+	pcfg := power.ConfigFor(fp, defaultLoadCoupling)
 	key := trainKey{Floorplan: fp.Name,
 		Cores: req.Cores, Caches: req.Caches, MeshW: req.MeshW, MeshH: req.MeshH,
 		W: req.GridW, H: req.GridH,
 		Snapshots: req.Snapshots, Seed: req.Seed, KMax: req.KMax,
 		Solver:   thermal.ResolveSolver(solver).String(),
-		Workload: strings.Join(wlParts, ",")}
+		Workload: wlKey}
 	entry, ok := s.modelFor(key)
 	if !ok {
 		httpError(w, http.StatusTooManyRequests,
@@ -306,7 +408,15 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry.once.Do(func() {
-		entry.fp, entry.pcfg = fp, pcfg
+		entry.fp, entry.pcfg, entry.specs = fp, pcfg, specs
+		// A model evicted to disk earlier (or trained by a previous life of
+		// a durable daemon) reloads in milliseconds instead of retraining.
+		if model, dfp, dpcfg, ok := s.loadModelRecord(key); ok {
+			entry.model, entry.fp, entry.pcfg = model, dfp, dpcfg
+			entry.ready.Store(true)
+			s.metrics.modelsLoaded.Add(1)
+			return
+		}
 		entry.ds, entry.err = dataset.Generate(fp, dataset.GenConfig{
 			Grid:      floorplan.Grid{W: key.W, H: key.H},
 			Snapshots: key.Snapshots,
@@ -327,7 +437,14 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 				delete(s.models, key)
 			}
 			s.mu.Unlock()
+			return
 		}
+		entry.ready.Store(true)
+		s.metrics.modelsTrained.Add(1)
+		// Persist at training time, not eviction time: eviction then never
+		// races a slow disk write, and a crash between train and evict
+		// still finds the model on disk after restart.
+		s.persistModel(key, entry, req.Workloads, req.WorkloadSpec)
 	})
 	if entry.err != nil {
 		httpError(w, http.StatusBadRequest, "training failed: %v", entry.err)
@@ -377,33 +494,47 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "cond: %v", err)
 		return
 	}
+	me := &monitorEntry{id: "", key: key, mon: mon, kf: kf,
+		ds: entry.ds, fp: entry.fp, pcfg: entry.pcfg,
+		rho: req.Rho, workloads: req.Workloads, specJSON: req.WorkloadSpec, specs: specs}
 	s.mu.Lock()
 	s.nextID++
-	id := fmt.Sprintf("mon-%d", s.nextID)
-	s.monitors[id] = &monitorEntry{id: id, key: key, mon: mon, kf: kf,
-		ds: entry.ds, fp: entry.fp, pcfg: entry.pcfg}
+	me.id = fmt.Sprintf("mon-%d", s.nextID)
+	s.mu.Unlock()
+	// Persist before publishing: once the monitor is visible, a concurrent
+	// DELETE must find the record on disk — persisting afterwards could
+	// resurrect a just-deleted monitor at the next warm start.
+	s.persistMonitor(me, entry.model)
+	s.mu.Lock()
+	s.monitors[me.id] = me
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, createResponse{
-		ID: id, N: mon.N(), K: mon.K(), M: len(mon.Sensors()),
+		ID: me.id, N: mon.N(), K: mon.K(), M: len(mon.Sensors()),
 		Sensors: mon.Sensors(), Cond: cond,
 	})
 }
 
 // modelFor returns the (possibly still untrained) cache entry for key. It
-// reports false when the cache is at capacity and key is not present —
-// training configurations are client-controlled, so the cache must not grow
-// without bound.
+// reports false when the cache is at capacity, key is not present, and
+// nothing can be evicted — training configurations are client-controlled,
+// so the cache must not grow without bound. A durable daemon (-store-dir)
+// evicts its least-recently-used trained model instead: the evicted state
+// is already on disk (persisted at training time) and reloads on demand.
 func (s *server) modelFor(key trainKey) (*modelEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entry, ok := s.models[key]
 	if !ok {
-		if len(s.models) >= s.maxModels {
+		s.metrics.cacheMisses.Add(1)
+		if len(s.models) >= s.maxModels && !s.evictLocked() {
 			return nil, false
 		}
 		entry = &modelEntry{}
 		s.models[key] = entry
+	} else {
+		s.metrics.cacheHits.Add(1)
 	}
+	entry.lastUse.Store(time.Now().UnixNano())
 	return entry, true
 }
 
@@ -450,7 +581,7 @@ func (s *server) handleStats(w http.ResponseWriter) {
 
 // --- per-monitor routes ---
 
-func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request) string {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/monitors/")
 	id, action, _ := strings.Cut(rest, "/")
 	s.mu.Lock()
@@ -458,22 +589,28 @@ func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if entry == nil {
 		httpError(w, http.StatusNotFound, "no monitor %q", id)
-		return
+		return "notfound"
 	}
 	switch {
 	case action == "" && r.Method == http.MethodDelete:
 		s.mu.Lock()
 		delete(s.monitors, id)
 		s.mu.Unlock()
+		s.removeMonitorFile(id)
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		return "delete"
 	case action == "estimate" && r.Method == http.MethodPost:
 		s.handleEstimate(w, r, entry)
+		return "estimate"
 	case action == "track" && r.Method == http.MethodPost:
 		s.handleTrack(w, r, entry)
+		return "track"
 	case action == "simulate" && r.Method == http.MethodPost:
 		s.handleSimulate(w, r, entry)
+		return "simulate"
 	default:
 		httpError(w, http.StatusNotFound, "no route %s %s", r.Method, r.URL.Path)
+		return "notfound"
 	}
 }
 
@@ -607,7 +744,6 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		httpError(w, http.StatusBadRequest, "count %d outside [1,%d]", req.Count, s.maxBatch)
 		return
 	}
-	src := e.ds
 	var spec *workload.Spec
 	if req.Workload != "" {
 		var err error
@@ -627,6 +763,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 			return
 		}
 	}
+	var src *dataset.Dataset
 	if spec != nil {
 		// The monitor's resolved solver arm, so cross-scenario ground truth
 		// is reproducible against an offline run of the same configuration
@@ -648,6 +785,16 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		<-s.simGen
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "simulate workload: %v", err)
+			return
+		}
+		src = ds
+	} else {
+		// Replay the training ensemble. A warm-started monitor regenerates
+		// it on first use — bit-identical to the original by construction
+		// (same key, same specs, same solver arm).
+		ds, err := e.ensureEnsemble(s)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "regenerating training ensemble: %v", err)
 			return
 		}
 		src = ds

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricsSet is the daemon's observability state: per-route request counts
+// (by status code) and latency histograms, plus counters for the model
+// cache and the persistence store. Rendered in the Prometheus text
+// exposition format at GET /metrics, so any scraper can derive request
+// rates, error ratios, cache hit ratios and snapshots/s without the daemon
+// having to compute windows itself.
+type metricsSet struct {
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+
+	cacheHits      atomic.Int64 // model cache: key already resident
+	cacheMisses    atomic.Int64 // model cache: key absent (train or disk load)
+	modelsTrained  atomic.Int64 // full simulate+train runs
+	modelsLoaded   atomic.Int64 // models reloaded from the store instead of retrained
+	modelsEvicted  atomic.Int64 // models dropped from memory to make room
+	monitorsLoaded atomic.Int64 // monitors warm-started from the store at boot
+	storeSaves     atomic.Int64 // records persisted (models + monitors)
+	storeFailures  atomic.Int64 // persistence or store-load failures (daemon kept serving)
+}
+
+// latencyBuckets are the histogram upper bounds in seconds. The serving
+// path spans ~100µs cached estimates to multi-second cold trainings, so the
+// buckets are log-spaced across that range.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// routeMetrics accumulates one route's counters. Guarded by metricsSet.mu —
+// the daemon's request handling cost (least-squares solves over whole
+// batches) dwarfs one short critical section per request.
+type routeMetrics struct {
+	byCode  map[int]int64
+	buckets []int64 // len(latencyBuckets)+1, +Inf bucket last
+	sum     float64 // seconds
+	count   int64
+}
+
+func newMetricsSet() *metricsSet {
+	return &metricsSet{routes: make(map[string]*routeMetrics)}
+}
+
+// observe records one completed request.
+func (m *metricsSet) observe(route string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	rm := m.routes[route]
+	if rm == nil {
+		rm = &routeMetrics{byCode: make(map[int]int64), buckets: make([]int64, len(latencyBuckets)+1)}
+		m.routes[route] = rm
+	}
+	rm.byCode[code]++
+	rm.count++
+	rm.sum += secs
+	idx := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			idx = i
+			break
+		}
+	}
+	rm.buckets[idx]++
+	m.mu.Unlock()
+}
+
+// gauges is the point-in-time state rendered alongside the counters.
+type gauges struct {
+	models    int
+	monitors  int
+	requests  int64
+	snapshots int64
+}
+
+// render writes the Prometheus text exposition format. Output is
+// deterministic (routes and codes sorted) so tests and shell pipelines can
+// grep exact lines.
+func (m *metricsSet) render(w io.Writer, g gauges) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP emapsd_requests_total Requests served, by route and status code.\n# TYPE emapsd_requests_total counter\n")
+	for _, name := range names {
+		rm := m.routes[name]
+		codes := make([]int, 0, len(rm.byCode))
+		for c := range rm.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "emapsd_requests_total{route=%q,code=\"%d\"} %d\n", name, c, rm.byCode[c])
+		}
+	}
+	fmt.Fprintf(w, "# HELP emapsd_request_duration_seconds Request latency, by route.\n# TYPE emapsd_request_duration_seconds histogram\n")
+	for _, name := range names {
+		rm := m.routes[name]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += rm.buckets[i]
+			fmt.Fprintf(w, "emapsd_request_duration_seconds_bucket{route=%q,le=%q} %d\n", name, trimFloat(ub), cum)
+		}
+		cum += rm.buckets[len(latencyBuckets)]
+		fmt.Fprintf(w, "emapsd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "emapsd_request_duration_seconds_sum{route=%q} %g\n", name, rm.sum)
+		fmt.Fprintf(w, "emapsd_request_duration_seconds_count{route=%q} %d\n", name, rm.count)
+	}
+	m.mu.Unlock()
+
+	counter("emapsd_snapshots_total", "Snapshots estimated across all monitors (rate = snapshots/s).", g.snapshots)
+	counter("emapsd_model_cache_hits_total", "Model-cache lookups that found the training configuration resident.", m.cacheHits.Load())
+	counter("emapsd_model_cache_misses_total", "Model-cache lookups that had to train or load from the store.", m.cacheMisses.Load())
+	counter("emapsd_models_trained_total", "Full simulate+train runs executed.", m.modelsTrained.Load())
+	counter("emapsd_models_store_loaded_total", "Models reloaded from the store instead of retrained.", m.modelsLoaded.Load())
+	counter("emapsd_models_evicted_total", "Models evicted from memory to the store to make room.", m.modelsEvicted.Load())
+	counter("emapsd_monitors_loaded_total", "Monitors warm-started from the store at boot.", m.monitorsLoaded.Load())
+	counter("emapsd_store_saves_total", "Records persisted to the store (models and monitors).", m.storeSaves.Load())
+	counter("emapsd_store_failures_total", "Store read/write failures the daemon survived.", m.storeFailures.Load())
+	gauge("emapsd_models", "Trained models resident in memory.", g.models)
+	gauge("emapsd_monitors", "Live monitors.", g.monitors)
+	counter("emapsd_http_requests_total", "All HTTP requests, any route.", g.requests)
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do (no
+// trailing zeros).
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// statusWriter captures the status code and body size a handler produced,
+// for the request log and the per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}

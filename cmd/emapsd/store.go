@@ -1,0 +1,379 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/store"
+	"repro/internal/thermal"
+	"repro/internal/track"
+	"repro/internal/workload"
+)
+
+// The daemon's durable store: one file per live monitor
+// (mon-<n>.emon — the full serving bundle, self-contained) and one per
+// trained model (model-<keyhash>.emod — basis + energy + floorplan, no
+// placement). Monitors are reloaded eagerly at boot (warm start); models
+// are reloaded lazily when a create misses the in-memory cache, which is
+// also what makes evict-to-disk safe: eviction only drops the resident
+// copy of state that is already on disk.
+const (
+	monitorSuffix = ".emon"
+	modelSuffix   = ".emod"
+)
+
+// openStore validates and remembers the persistence directory.
+func (s *server) openStore(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store dir: %w", err)
+	}
+	s.storeDir = dir
+	return nil
+}
+
+// keyHash names a model file for a training key. The key is hashed over its
+// canonical JSON so the filename stays filesystem-safe however hostile the
+// workload string is; the full key is stored in the record's metadata and
+// verified on load, so a hash collision (or a renamed file) cannot smuggle
+// the wrong model in.
+func keyHash(key trainKey) string {
+	blob, err := json.Marshal(key)
+	if err != nil {
+		// trainKey is a flat struct of strings and ints; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8])
+}
+
+func (s *server) monitorPath(id string) string {
+	return filepath.Join(s.storeDir, id+monitorSuffix)
+}
+
+func (s *server) modelPath(key trainKey) string {
+	return filepath.Join(s.storeDir, "model-"+keyHash(key)+modelSuffix)
+}
+
+// metaForKey renders a training key (plus the regeneration inputs that are
+// not part of the key) into record metadata.
+func metaForKey(key trainKey, workloads []string, specJSON json.RawMessage) store.Meta {
+	return store.Meta{
+		Floorplan: key.Floorplan,
+		Cores:     key.Cores, Caches: key.Caches, MeshW: key.MeshW, MeshH: key.MeshH,
+		GridW: key.W, GridH: key.H,
+		Snapshots: key.Snapshots, Seed: key.Seed, KMax: key.KMax,
+		Solver:       key.Solver,
+		Workloads:    workloads,
+		WorkloadSpec: specJSON,
+		LoadCoupling: defaultLoadCoupling,
+	}
+}
+
+// keyFromMeta inverts metaForKey, recomputing the canonical workload key
+// string from the stored scenario names and inline spec.
+func keyFromMeta(meta store.Meta) (trainKey, []*workload.Spec, error) {
+	specs, wlKey, err := resolveWorkloads(meta.Workloads, meta.WorkloadSpec)
+	if err != nil {
+		return trainKey{}, nil, err
+	}
+	return trainKey{
+		Floorplan: meta.Floorplan,
+		Cores:     meta.Cores, Caches: meta.Caches, MeshW: meta.MeshW, MeshH: meta.MeshH,
+		W: meta.GridW, H: meta.GridH,
+		Snapshots: meta.Snapshots, Seed: meta.Seed, KMax: meta.KMax,
+		Solver: meta.Solver, Workload: wlKey,
+	}, specs, nil
+}
+
+// resolveWorkloads parses registry scenario names and an optional inline
+// spec into the concrete spec list and the canonical cache-key string —
+// shared by the create handler and the store load path so the two cannot
+// disagree about what a key means.
+func resolveWorkloads(names []string, raw json.RawMessage) ([]*workload.Spec, string, error) {
+	var specs []*workload.Spec
+	var parts []string
+	for _, name := range names {
+		spec, err := workload.Parse(name)
+		if err != nil {
+			return nil, "", err
+		}
+		specs = append(specs, spec)
+		parts = append(parts, spec.Name)
+	}
+	if len(raw) > 0 {
+		spec, err := workload.Decode(raw)
+		if err != nil {
+			return nil, "", err
+		}
+		specs = append(specs, spec)
+		// Canonical JSON (struct field order), not the client's raw bytes,
+		// so formatting differences alias to one cache entry.
+		canon, err := json.Marshal(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		parts = append(parts, "inline:"+string(canon))
+	}
+	return specs, strings.Join(parts, ","), nil
+}
+
+// persistModel writes entry's trained model under its key. Best-effort: a
+// failure is logged and counted, never surfaced to the client — the model
+// still serves from memory.
+func (s *server) persistModel(key trainKey, entry *modelEntry, workloads []string, specJSON json.RawMessage) {
+	if s.storeDir == "" {
+		return
+	}
+	rec := &store.Record{
+		Meta:      metaForKey(key, workloads, specJSON),
+		Basis:     entry.model.Basis,
+		Floorplan: entry.fp,
+		Energy:    entry.model.Energy,
+	}
+	if err := store.SaveFile(s.modelPath(key), rec); err != nil {
+		s.metrics.storeFailures.Add(1)
+		s.logf("persist model", "path", s.modelPath(key), "err", err)
+		return
+	}
+	s.metrics.storeSaves.Add(1)
+}
+
+// persistMonitor writes a live monitor's full serving bundle. Best-effort,
+// like persistModel.
+func (s *server) persistMonitor(e *monitorEntry, model *core.Model) {
+	if s.storeDir == "" {
+		return
+	}
+	meta := metaForKey(e.key, e.workloads, e.specJSON)
+	meta.MonitorID = e.id
+	meta.Tracking = e.kf != nil
+	meta.Rho = e.rho
+	rec := e.mon.Reconstructor()
+	if err := store.SaveFile(s.monitorPath(e.id), &store.Record{
+		Meta:      meta,
+		Basis:     model.Basis,
+		Floorplan: e.fp,
+		Energy:    model.Energy,
+		Sensors:   rec.Sensors(),
+		K:         rec.K(),
+		QR:        rec.QR(),
+	}); err != nil {
+		s.metrics.storeFailures.Add(1)
+		s.logf("persist monitor", "id", e.id, "err", err)
+		return
+	}
+	s.metrics.storeSaves.Add(1)
+}
+
+// loadModelRecord tries to satisfy a model-cache miss from disk. It returns
+// ok=false (never an error the client sees) when there is no usable record:
+// the caller falls back to training.
+func (s *server) loadModelRecord(key trainKey) (*core.Model, *floorplan.Floorplan, power.Config, bool) {
+	if s.storeDir == "" {
+		return nil, nil, power.Config{}, false
+	}
+	path := s.modelPath(key)
+	rec, err := store.LoadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.metrics.storeFailures.Add(1)
+			s.logf("load model record", "path", path, "err", err)
+		}
+		return nil, nil, power.Config{}, false
+	}
+	gotKey, _, err := keyFromMeta(rec.Meta)
+	if err != nil || gotKey != key {
+		// Hash collision, renamed file or tampering: the record describes a
+		// different training run — never serve it for this key.
+		s.metrics.storeFailures.Add(1)
+		s.logf("load model record", "path", path, "err", fmt.Errorf("key mismatch (cross-configuration record)"))
+		return nil, nil, power.Config{}, false
+	}
+	if rec.Floorplan == nil || rec.Energy == nil {
+		s.metrics.storeFailures.Add(1)
+		s.logf("load model record", "path", path, "err", fmt.Errorf("record missing floorplan or energy"))
+		return nil, nil, power.Config{}, false
+	}
+	model := &core.Model{Basis: rec.Basis, Energy: rec.Energy, Grid: rec.Basis.Grid}
+	pcfg := power.ConfigFor(rec.Floorplan, rec.Meta.LoadCoupling)
+	return model, rec.Floorplan, pcfg, true
+}
+
+// warmStart reloads every monitor record in the store directory, rebuilding
+// live monitors (and re-seeding the model cache) with zero retraining. A
+// corrupt or incompatible file is logged and skipped — one damaged record
+// must not take the whole store down.
+func (s *server) warmStart() (loaded, skipped int) {
+	entries, err := os.ReadDir(s.storeDir)
+	if err != nil {
+		s.logf("warm start", "err", err)
+		return 0, 0
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), monitorSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(s.storeDir, name)
+		if err := s.loadMonitorRecord(path); err != nil {
+			s.metrics.storeFailures.Add(1)
+			s.logf("warm start: skipping record", "path", path, "err", err)
+			skipped++
+			continue
+		}
+		loaded++
+	}
+	s.metrics.monitorsLoaded.Add(int64(loaded))
+	return loaded, skipped
+}
+
+// loadMonitorRecord rebuilds one live monitor from its store file.
+func (s *server) loadMonitorRecord(path string) error {
+	rec, err := store.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if !rec.HasMonitor() {
+		return fmt.Errorf("record has no monitor section")
+	}
+	if rec.Meta.MonitorID == "" {
+		return fmt.Errorf("record has no monitor id")
+	}
+	if rec.Floorplan == nil || rec.Energy == nil {
+		return fmt.Errorf("record missing floorplan or energy")
+	}
+	key, specs, err := keyFromMeta(rec.Meta)
+	if err != nil {
+		return fmt.Errorf("reconstructing train key: %w", err)
+	}
+	if _, err := thermal.ParseSolver(key.Solver); err != nil {
+		return fmt.Errorf("stored solver: %w", err)
+	}
+	mon, err := core.RestoreMonitor(rec.Basis, rec.K, rec.Sensors, rec.QR)
+	if err != nil {
+		return fmt.Errorf("restoring monitor: %w", err)
+	}
+	var kf *track.Kalman
+	if rec.Meta.Tracking {
+		// Kalman *state* is run-time state, not model state: the tracker
+		// restarts from its stationary prior, exactly like a fresh monitor.
+		kf, err = track.NewKalman(rec.Basis, rec.K, rec.Sensors, track.Config{Rho: rec.Meta.Rho})
+		if err != nil {
+			return fmt.Errorf("restoring tracker: %w", err)
+		}
+	}
+	pcfg := power.ConfigFor(rec.Floorplan, rec.Meta.LoadCoupling)
+	e := &monitorEntry{
+		id: rec.Meta.MonitorID, key: key, mon: mon, kf: kf,
+		fp: rec.Floorplan, pcfg: pcfg,
+		rho: rec.Meta.Rho, workloads: rec.Meta.Workloads, specJSON: rec.Meta.WorkloadSpec,
+		specs: specs,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.monitors[e.id]; dup {
+		return fmt.Errorf("duplicate monitor id %q in store", e.id)
+	}
+	s.monitors[e.id] = e
+	var n int
+	if _, err := fmt.Sscanf(e.id, "mon-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	// Re-seed the model cache so a later create with this key places
+	// sensors without retraining (the ensemble itself stays lazy).
+	if _, ok := s.models[key]; !ok && len(s.models) < s.maxModels {
+		entry := &modelEntry{
+			model: &core.Model{Basis: rec.Basis, Energy: rec.Energy, Grid: rec.Basis.Grid},
+			fp:    rec.Floorplan, pcfg: pcfg, specs: specs,
+		}
+		entry.once.Do(func() {})
+		entry.ready.Store(true)
+		s.models[key] = entry
+	}
+	return nil
+}
+
+// removeMonitorFile deletes a retired monitor's record.
+func (s *server) removeMonitorFile(id string) {
+	if s.storeDir == "" {
+		return
+	}
+	if err := os.Remove(s.monitorPath(id)); err != nil && !os.IsNotExist(err) {
+		s.metrics.storeFailures.Add(1)
+		s.logf("remove monitor record", "id", id, "err", err)
+	}
+}
+
+// evictLocked drops one ready model from the in-memory cache to make room,
+// preferring the least-recently used. It reports false when nothing is
+// evictable (store-less daemon, or every entry still mid-training). Callers
+// hold s.mu. Eviction is safe because (a) trained models are persisted at
+// training time, so the dropped state is already on disk, and (b) live
+// monitors hold direct references to everything they serve with — an
+// evicted model only costs a future create a disk load.
+func (s *server) evictLocked() bool {
+	if s.storeDir == "" {
+		return false
+	}
+	var victimKey trainKey
+	var victim *modelEntry
+	for key, entry := range s.models {
+		if !entry.ready.Load() {
+			continue
+		}
+		if victim == nil || entry.lastUse.Load() < victim.lastUse.Load() {
+			victimKey, victim = key, entry
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(s.models, victimKey)
+	s.metrics.modelsEvicted.Add(1)
+	return true
+}
+
+// ensureEnsemble lazily (re)generates a warm-started monitor's training
+// ensemble — needed only by simulate's replay path, which is why it is not
+// part of the persisted record: the ensemble is by far the largest artifact
+// and is bit-reproducible from the key. Generation happens at most once per
+// monitor and is bounded by the simGen semaphore like any other
+// per-request simulation.
+func (e *monitorEntry) ensureEnsemble(s *server) (*dataset.Dataset, error) {
+	e.genOnce.Do(func() {
+		if e.ds != nil {
+			return
+		}
+		solver, err := thermal.ParseSolver(e.key.Solver)
+		if err != nil {
+			e.genErr = err
+			return
+		}
+		s.simGen <- struct{}{}
+		defer func() { <-s.simGen }()
+		e.ds, e.genErr = dataset.Generate(e.fp, dataset.GenConfig{
+			Grid:      floorplan.Grid{W: e.key.W, H: e.key.H},
+			Snapshots: e.key.Snapshots,
+			Specs:     e.specs,
+			Seed:      e.key.Seed,
+			Power:     e.pcfg,
+			Solver:    solver,
+		})
+	})
+	return e.ds, e.genErr
+}

@@ -1,0 +1,344 @@
+// Command emapsload is the serving layer's load generator: it hammers a
+// running emapsd daemon's estimate, track or simulate endpoint from a
+// configurable number of concurrent clients for a fixed duration (or
+// request budget) and reports throughput and latency percentiles as JSON —
+// the end-to-end number the serving path is optimized against.
+//
+//	emapsload -addr 127.0.0.1:8760 -concurrency 8 -duration 10s
+//
+// By default it creates its own small monitor (deleted again afterwards
+// unless -keep is set); point it at an existing monitor with -monitor. The
+// report goes to stdout or -out:
+//
+//	{
+//	  "endpoint": "estimate", "concurrency": 8, "batch": 16,
+//	  "requests": 5231, "errors": 0, "snapshots": 83696,
+//	  "requests_per_s": 523.0, "snapshots_per_s": 8369.4,
+//	  "latency_ms": {"mean": 15.2, "p50": 14.1, "p90": 21.0, "p99": 38.7, "max": 55.2}
+//	}
+//
+// Latency is measured per request (client-observed, including JSON
+// encode/decode on the daemon side); percentiles use the nearest-rank
+// method over every completed request. Non-2xx responses count as errors
+// and are excluded from the latency population.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:8760", "daemon address (host:port)")
+	flag.StringVar(&cfg.Monitor, "monitor", "", "existing monitor id to load (default: create one)")
+	flag.StringVar(&cfg.CreateBody, "create-body", defaultCreateBody, "JSON body used to create the monitor when -monitor is empty")
+	flag.StringVar(&cfg.Endpoint, "endpoint", "estimate", "endpoint to load: estimate, track or simulate")
+	flag.IntVar(&cfg.Batch, "batch", 16, "snapshots per request (readings per batch, or simulate count)")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 4, "concurrent client goroutines")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to generate load")
+	flag.IntVar(&cfg.Requests, "requests", 0, "stop after this many requests instead of -duration (0 = use -duration)")
+	flag.Float64Var(&cfg.SNRdB, "snr-db", 20, "sensor SNR for the simulate endpoint")
+	flag.BoolVar(&cfg.Keep, "keep", false, "keep the created monitor instead of deleting it")
+	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emapsload: %v\n", err)
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emapsload: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "emapsload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// defaultCreateBody trains a small monitor quickly (~1 s): the load test
+// measures the serving path, not training. Tracking is enabled so the same
+// monitor serves -endpoint track runs too.
+const defaultCreateBody = `{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":80,"seed":1,"kmax":8,"k":4,"m":8,"tracking":true}`
+
+type config struct {
+	Addr        string
+	Monitor     string
+	CreateBody  string
+	Endpoint    string
+	Batch       int
+	Concurrency int
+	Duration    time.Duration
+	Requests    int
+	SNRdB       float64
+	Keep        bool
+}
+
+// Report is the machine-readable result. CI archives it as the serving
+// baseline; later perf PRs diff against it.
+type Report struct {
+	Addr         string    `json:"addr"`
+	Endpoint     string    `json:"endpoint"`
+	Monitor      string    `json:"monitor"`
+	Concurrency  int       `json:"concurrency"`
+	Batch        int       `json:"batch"`
+	DurationS    float64   `json:"duration_s"`
+	Requests     int64     `json:"requests"`
+	Errors       int64     `json:"errors"`
+	Snapshots    int64     `json:"snapshots"`
+	RequestsPerS float64   `json:"requests_per_s"`
+	SnapshotsPS  float64   `json:"snapshots_per_s"`
+	LatencyMS    Latencies `json:"latency_ms"`
+}
+
+// Latencies summarizes the per-request latency population in milliseconds.
+type Latencies struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// run drives the whole load test against a live daemon.
+func run(cfg config) (*Report, error) {
+	if cfg.Concurrency < 1 {
+		return nil, fmt.Errorf("concurrency %d < 1", cfg.Concurrency)
+	}
+	if cfg.Batch < 1 {
+		return nil, fmt.Errorf("batch %d < 1", cfg.Batch)
+	}
+	switch cfg.Endpoint {
+	case "estimate", "track", "simulate":
+	default:
+		return nil, fmt.Errorf("unknown endpoint %q (want estimate, track or simulate)", cfg.Endpoint)
+	}
+	base := "http://" + cfg.Addr
+	if strings.HasPrefix(cfg.Addr, "http://") || strings.HasPrefix(cfg.Addr, "https://") {
+		base = cfg.Addr
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	if err := checkHealth(client, base); err != nil {
+		return nil, err
+	}
+	id, m, created, err := resolveMonitor(client, base, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if created && !cfg.Keep {
+		defer func() {
+			req, _ := http.NewRequest(http.MethodDelete, base+"/v1/monitors/"+id, nil)
+			if resp, err := client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	body, perReq, err := requestBody(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	url := base + "/v1/monitors/" + id + "/" + cfg.Endpoint
+
+	var (
+		wg        sync.WaitGroup
+		issued    atomic.Int64 // request-budget ticket counter
+		errs      atomic.Int64
+		snapshots atomic.Int64
+		lats      = make([][]float64, cfg.Concurrency)
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if cfg.Requests > 0 {
+					if issued.Add(1) > int64(cfg.Requests) {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					errs.Add(1)
+					continue
+				}
+				lats[w] = append(lats[w], time.Since(t0).Seconds())
+				snapshots.Add(int64(perReq))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	rep := &Report{
+		Addr: cfg.Addr, Endpoint: cfg.Endpoint, Monitor: id,
+		Concurrency: cfg.Concurrency, Batch: cfg.Batch,
+		DurationS: elapsed,
+		Requests:  int64(len(all)) + errs.Load(),
+		Errors:    errs.Load(),
+		Snapshots: snapshots.Load(),
+		LatencyMS: summarizeLatencies(all),
+	}
+	if elapsed > 0 {
+		rep.RequestsPerS = float64(len(all)) / elapsed
+		rep.SnapshotsPS = float64(snapshots.Load()) / elapsed
+	}
+	return rep, nil
+}
+
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// resolveMonitor returns the target monitor's id and sensor count, creating
+// a monitor when cfg.Monitor is empty.
+func resolveMonitor(client *http.Client, base string, cfg config) (id string, m int, created bool, err error) {
+	if cfg.Monitor != "" {
+		resp, err := client.Get(base + "/v1/monitors")
+		if err != nil {
+			return "", 0, false, err
+		}
+		defer resp.Body.Close()
+		var list struct {
+			Monitors []struct {
+				ID string `json:"id"`
+				M  int    `json:"m"`
+			} `json:"monitors"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			return "", 0, false, fmt.Errorf("listing monitors: %w", err)
+		}
+		for _, mi := range list.Monitors {
+			if mi.ID == cfg.Monitor {
+				return mi.ID, mi.M, false, nil
+			}
+		}
+		return "", 0, false, fmt.Errorf("no monitor %q on the daemon", cfg.Monitor)
+	}
+	resp, err := client.Post(base+"/v1/monitors", "application/json", strings.NewReader(cfg.CreateBody))
+	if err != nil {
+		return "", 0, false, err
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return "", 0, false, fmt.Errorf("create monitor: status %d: %s", resp.StatusCode, blob)
+	}
+	var cr struct {
+		ID      string `json:"id"`
+		Sensors []int  `json:"sensors"`
+	}
+	if err := json.Unmarshal(blob, &cr); err != nil {
+		return "", 0, false, fmt.Errorf("create monitor: %w", err)
+	}
+	return cr.ID, len(cr.Sensors), true, nil
+}
+
+// requestBody builds the (fixed) request payload and reports how many
+// snapshots one request asks for. Readings are synthetic but finite and
+// plausible (°C around a warm die); every request carries the same body so
+// the measured variance is the serving path's, not the workload's.
+func requestBody(cfg config, m int) ([]byte, int, error) {
+	switch cfg.Endpoint {
+	case "simulate":
+		body, err := json.Marshal(map[string]any{
+			"count": cfg.Batch, "snr_db": cfg.SNRdB, "seed": int64(1),
+		})
+		return body, cfg.Batch, err
+	default: // estimate, track
+		if m < 1 {
+			return nil, 0, fmt.Errorf("monitor reports %d sensors", m)
+		}
+		readings := make([][]float64, cfg.Batch)
+		for i := range readings {
+			row := make([]float64, m)
+			for j := range row {
+				row[j] = 55 + 8*math.Sin(0.3*float64(i)+0.7*float64(j))
+			}
+			readings[i] = row
+		}
+		body, err := json.Marshal(map[string]any{"readings": readings})
+		return body, cfg.Batch, err
+	}
+}
+
+// summarizeLatencies reduces the latency population (seconds) to
+// milliseconds percentiles via the nearest-rank method.
+func summarizeLatencies(secs []float64) Latencies {
+	if len(secs) == 0 {
+		return Latencies{}
+	}
+	sorted := append([]float64(nil), secs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	ms := func(s float64) float64 { return s * 1000 }
+	return Latencies{
+		Mean: ms(sum / float64(len(sorted))),
+		P50:  ms(percentile(sorted, 50)),
+		P90:  ms(percentile(sorted, 90)),
+		P99:  ms(percentile(sorted, 99)),
+		Max:  ms(sorted[len(sorted)-1]),
+	}
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted (ascending)
+// values: the smallest value with at least p% of the population at or below
+// it.
+func percentile(sorted []float64, p float64) float64 {
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

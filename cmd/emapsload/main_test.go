@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5}, {90, 9}, {99, 10}, {100, 10}, {1, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%g = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile([]float64{3.5}, 99); got != 3.5 {
+		t.Errorf("singleton p99 = %g", got)
+	}
+}
+
+func TestSummarizeLatencies(t *testing.T) {
+	l := summarizeLatencies([]float64{0.010, 0.020, 0.030, 0.040})
+	if l.P50 != 20 || l.Max != 40 || math.Abs(l.Mean-25) > 1e-12 {
+		t.Fatalf("latencies %+v", l)
+	}
+	if z := summarizeLatencies(nil); z != (Latencies{}) {
+		t.Fatalf("empty population: %+v", z)
+	}
+}
+
+// stubDaemon fakes the few endpoints emapsload touches, counting requests
+// and optionally failing a fraction of them.
+func stubDaemon(t *testing.T, failEvery int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var estimates atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/v1/monitors", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, `{"id":"mon-9","n":120,"k":4,"m":8,"sensors":[1,2,3,4,5,6,7,8],"cond":1.5}`)
+		default:
+			fmt.Fprint(w, `{"monitors":[{"id":"mon-9","m":8}]}`)
+		}
+	})
+	mux.HandleFunc("/v1/monitors/mon-9/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Readings [][]float64 `json:"readings"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Readings) == 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		n := estimates.Add(1)
+		if failEvery > 0 && n%int64(failEvery) == 0 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"results":[]}`)
+	})
+	mux.HandleFunc("/v1/monitors/mon-9", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"deleted":"mon-9"}`)
+	})
+	return httptest.NewServer(mux), &estimates
+}
+
+func TestRunAgainstStubDaemon(t *testing.T) {
+	ts, estimates := stubDaemon(t, 0)
+	defer ts.Close()
+	rep, err := run(config{
+		Addr: ts.URL, Endpoint: "estimate", Batch: 4,
+		Concurrency: 3, Requests: 60, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 60 || rep.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want 60/0", rep.Requests, rep.Errors)
+	}
+	if rep.Snapshots != 60*4 {
+		t.Fatalf("snapshots=%d, want %d", rep.Snapshots, 60*4)
+	}
+	if estimates.Load() != 60 {
+		t.Fatalf("daemon saw %d estimates", estimates.Load())
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 || rep.LatencyMS.Max < rep.LatencyMS.P99 {
+		t.Fatalf("latency ordering broken: %+v", rep.LatencyMS)
+	}
+	if rep.RequestsPerS <= 0 || rep.SnapshotsPS <= 0 {
+		t.Fatalf("throughput not reported: %+v", rep)
+	}
+	if rep.Monitor != "mon-9" || rep.Endpoint != "estimate" {
+		t.Fatalf("report identity: %+v", rep)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	ts, _ := stubDaemon(t, 5) // every 5th estimate 500s
+	defer ts.Close()
+	rep, err := run(config{
+		Addr: ts.URL, Endpoint: "estimate", Batch: 2,
+		Concurrency: 2, Requests: 50, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 10 {
+		t.Fatalf("errors=%d, want 10", rep.Errors)
+	}
+	if rep.Requests != 50 {
+		t.Fatalf("requests=%d, want 50", rep.Requests)
+	}
+	if rep.Snapshots != 40*2 {
+		t.Fatalf("snapshots=%d, want %d (errors excluded)", rep.Snapshots, 40*2)
+	}
+}
+
+func TestRunExistingMonitor(t *testing.T) {
+	ts, _ := stubDaemon(t, 0)
+	defer ts.Close()
+	rep, err := run(config{
+		Addr: ts.URL, Monitor: "mon-9", Endpoint: "estimate", Batch: 1,
+		Concurrency: 1, Requests: 5, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 5 || rep.Errors != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if _, err := run(config{
+		Addr: ts.URL, Monitor: "mon-404", Endpoint: "estimate", Batch: 1,
+		Concurrency: 1, Requests: 1, Duration: time.Minute,
+	}); err == nil || !strings.Contains(err.Error(), "mon-404") {
+		t.Fatalf("missing monitor error: %v", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(config{Endpoint: "estimate", Batch: 1, Concurrency: 0}); err == nil {
+		t.Fatal("concurrency 0 accepted")
+	}
+	if _, err := run(config{Endpoint: "frobnicate", Batch: 1, Concurrency: 1}); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if _, err := run(config{Endpoint: "estimate", Batch: 0, Concurrency: 1}); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+}
+
+func TestRequestBodyShapes(t *testing.T) {
+	body, per, err := requestBody(config{Endpoint: "estimate", Batch: 3}, 8)
+	if err != nil || per != 3 {
+		t.Fatalf("estimate body: per=%d err=%v", per, err)
+	}
+	var est struct {
+		Readings [][]float64 `json:"readings"`
+	}
+	if err := json.Unmarshal(body, &est); err != nil || len(est.Readings) != 3 || len(est.Readings[0]) != 8 {
+		t.Fatalf("estimate body %s", body)
+	}
+	for _, row := range est.Readings {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite synthetic reading")
+			}
+		}
+	}
+	body, per, err = requestBody(config{Endpoint: "simulate", Batch: 7, SNRdB: 15}, 8)
+	if err != nil || per != 7 {
+		t.Fatalf("simulate body: per=%d err=%v", per, err)
+	}
+	var sim struct {
+		Count int     `json:"count"`
+		SNR   float64 `json:"snr_db"`
+	}
+	if err := json.Unmarshal(body, &sim); err != nil || sim.Count != 7 || sim.SNR != 15 {
+		t.Fatalf("simulate body %s", body)
+	}
+}

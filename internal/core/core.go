@@ -14,6 +14,7 @@ import (
 	"repro/internal/basis"
 	"repro/internal/dataset"
 	"repro/internal/floorplan"
+	"repro/internal/mat"
 	"repro/internal/place"
 	"repro/internal/recon"
 )
@@ -221,6 +222,18 @@ type Monitor struct {
 // the given sensors.
 func (mdl *Model) NewMonitor(k int, sensors []int) (*Monitor, error) {
 	r, err := recon.New(mdl.Basis, k, sensors)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{rec: r}, nil
+}
+
+// RestoreMonitor rebuilds a run-time estimator from a persisted basis,
+// sensor set and cached least-squares factorization (the monitor store's
+// deserialization path, see internal/store). The restored monitor estimates
+// bit-identically to the one the factorization was captured from.
+func RestoreMonitor(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Monitor, error) {
+	r, err := recon.Restore(b, k, sensors, qr)
 	if err != nil {
 		return nil, err
 	}

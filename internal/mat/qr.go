@@ -1,6 +1,9 @@
 package mat
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // QR holds a Householder QR factorization of an m×n matrix A with m ≥ n:
 // A = Q·R with Q m×n having orthonormal columns (thin Q) and R n×n upper
@@ -208,6 +211,33 @@ func (f *QR) rankTol() float64 {
 		dim = f.n
 	}
 	return float64(dim) * 2.220446049250313e-16 * maxDiag
+}
+
+// Factors returns copies of the packed factorization (R in the upper
+// triangle, reflector columns below) and the reflector scalars — the full
+// state of the factorization, for serialization. RestoreQR rebuilds an
+// identical QR from them.
+func (f *QR) Factors() (packed *Matrix, tau []float64) {
+	return f.qr.Clone(), append([]float64(nil), f.tau...)
+}
+
+// Dims returns the factored matrix's shape (rows, cols).
+func (f *QR) Dims() (m, n int) { return f.m, f.n }
+
+// RestoreQR rebuilds a QR from factors previously obtained with Factors.
+// Both inputs are copied. Because the reflector sweep of SolveInto reads
+// only these values, a restored factorization solves bit-identically to the
+// one it was captured from. Impossible shapes return an error rather than
+// panicking, so callers decoding untrusted bytes can reject them.
+func RestoreQR(packed *Matrix, tau []float64) (*QR, error) {
+	m, n := packed.Dims()
+	if m < n {
+		return nil, fmt.Errorf("mat: restore QR: %d×%d has fewer rows than columns", m, n)
+	}
+	if len(tau) != n {
+		return nil, fmt.Errorf("mat: restore QR: %d reflector scalars for %d columns", len(tau), n)
+	}
+	return &QR{qr: packed.Clone(), tau: append([]float64(nil), tau...), m: m, n: n}, nil
 }
 
 // LeastSquares solves min‖A·x − b‖₂ by Householder QR.

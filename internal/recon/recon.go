@@ -73,6 +73,25 @@ func (r *Reconstructor) getScratch() *solveScratch {
 // given sensor cell indices. It fails fast if M < K or Ψ̃_K is rank
 // deficient (the preconditions of Theorem 1).
 func New(b *basis.Basis, k int, sensors []int) (*Reconstructor, error) {
+	return build(b, k, sensors, nil)
+}
+
+// Restore rebuilds a reconstructor from a previously cached least-squares
+// factorization — the deserialization path of the monitor store. It performs
+// New's full validation but reuses qr instead of refactoring Ψ̃_K, so a
+// restored reconstructor reproduces the saved one's ReconstructInto output
+// bit-for-bit: the reflector sweep runs over the exact float64 values the
+// original computed with, in the same order.
+func Restore(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Reconstructor, error) {
+	if qr == nil {
+		return nil, fmt.Errorf("recon: restore: nil factorization")
+	}
+	return build(b, k, sensors, qr)
+}
+
+// build validates (b, k, sensors) and assembles the reconstructor, factoring
+// Ψ̃_K fresh when qr is nil and adopting qr (after a shape check) otherwise.
+func build(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Reconstructor, error) {
 	if k < 1 || k > b.KMax() {
 		return nil, fmt.Errorf("recon: %w", basis.ErrKRange)
 	}
@@ -94,7 +113,11 @@ func New(b *basis.Basis, k int, sensors []int) (*Reconstructor, error) {
 		return nil, err
 	}
 	psiTilde := psiK.SelectRows(sensors)
-	qr := mat.NewQR(psiTilde)
+	if qr == nil {
+		qr = mat.NewQR(psiTilde)
+	} else if qm, qn := qr.Dims(); qm != len(sensors) || qn != k {
+		return nil, fmt.Errorf("recon: restore: factorization is %d×%d, want %d×%d", qm, qn, len(sensors), k)
+	}
 	if qr.Rank() < k {
 		return nil, fmt.Errorf("%w: rank %d < K=%d", ErrRankDeficient, qr.Rank(), k)
 	}
@@ -123,6 +146,15 @@ func (r *Reconstructor) N() int { return r.b.N() }
 
 // Sensors returns a copy of the sensor cell indices.
 func (r *Reconstructor) Sensors() []int { return append([]int(nil), r.sensors...) }
+
+// Basis returns the basis the reconstructor synthesizes with. Callers must
+// treat it as read-only: it is shared by every estimating goroutine.
+func (r *Reconstructor) Basis() *basis.Basis { return r.b }
+
+// QR returns the cached least-squares factorization (read-only; shared by
+// every estimating goroutine). Serialize it with its Factors method and
+// rebuild via Restore for bit-identical estimates.
+func (r *Reconstructor) QR() *mat.QR { return r.qr }
 
 // SensingMatrix returns Ψ̃_K (a copy).
 func (r *Reconstructor) SensingMatrix() *mat.Matrix { return r.psiTilde.Clone() }

@@ -1,0 +1,685 @@
+// Package store is the durable serving layer's codec: a versioned,
+// checksummed binary format that round-trips everything a trained monitor
+// needs to serve — the floorplan, the PCA basis, the per-cell training
+// energy, the sensor placement, the cached least-squares (QR) factorization
+// and the training key — so the expensive design-time pipeline (ensemble
+// simulation, PCA, greedy placement) runs once and its product is reloaded
+// in microseconds instead of recomputed in seconds.
+//
+// # Format
+//
+// An envelope frames a single payload:
+//
+//	magic   "EMST"            4 bytes
+//	version uint32 LE         format version (currently 1)
+//	length  uint64 LE         payload byte count
+//	payload length bytes
+//	crc     uint32 LE         IEEE CRC-32 of the payload
+//
+// The version 1 payload is a fixed sequence of sections: a strict-decoded
+// JSON metadata blob (the training key, solver/noise configuration and
+// serving options), a presence bitmap, then the optional floorplan, the
+// basis (in the basis package's own format, length-prefixed), the optional
+// energy map and the optional monitor section (K, sensors, packed QR
+// factors).
+//
+// # Decoding contract
+//
+// Decode is strict and never panics on hostile bytes. Every failure is a
+// *store.Error whose Kind separates the cases callers handle differently,
+// with errors.Is sentinels for each: ErrBadMagic (not a store file),
+// ErrUnknownVersion (written by a future format — the file is fine, this
+// binary is too old), ErrTruncated (the envelope ends early),
+// ErrChecksum (envelope intact but the payload bits are damaged) and
+// ErrInvalid (the payload parses but describes an impossible record, e.g. a
+// sensor index outside the basis grid or metadata claiming a different
+// grid than the basis carries — a cross-floorplan load).
+//
+// Floats round-trip bit-exactly (fixed-width little-endian), which is what
+// makes a loaded monitor's estimates bit-identical to the saving monitor's.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/basis"
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+)
+
+const (
+	magic = "EMST"
+	// Version is the current (and only) format version.
+	Version = 1
+	// maxPayload caps the envelope length field so a corrupt header cannot
+	// drive a large allocation before the checksum is ever verified (the
+	// payload is sized and read eagerly). The largest realistic record —
+	// paper-scale grid (N = 3360), KMax = 40 basis plus QR — is ~2 MB;
+	// 64 MB leaves room for much larger dies while keeping the worst case
+	// of a bit-flipped length field harmless.
+	maxPayload = 1 << 26
+)
+
+// Kind classifies a decode failure.
+type Kind int
+
+// Decode failure kinds.
+const (
+	// KindIO is an underlying reader/writer error (not a format problem).
+	KindIO Kind = iota
+	// KindBadMagic: the bytes are not a monitor store file at all.
+	KindBadMagic
+	// KindUnknownVersion: written by a future (or zero) format version.
+	KindUnknownVersion
+	// KindTruncated: the envelope ends before its declared length.
+	KindTruncated
+	// KindChecksum: the payload bits fail the CRC.
+	KindChecksum
+	// KindInvalid: checksum-valid bytes describing an impossible record.
+	KindInvalid
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIO:
+		return "io"
+	case KindBadMagic:
+		return "bad-magic"
+	case KindUnknownVersion:
+		return "unknown-version"
+	case KindTruncated:
+		return "truncated"
+	case KindChecksum:
+		return "checksum"
+	case KindInvalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Error is the typed error for every codec failure. Match the category with
+// errors.Is against the sentinel for its Kind, or errors.As for the detail.
+type Error struct {
+	Kind   Kind
+	Detail string
+	Err    error // underlying cause, if any
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := "store: " + e.Kind.String()
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the sentinel of the error's Kind.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrBadMagic:
+		return e.Kind == KindBadMagic
+	case ErrUnknownVersion:
+		return e.Kind == KindUnknownVersion
+	case ErrTruncated:
+		return e.Kind == KindTruncated
+	case ErrChecksum:
+		return e.Kind == KindChecksum
+	case ErrInvalid:
+		return e.Kind == KindInvalid
+	}
+	return false
+}
+
+// Sentinels for errors.Is; Decode always returns a *Error carrying one of
+// these kinds (or KindIO for reader failures).
+var (
+	ErrBadMagic       = errors.New("store: not a monitor store file")
+	ErrUnknownVersion = errors.New("store: unknown format version")
+	ErrTruncated      = errors.New("store: truncated file")
+	ErrChecksum       = errors.New("store: checksum mismatch")
+	ErrInvalid        = errors.New("store: invalid record")
+)
+
+func errf(k Kind, format string, args ...any) *Error {
+	return &Error{Kind: k, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Meta is the version-stable metadata of a record: the identity of the
+// training run (the daemon's cache key), the solver and noise configuration
+// needed to regenerate the training ensemble, and the monitor's serving
+// options. It is JSON in the payload so version-1 readers can keep decoding
+// records as fields are deprecated; unknown fields are rejected (strict
+// decode), so a file from a schema that *added* fields fails loudly instead
+// of silently dropping state.
+type Meta struct {
+	// Training-run identity (mirrors the daemon's train key).
+	Floorplan string `json:"floorplan,omitempty"`
+	Cores     int    `json:"cores,omitempty"`
+	Caches    int    `json:"caches,omitempty"`
+	MeshW     int    `json:"mesh_w,omitempty"`
+	MeshH     int    `json:"mesh_h,omitempty"`
+	GridW     int    `json:"grid_w,omitempty"`
+	GridH     int    `json:"grid_h,omitempty"`
+	Snapshots int    `json:"snapshots,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	KMax      int    `json:"kmax,omitempty"`
+
+	// Solver and noise/power configuration: enough to regenerate the
+	// training ensemble bit-identically (the ensemble itself is never
+	// serialized — it is the one component that is cheaper to recompute
+	// lazily than to store).
+	Solver       string          `json:"solver,omitempty"`
+	Workloads    []string        `json:"workloads,omitempty"`
+	WorkloadSpec json.RawMessage `json:"workload_spec,omitempty"`
+	LoadCoupling float64         `json:"load_coupling,omitempty"`
+
+	// Serving options of the persisted monitor.
+	MonitorID string  `json:"monitor_id,omitempty"`
+	Tracking  bool    `json:"tracking,omitempty"`
+	Rho       float64 `json:"rho,omitempty"`
+}
+
+// Record is one serializable bundle. Basis is required; Floorplan and
+// Energy are optional (a facade monitor has neither); the monitor section —
+// Sensors, K and QR together — is optional so the same format persists both
+// evicted models (no placement yet) and live monitors.
+type Record struct {
+	Meta      Meta
+	Basis     *basis.Basis
+	Floorplan *floorplan.Floorplan
+	Energy    []float64
+
+	Sensors []int
+	K       int
+	QR      *mat.QR
+}
+
+// HasMonitor reports whether the record carries the monitor section.
+func (rec *Record) HasMonitor() bool { return rec.QR != nil }
+
+// Section-presence bits in the payload's flags word.
+const (
+	flagFloorplan = 1 << iota
+	flagEnergy
+	flagMonitor
+)
+
+// Encode writes rec in the store format. Only writer failures can error:
+// every record that the in-memory types can represent encodes.
+func Encode(w io.Writer, rec *Record) error {
+	if rec.Basis == nil {
+		return errf(KindInvalid, "record has no basis")
+	}
+	if (rec.Sensors != nil || rec.QR != nil) && !(rec.Sensors != nil && rec.QR != nil && rec.K > 0) {
+		return errf(KindInvalid, "partial monitor section (need sensors, K and QR together)")
+	}
+	var payload bytes.Buffer
+	metaJSON, err := json.Marshal(rec.Meta)
+	if err != nil {
+		return &Error{Kind: KindInvalid, Detail: "encoding metadata", Err: err}
+	}
+	putU32(&payload, uint32(len(metaJSON)))
+	payload.Write(metaJSON)
+
+	var flags uint32
+	if rec.Floorplan != nil {
+		flags |= flagFloorplan
+	}
+	// An empty energy slice means "not recorded", like nil: encoding it as
+	// a zero-length section would produce bytes Decode rejects (energy, when
+	// present, must cover all N cells).
+	if len(rec.Energy) > 0 {
+		flags |= flagEnergy
+	}
+	if rec.QR != nil {
+		flags |= flagMonitor
+	}
+	putU32(&payload, flags)
+
+	if rec.Floorplan != nil {
+		putString(&payload, rec.Floorplan.Name)
+		putU32(&payload, uint32(len(rec.Floorplan.Blocks)))
+		for _, b := range rec.Floorplan.Blocks {
+			putString(&payload, b.Name)
+			putU32(&payload, uint32(b.Kind))
+			putFloats(&payload, []float64{b.X, b.Y, b.W, b.H})
+		}
+	}
+
+	var basisBuf bytes.Buffer
+	if err := rec.Basis.Save(&basisBuf); err != nil {
+		return &Error{Kind: KindInvalid, Detail: "encoding basis", Err: err}
+	}
+	putU64(&payload, uint64(basisBuf.Len()))
+	payload.Write(basisBuf.Bytes())
+
+	if len(rec.Energy) > 0 {
+		putU32(&payload, uint32(len(rec.Energy)))
+		putFloats(&payload, rec.Energy)
+	}
+
+	if rec.QR != nil {
+		putU32(&payload, uint32(rec.K))
+		putU32(&payload, uint32(len(rec.Sensors)))
+		for _, s := range rec.Sensors {
+			putU64(&payload, uint64(int64(s)))
+		}
+		packed, tau := rec.QR.Factors()
+		qm, qn := packed.Dims()
+		putU32(&payload, uint32(qm))
+		putU32(&payload, uint32(qn))
+		putFloats(&payload, packed.Data())
+		putFloats(&payload, tau)
+	}
+
+	head := make([]byte, 0, 16)
+	head = append(head, magic...)
+	head = binary.LittleEndian.AppendUint32(head, Version)
+	head = binary.LittleEndian.AppendUint64(head, uint64(payload.Len()))
+	if _, err := w.Write(head); err != nil {
+		return &Error{Kind: KindIO, Detail: "writing header", Err: err}
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return &Error{Kind: KindIO, Detail: "writing payload", Err: err}
+	}
+	crc := crc32.ChecksumIEEE(payload.Bytes())
+	if _, err := w.Write(binary.LittleEndian.AppendUint32(nil, crc)); err != nil {
+		return &Error{Kind: KindIO, Detail: "writing checksum", Err: err}
+	}
+	return nil
+}
+
+// Decode reads one record. See the package comment for the error contract;
+// hostile bytes yield a typed *Error, never a panic.
+func Decode(r io.Reader) (*Record, error) {
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "file shorter than the 4-byte magic")
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading magic", Err: err}
+	}
+	if string(mg[:]) != magic {
+		return nil, errf(KindBadMagic, "magic %q", mg[:])
+	}
+	head := make([]byte, 12)
+	if _, err := io.ReadFull(r, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "envelope header cut short")
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading header", Err: err}
+	}
+	version := binary.LittleEndian.Uint32(head[0:4])
+	if version != Version {
+		return nil, errf(KindUnknownVersion, "version %d (this build reads %d)", version, Version)
+	}
+	length := binary.LittleEndian.Uint64(head[4:12])
+	if length > maxPayload {
+		return nil, errf(KindInvalid, "payload length %d exceeds cap %d", length, int64(maxPayload))
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "payload: want %d bytes", length)
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading payload", Err: err}
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "checksum missing")
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading checksum", Err: err}
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, errf(KindChecksum, "crc32 %08x, header says %08x", got, want)
+	}
+	return parsePayload(payload)
+}
+
+// parsePayload parses a checksum-verified payload. Structural overruns here
+// mean the writer and reader disagree about the format (or the file was
+// forged around its checksum): KindInvalid, not KindTruncated.
+func parsePayload(payload []byte) (*Record, error) {
+	p := &reader{buf: payload}
+	rec := &Record{}
+
+	metaLen, err := p.u32("meta length")
+	if err != nil {
+		return nil, err
+	}
+	metaJSON, err := p.bytes(int(metaLen), "metadata")
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(metaJSON))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec.Meta); err != nil {
+		return nil, &Error{Kind: KindInvalid, Detail: "metadata", Err: err}
+	}
+
+	flags, err := p.u32("flags")
+	if err != nil {
+		return nil, err
+	}
+	if flags&^uint32(flagFloorplan|flagEnergy|flagMonitor) != 0 {
+		return nil, errf(KindInvalid, "unknown section flags %#x", flags)
+	}
+
+	if flags&flagFloorplan != 0 {
+		fp, err := p.floorplan()
+		if err != nil {
+			return nil, err
+		}
+		rec.Floorplan = fp
+	}
+
+	basisLen, err := p.u64("basis length")
+	if err != nil {
+		return nil, err
+	}
+	basisBlob, err := p.bytes(int(basisLen), "basis")
+	if err != nil {
+		return nil, err
+	}
+	rec.Basis, err = basis.Load(bytes.NewReader(basisBlob))
+	if err != nil {
+		return nil, &Error{Kind: KindInvalid, Detail: "basis", Err: err}
+	}
+	n := rec.Basis.N()
+
+	if flags&flagEnergy != 0 {
+		count, err := p.u32("energy length")
+		if err != nil {
+			return nil, err
+		}
+		if int(count) != n {
+			return nil, errf(KindInvalid, "energy length %d for N=%d", count, n)
+		}
+		rec.Energy, err = p.floats(int(count), "energy")
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if flags&flagMonitor != 0 {
+		if err := p.monitorSection(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.off != len(p.buf) {
+		return nil, errf(KindInvalid, "%d trailing payload bytes", len(p.buf)-p.off)
+	}
+	return rec, validate(rec)
+}
+
+// validate cross-checks the parsed sections against each other — the guard
+// that turns a cross-floorplan (or otherwise mismatched) load into a typed
+// error instead of a silently wrong monitor.
+func validate(rec *Record) error {
+	n := rec.Basis.N()
+	g := rec.Basis.Grid
+	if rec.Meta.GridW != 0 || rec.Meta.GridH != 0 {
+		if rec.Meta.GridW != g.W || rec.Meta.GridH != g.H {
+			return errf(KindInvalid,
+				"cross-floorplan record: metadata grid %dx%d but basis grid %dx%d",
+				rec.Meta.GridW, rec.Meta.GridH, g.W, g.H)
+		}
+	}
+	if rec.Floorplan != nil {
+		if err := rec.Floorplan.Validate(); err != nil {
+			return &Error{Kind: KindInvalid, Detail: "floorplan", Err: err}
+		}
+		if rec.Meta.Floorplan != "" && rec.Meta.Floorplan != rec.Floorplan.Name {
+			return errf(KindInvalid, "cross-floorplan record: metadata names %q but floorplan is %q",
+				rec.Meta.Floorplan, rec.Floorplan.Name)
+		}
+	}
+	if rec.Meta.KMax != 0 && rec.Basis.KMax() > rec.Meta.KMax {
+		return errf(KindInvalid, "basis KMax %d exceeds metadata kmax %d", rec.Basis.KMax(), rec.Meta.KMax)
+	}
+	for _, e := range rec.Energy {
+		if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			return errf(KindInvalid, "non-finite or negative training energy")
+		}
+	}
+	if rec.HasMonitor() {
+		if rec.K < 1 || rec.K > rec.Basis.KMax() {
+			return errf(KindInvalid, "K=%d outside [1,%d]", rec.K, rec.Basis.KMax())
+		}
+		if len(rec.Sensors) < rec.K {
+			return errf(KindInvalid, "M=%d sensors for K=%d", len(rec.Sensors), rec.K)
+		}
+		seen := make(map[int]struct{}, len(rec.Sensors))
+		for _, s := range rec.Sensors {
+			if s < 0 || s >= n {
+				return errf(KindInvalid, "sensor %d outside grid [0,%d) — cross-floorplan record?", s, n)
+			}
+			if _, dup := seen[s]; dup {
+				return errf(KindInvalid, "duplicate sensor %d", s)
+			}
+			seen[s] = struct{}{}
+		}
+		if qm, qn := rec.QR.Dims(); qm != len(rec.Sensors) || qn != rec.K {
+			return errf(KindInvalid, "factorization is %d×%d for M=%d K=%d", qm, qn, len(rec.Sensors), rec.K)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes rec to path atomically: the bytes go to a temporary file
+// in the same directory which is fsynced and then renamed over path, so a
+// crash mid-save leaves either the old record or none — never a torn file
+// that a later Decode would have to reject. (Decode *would* reject it via
+// the checksum; atomicity means the store never loses a good record to a
+// failed overwrite.)
+func SaveFile(path string, rec *Record) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return &Error{Kind: KindIO, Detail: "creating temp file", Err: err}
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Encode(tmp, rec); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return &Error{Kind: KindIO, Detail: "syncing temp file", Err: err}
+	}
+	if err := tmp.Close(); err != nil {
+		return &Error{Kind: KindIO, Detail: "closing temp file", Err: err}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return &Error{Kind: KindIO, Detail: "renaming into place", Err: err}
+	}
+	return nil
+}
+
+// LoadFile reads a record written by SaveFile.
+func LoadFile(path string) (*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &Error{Kind: KindIO, Detail: "opening store file", Err: err}
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// --- little-endian primitives ---
+
+func putU32(w *bytes.Buffer, v uint32) { w.Write(binary.LittleEndian.AppendUint32(nil, v)) }
+func putU64(w *bytes.Buffer, v uint64) { w.Write(binary.LittleEndian.AppendUint64(nil, v)) }
+
+func putString(w *bytes.Buffer, s string) {
+	putU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func putFloats(w *bytes.Buffer, fs []float64) {
+	buf := make([]byte, 8*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	w.Write(buf)
+}
+
+// reader is a bounds-checked cursor over the verified payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (p *reader) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || p.off+n > len(p.buf) || p.off+n < p.off {
+		return nil, errf(KindInvalid, "%s: %d bytes at offset %d overruns %d-byte payload", what, n, p.off, len(p.buf))
+	}
+	out := p.buf[p.off : p.off+n]
+	p.off += n
+	return out, nil
+}
+
+func (p *reader) u32(what string) (uint32, error) {
+	b, err := p.bytes(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (p *reader) u64(what string) (uint64, error) {
+	b, err := p.bytes(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (p *reader) string(what string) (string, error) {
+	n, err := p.u32(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", errf(KindInvalid, "%s: implausible length %d", what, n)
+	}
+	b, err := p.bytes(int(n), what)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (p *reader) floats(n int, what string) ([]float64, error) {
+	b, err := p.bytes(8*n, what)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+func (p *reader) floorplan() (*floorplan.Floorplan, error) {
+	name, err := p.string("floorplan name")
+	if err != nil {
+		return nil, err
+	}
+	nBlocks, err := p.u32("block count")
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > 1<<20 {
+		return nil, errf(KindInvalid, "implausible block count %d", nBlocks)
+	}
+	fp := &floorplan.Floorplan{Name: name, Blocks: make([]floorplan.Block, nBlocks)}
+	for i := range fp.Blocks {
+		bn, err := p.string("block name")
+		if err != nil {
+			return nil, err
+		}
+		kind, err := p.u32("block kind")
+		if err != nil {
+			return nil, err
+		}
+		geom, err := p.floats(4, "block geometry")
+		if err != nil {
+			return nil, err
+		}
+		fp.Blocks[i] = floorplan.Block{
+			Name: bn, Kind: floorplan.Kind(kind),
+			X: geom[0], Y: geom[1], W: geom[2], H: geom[3],
+		}
+	}
+	return fp, nil
+}
+
+func (p *reader) monitorSection(rec *Record) error {
+	k, err := p.u32("K")
+	if err != nil {
+		return err
+	}
+	m, err := p.u32("sensor count")
+	if err != nil {
+		return err
+	}
+	if m > 1<<24 {
+		return errf(KindInvalid, "implausible sensor count %d", m)
+	}
+	rec.K = int(k)
+	rec.Sensors = make([]int, m)
+	for i := range rec.Sensors {
+		v, err := p.u64("sensor index")
+		if err != nil {
+			return err
+		}
+		rec.Sensors[i] = int(int64(v))
+	}
+	qm, err := p.u32("QR rows")
+	if err != nil {
+		return err
+	}
+	qn, err := p.u32("QR cols")
+	if err != nil {
+		return err
+	}
+	if uint64(qm)*uint64(qn) > 1<<32 {
+		return errf(KindInvalid, "implausible QR shape %dx%d", qm, qn)
+	}
+	packed, err := p.floats(int(qm)*int(qn), "QR factors")
+	if err != nil {
+		return err
+	}
+	tau, err := p.floats(int(qn), "QR tau")
+	if err != nil {
+		return err
+	}
+	qr, err := mat.RestoreQR(mat.NewFromData(int(qm), int(qn), packed), tau)
+	if err != nil {
+		return &Error{Kind: KindInvalid, Detail: "QR factors", Err: err}
+	}
+	rec.QR = qr
+	return nil
+}

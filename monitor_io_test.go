@@ -1,0 +1,159 @@
+package eigenmaps
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// trainedMonitor builds a small monitor through the public pipeline.
+func trainedMonitor(t testing.TB) *Monitor {
+	t.Helper()
+	ens, err := SimulateT1(SimOptions{Grid: Grid{W: 12, H: 10}, Snapshots: 60, Seed: 5, LoadCoupling: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Train(ens, TrainOptions{KMax: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors, err := model.PlaceSensors(8, PlaceOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := model.NewMonitor(4, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
+
+// TestMonitorSaveLoadBitIdentity pins the facade round-trip guarantee: a
+// loaded monitor produces bit-identical EstimateInto output, with none of
+// the training pipeline re-run.
+func TestMonitorSaveLoadBitIdentity(t *testing.T) {
+	mon := trainedMonitor(t)
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadMonitor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.K() != mon.K() || len(loaded.Sensors()) != len(mon.Sensors()) {
+		t.Fatalf("shape changed: K %d→%d M %d→%d", mon.K(), loaded.K(), len(mon.Sensors()), len(loaded.Sensors()))
+	}
+	want := make([]float64, mon.N())
+	got := make([]float64, loaded.N())
+	readings := make([]float64, len(mon.Sensors()))
+	for trial := 0; trial < 5; trial++ {
+		for i := range readings {
+			readings[i] = 48 + 7*math.Sin(float64(trial*len(readings)+i))
+		}
+		if err := mon.EstimateInto(want, readings); err != nil {
+			t.Fatal(err)
+		}
+		if err := loaded.EstimateInto(got, readings); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("trial %d cell %d: loaded estimate differs: %x != %x",
+					trial, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+	// Conditioning survives too (recomputed from the basis, same bits).
+	cw, err := mon.ConditionNumber()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := loaded.ConditionNumber()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(cw) != math.Float64bits(cg) {
+		t.Fatalf("condition number changed: %v != %v", cg, cw)
+	}
+}
+
+func TestMonitorSaveFileRoundTrip(t *testing.T) {
+	mon := trainedMonitor(t)
+	path := t.TempDir() + "/monitor.emon"
+	if err := mon.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMonitorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := make([]float64, len(mon.Sensors()))
+	for i := range readings {
+		readings[i] = 52.5
+	}
+	a, err := mon.Estimate(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Estimate(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("cell %d differs after file round-trip", i)
+		}
+	}
+}
+
+// TestLoadMonitorTypedErrors pins the public decode-failure surface: each
+// corruption class yields the matching errors.Is sentinel and an
+// errors.As-able *StoreError — never a panic.
+func TestLoadMonitorTypedErrors(t *testing.T) {
+	mon := trainedMonitor(t)
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		wantIs error
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/3] }, ErrStoreTruncated},
+		{"flipped byte", func(d []byte) []byte {
+			c := append([]byte(nil), d...)
+			c[len(c)/2] ^= 0x10
+			return c
+		}, ErrStoreChecksum},
+		{"future version", func(d []byte) []byte {
+			c := append([]byte(nil), d...)
+			c[4], c[5], c[6], c[7] = 0x63, 0, 0, 0 // version 99
+			return c
+		}, ErrStoreVersion},
+		{"bad magic", func(d []byte) []byte {
+			c := append([]byte(nil), d...)
+			copy(c, "EMBS") // a basis file, not a monitor store
+			return c
+		}, ErrStoreBadMagic},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadMonitor(bytes.NewReader(tc.mutate(data)))
+			if err == nil {
+				t.Fatal("load succeeded on corrupt bytes")
+			}
+			if !errors.Is(err, tc.wantIs) {
+				t.Fatalf("error %v, want errors.Is %v", err, tc.wantIs)
+			}
+			var se *StoreError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %T does not unwrap to *StoreError", err)
+			}
+		})
+	}
+}
