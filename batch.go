@@ -13,6 +13,10 @@ func defaultWorkers() int { return runtime.NumCPU() }
 // the steady-state hot path allocates nothing per snapshot.
 
 // BatchOptions tune the batched/streaming estimation paths.
+//
+// Superseded by EstimateOptions, which adds reconstruction-arm selection;
+// prefer the ...With entry points. BatchOptions and the methods taking it
+// are kept as thin wrappers over the operator-arm defaults.
 type BatchOptions struct {
 	// Workers caps the goroutines reconstructing concurrently.
 	// 0 (the default) means one per CPU.
@@ -32,9 +36,13 @@ func (mn *Monitor) EstimateInto(dst, readings []float64) error {
 }
 
 // EstimateBatch reconstructs one full map per reading vector, fanning the
-// batch out across a worker pool. Order is preserved: out[i] is the estimate
-// for readings[i]. A non-finite reading or a wrong-length vector fails the
-// batch with an error identifying the offending snapshot.
+// batch out across a worker pool; each worker's share runs as one blocked
+// GEMM against the precomputed operator. Order is preserved: out[i] is the
+// estimate for readings[i]. A non-finite reading or a wrong-length vector
+// fails the batch with an error identifying the offending snapshot.
+//
+// Prefer EstimateBatchWith, which also selects the arm; this wrapper is kept
+// for compatibility.
 func (mn *Monitor) EstimateBatch(readings [][]float64, opt BatchOptions) ([][]float64, error) {
 	return mn.mon.EstimateBatch(readings, opt.Workers)
 }
@@ -42,6 +50,9 @@ func (mn *Monitor) EstimateBatch(readings [][]float64, opt BatchOptions) ([][]fl
 // EstimateBatchInto is the allocation-free batch form: dst[i] (each length N)
 // receives the estimate for readings[i]. Reusing dst across calls keeps the
 // steady state allocation-free per snapshot.
+//
+// Prefer EstimateBatchIntoWith, which also selects the arm; this wrapper is
+// kept for compatibility.
 func (mn *Monitor) EstimateBatchInto(dst, readings [][]float64, opt BatchOptions) error {
 	return mn.mon.EstimateBatchInto(dst, readings, opt.Workers)
 }
@@ -69,6 +80,9 @@ type StreamResult struct {
 // abandoning it mid-stream blocks the workers (and whoever feeds in)
 // forever. To stop early, close or stop feeding in, then keep receiving
 // until the channel closes.
+//
+// Prefer EstimateStreamWith, which also selects the arm; this wrapper is
+// kept for compatibility.
 func (mn *Monitor) EstimateStream(in <-chan []float64, opt BatchOptions) <-chan StreamResult {
 	return streamEstimates(in, opt, mn.N(), mn.mon.EstimateInto)
 }

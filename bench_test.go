@@ -292,6 +292,38 @@ func BenchmarkReconstructOneMap(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateArms compares the two reconstruction arms per snapshot:
+// the precomputed-operator GEMV (the serving default) against the QR-solve
+// ablation, at the daemon's default K=8/M=8 operating point and at the
+// engine fixture's K=8/M=16 point. The tentpole criterion pins the operator
+// arm at ≥2× the QR arm per snapshot at K=8/M=8.
+func BenchmarkEstimateArms(b *testing.B) {
+	env := benchEnvGet(b)
+	for _, m := range []int{8, 16} {
+		const k = 8
+		sensors, err := env.PCA.PlaceSensors(m, core.PlaceOptions{K: k, Allocator: &place.Greedy{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon, err := env.PCA.NewMonitor(k, sensors)
+		if err != nil {
+			b.Fatal(err)
+		}
+		readings := mon.Sample(env.DS.Map(0))
+		dst := make([]float64, mon.N())
+		for _, arm := range []recon.Arm{recon.ArmOperator, recon.ArmQR} {
+			b.Run("m="+itoa(m)+"/arm="+arm.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := mon.EstimateArmInto(dst, readings, arm); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Concurrent batched monitoring engine ---
 
 // batchBenchSize is the snapshot count per batch in the engine benches —

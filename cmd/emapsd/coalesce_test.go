@@ -1,0 +1,152 @@
+package main
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/floorplan"
+	"repro/internal/workload"
+)
+
+// coalesceFixture trains one small monitor plus sensor readings sampled from
+// its own ensemble, shared by the coalescer unit tests.
+func coalesceFixture(t *testing.T) (*core.Monitor, [][]float64) {
+	t.Helper()
+	fp := floorplan.UltraSparcT1()
+	ds, err := dataset.Generate(fp, dataset.GenConfig{
+		Grid: floorplan.Grid{W: 10, H: 8}, Snapshots: 24, Seed: 7,
+		Specs: []*workload.Spec{workload.Preset("mixed")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Train(ds, core.TrainOptions{KMax: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors, err := model.PlaceSensors(8, core.PlaceOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := model.NewMonitor(4, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := make([][]float64, 8)
+	for i := range readings {
+		readings[i] = mon.Sample(ds.Map(i))
+	}
+	return mon, readings
+}
+
+// Two concurrent requests whose combined snapshot count reaches the max are
+// served by one shared flush, and each gets exactly its own maps back.
+func TestCoalescerSizeTriggeredFlush(t *testing.T) {
+	mon, readings := coalesceFixture(t)
+	m := newMetricsSet()
+	// A one-hour window: only the size trigger can flush during the test.
+	c := newCoalescer(mon, time.Hour, 4, m)
+
+	want, err := mon.EstimateBatch(readings[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([][][]float64, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = c.estimate(readings[2*i : 2*i+2])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+		for j, x := range got[i] {
+			for k, v := range x {
+				if v != want[2*i+j][k] {
+					t.Fatalf("call %d snapshot %d cell %d: %v != %v", i, j, k, v, want[2*i+j][k])
+				}
+			}
+		}
+	}
+	if f := m.coalesceFlushes.Load(); f != 1 {
+		t.Fatalf("flushes = %d, want 1 (one shared GEMM)", f)
+	}
+	if r := m.coalesceRequests.Load(); r != 2 {
+		t.Fatalf("coalesced requests = %d, want 2", r)
+	}
+}
+
+// A lone request below the size trigger is flushed by the window timer.
+func TestCoalescerWindowTriggeredFlush(t *testing.T) {
+	mon, readings := coalesceFixture(t)
+	m := newMetricsSet()
+	c := newCoalescer(mon, 2*time.Millisecond, 1000, m)
+	want, err := mon.EstimateBatch(readings[:3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.estimate(readings[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		for k := range want[j] {
+			if got[j][k] != want[j][k] {
+				t.Fatalf("snapshot %d cell %d: %v != %v", j, k, got[j][k], want[j][k])
+			}
+		}
+	}
+	if f := m.coalesceFlushes.Load(); f != 1 {
+		t.Fatalf("flushes = %d, want 1", f)
+	}
+}
+
+// One client's malformed snapshot must not fail a peer that shared its
+// flush: the merged batch is rejected, the fallback re-runs per request, and
+// only the offending client sees the error.
+func TestCoalescerFaultIsolation(t *testing.T) {
+	mon, readings := coalesceFixture(t)
+	c := newCoalescer(mon, time.Hour, 2, newMetricsSet())
+	bad := make([]float64, len(readings[0]))
+	copy(bad, readings[0])
+	bad[0] = math.NaN()
+
+	var wg sync.WaitGroup
+	var goodMaps, badMaps [][]float64
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		goodMaps, goodErr = c.estimate(readings[:1])
+	}()
+	go func() {
+		defer wg.Done()
+		badMaps, badErr = c.estimate([][]float64{bad})
+	}()
+	wg.Wait()
+	if goodErr != nil || len(goodMaps) != 1 {
+		t.Fatalf("good request: maps=%d err=%v", len(goodMaps), goodErr)
+	}
+	if badErr == nil || badMaps != nil {
+		t.Fatalf("bad request: maps=%v err=%v, want error", badMaps, badErr)
+	}
+	want, err := mon.EstimateBatch(readings[:1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want[0] {
+		if goodMaps[0][k] != want[0][k] {
+			t.Fatalf("good request cell %d: %v != %v", k, goodMaps[0][k], want[0][k])
+		}
+	}
+}

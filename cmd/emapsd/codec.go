@@ -1,0 +1,274 @@
+package main
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Reflection-free JSON fast paths for the serving hot route. The CPU profile
+// of the estimate handler is dominated by encoding/json's reflective decode
+// of the readings array and encode of the summary list — more than the
+// batched GEMM itself — so the hot route parses its [][]float64 and renders
+// its response by hand. Anything the tight scanner does not recognize
+// (non-numeric tokens, nulls, malformed nesting) falls back to
+// encoding/json, which remains the semantic authority: the fast path accepts
+// exactly the documents the slow path accepts, or defers to it.
+
+// readingsBuf is a pooled scratch parse state: all numbers land in one flat
+// slice (grown once, reused across requests) and rows are rebuilt as
+// subslices after the parse, so a steady-state request allocates nothing.
+type readingsBuf struct {
+	flat []float64
+	ends []int // ends[i] = index into flat one past row i's last value
+	rows [][]float64
+}
+
+var readingsPool = sync.Pool{New: func() any { return new(readingsBuf) }}
+
+// parseReadings scans a JSON array-of-arrays of numbers. ok=false means
+// "not the simple shape" (the caller falls back to encoding/json), NOT a
+// validated error. The returned rows alias buf's backing storage — release
+// buf only after the rows are no longer referenced.
+func (b *readingsBuf) parseReadings(data []byte) (rows [][]float64, ok bool) {
+	b.flat = b.flat[:0]
+	b.ends = b.ends[:0]
+	i, ok := b.parseRowsAt(data, skipSpace(data, 0))
+	if !ok || i != len(data) {
+		return nil, false
+	}
+	return b.buildRows(), true
+}
+
+// parseRowsAt scans one [[...]...] value starting at i, appending numbers to
+// b.flat and row boundaries to b.ends. Returns the index just past the value
+// (with trailing whitespace consumed).
+func (b *readingsBuf) parseRowsAt(data []byte, i int) (int, bool) {
+	if i >= len(data) || data[i] != '[' {
+		return 0, false
+	}
+	i = skipSpace(data, i+1)
+	if i < len(data) && data[i] == ']' {
+		return skipSpace(data, i+1), true // empty batch: valid, zero rows
+	}
+	for {
+		if i >= len(data) || data[i] != '[' {
+			return 0, false
+		}
+		i = skipSpace(data, i+1)
+		if i < len(data) && data[i] == ']' {
+			i = skipSpace(data, i+1)
+		} else {
+			for {
+				j := i
+				for j < len(data) && isNumByte(data[j]) {
+					j++
+				}
+				if j == i {
+					return 0, false
+				}
+				v, err := strconv.ParseFloat(string(data[i:j]), 64)
+				if err != nil {
+					return 0, false
+				}
+				b.flat = append(b.flat, v)
+				i = skipSpace(data, j)
+				if i >= len(data) {
+					return 0, false
+				}
+				if data[i] == ',' {
+					i = skipSpace(data, i+1)
+					continue
+				}
+				if data[i] == ']' {
+					i = skipSpace(data, i+1)
+					break
+				}
+				return 0, false
+			}
+		}
+		b.ends = append(b.ends, len(b.flat))
+		if i >= len(data) {
+			return 0, false
+		}
+		if data[i] == ',' {
+			i = skipSpace(data, i+1)
+			continue
+		}
+		if data[i] == ']' {
+			return skipSpace(data, i+1), true
+		}
+		return 0, false
+	}
+}
+
+// buildRows materializes row headers over the flat storage. Only called once
+// flat can no longer reallocate.
+func (b *readingsBuf) buildRows() [][]float64 {
+	b.rows = b.rows[:0]
+	start := 0
+	for _, end := range b.ends {
+		b.rows = append(b.rows, b.flat[start:end:end])
+		start = end
+	}
+	return b.rows
+}
+
+// parseEstimateRequest scans a whole estimate/track body of the common shape
+// — an object with any of the keys readings, workers, include_maps, arm and
+// no others, no escape sequences, scalars only — in one pass. ok=false
+// defers to encoding/json; like parseReadings it never claims a document it
+// is not sure of. Later duplicate keys win, matching encoding/json.
+func (b *readingsBuf) parseEstimateRequest(data []byte, req *estimateRequest) (rows [][]float64, ok bool) {
+	b.flat = b.flat[:0]
+	b.ends = b.ends[:0]
+	sawReadings := false
+	i := skipSpace(data, 0)
+	if i >= len(data) || data[i] != '{' {
+		return nil, false
+	}
+	i = skipSpace(data, i+1)
+	if i < len(data) && data[i] == '}' {
+		return nil, skipSpace(data, i+1) == len(data)
+	}
+	for {
+		key, next, ok := parseSimpleString(data, i)
+		if !ok {
+			return nil, false
+		}
+		i = skipSpace(data, next)
+		if i >= len(data) || data[i] != ':' {
+			return nil, false
+		}
+		i = skipSpace(data, i+1)
+		switch key {
+		case "readings":
+			b.flat = b.flat[:0]
+			b.ends = b.ends[:0]
+			i, ok = b.parseRowsAt(data, i)
+			sawReadings = ok
+		case "workers":
+			j := i
+			for j < len(data) && isNumByte(data[j]) {
+				j++
+			}
+			n, err := strconv.Atoi(string(data[i:j]))
+			if err != nil {
+				return nil, false
+			}
+			req.Workers, i, ok = n, skipSpace(data, j), true
+		case "include_maps":
+			switch {
+			case hasPrefixAt(data, i, "true"):
+				req.IncludeMaps, i = true, skipSpace(data, i+4)
+			case hasPrefixAt(data, i, "false"):
+				req.IncludeMaps, i = false, skipSpace(data, i+5)
+			default:
+				return nil, false
+			}
+		case "arm":
+			var arm string
+			arm, i, ok = parseSimpleString(data, i)
+			req.Arm = arm
+			i = skipSpace(data, i)
+		default:
+			// Unknown key: its value could be arbitrary JSON. Defer.
+			return nil, false
+		}
+		if !ok || i >= len(data) {
+			return nil, false
+		}
+		if data[i] == ',' {
+			i = skipSpace(data, i+1)
+			continue
+		}
+		if data[i] == '}' {
+			i = skipSpace(data, i+1)
+			break
+		}
+		return nil, false
+	}
+	if i != len(data) {
+		return nil, false
+	}
+	if !sawReadings {
+		return nil, true
+	}
+	return b.buildRows(), true
+}
+
+// parseSimpleString scans a double-quoted string with no escapes, returning
+// the contents and the index just past the closing quote.
+func parseSimpleString(data []byte, i int) (string, int, bool) {
+	if i >= len(data) || data[i] != '"' {
+		return "", 0, false
+	}
+	j := i + 1
+	for j < len(data) && data[j] != '"' && data[j] != '\\' {
+		j++
+	}
+	if j >= len(data) || data[j] != '"' {
+		return "", 0, false
+	}
+	return string(data[i+1 : j]), j + 1, true
+}
+
+func hasPrefixAt(data []byte, i int, s string) bool {
+	return len(data)-i >= len(s) && string(data[i:i+len(s)]) == s
+}
+
+func skipSpace(data []byte, i int) int {
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// isNumByte covers exactly the bytes JSON numbers are built from. Tokens
+// like null, true or NaN contain none of these as a first byte, so they
+// bounce to the encoding/json fallback and get its error semantics.
+func isNumByte(c byte) bool {
+	return c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+}
+
+// appendEstimateResponse renders {"results":[...]} without reflection.
+// strconv's shortest round-trip formatting can differ from encoding/json's
+// only in exponent styling (1e-05 vs 0.00001); clients decode bit-identical
+// float64 values either way.
+func appendEstimateResponse(buf []byte, results []snapshotSummary) []byte {
+	buf = append(buf, `{"results":[`...)
+	for i := range results {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		r := &results[i]
+		buf = append(buf, `{"max_c":`...)
+		buf = strconv.AppendFloat(buf, r.MaxC, 'g', -1, 64)
+		buf = append(buf, `,"min_c":`...)
+		buf = strconv.AppendFloat(buf, r.MinC, 'g', -1, 64)
+		buf = append(buf, `,"mean_c":`...)
+		buf = strconv.AppendFloat(buf, r.MeanC, 'g', -1, 64)
+		buf = append(buf, `,"max_cell":`...)
+		buf = strconv.AppendInt(buf, int64(r.MaxCell), 10)
+		// len, not nil: mirrors the struct tag's omitempty, which drops
+		// empty slices whether or not they are nil.
+		if len(r.Map) > 0 {
+			buf = append(buf, `,"map":[`...)
+			for k, v := range r.Map {
+				if k > 0 {
+					buf = append(buf, ',')
+				}
+				buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+			}
+			buf = append(buf, ']')
+		}
+		buf = append(buf, '}')
+	}
+	return append(buf, ']', '}', '\n')
+}
+
+var responsePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}

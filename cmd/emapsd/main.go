@@ -15,18 +15,34 @@
 //	POST /v1/monitors                  create a monitor (trains on demand)
 //	GET  /v1/monitors                  list monitors and their counters
 //	DELETE /v1/monitors/{id}           retire a monitor
-//	POST /v1/monitors/{id}/estimate    batched least-squares reconstruction
+//	POST /v1/monitors/{id}/estimate    batched reconstruction — one GEMM
+//	                                   against the precomputed operator by
+//	                                   default; "arm":"qr" selects the
+//	                                   per-snapshot QR-solve ablation
 //	POST /v1/monitors/{id}/track       batched Kalman-smoothed tracking
 //	POST /v1/monitors/{id}/simulate    estimate simulated (optionally noisy)
 //	                                   snapshots from the training ensemble,
 //	                                   or from a fresh "workload"/"workload_spec"
 //	                                   scenario (cross-scenario evaluation)
-//	GET  /healthz                      liveness
+//	GET  /healthz                      liveness (also under /v1/)
 //	GET  /metrics                      Prometheus text exposition: request
 //	                                   counts and latency histograms per
 //	                                   route, model-cache hit/miss, store
-//	                                   traffic, snapshot totals
+//	                                   traffic, snapshot totals (also /v1/)
 //	GET  /v1/stats                     request/snapshot totals
+//
+// The versioned /v1/ prefix is the canonical API surface. The pre-/v1
+// unversioned spellings remain as aliases for one release; their traffic is
+// labeled "legacy_<route>" in /metrics so operators can watch it drain
+// before the aliases are removed. Every failure, on either spelling, is the
+// uniform envelope {"error":{"code":"...","message":"..."}} — codes are
+// stable slugs, messages are free-form detail.
+//
+// With -coalesce-window, concurrent estimate requests against the same
+// monitor are coalesced: a request waits up to the window (or until
+// -coalesce-max snapshots are queued) and the whole queue is served by one
+// blocked GEMM against the monitor's precomputed operator, trading bounded
+// latency for serving throughput. QR-arm requests bypass the queue.
 //
 // With -store-dir the daemon is durable: every trained model and every
 // created monitor is persisted (atomic write + rename, see internal/store),
@@ -53,6 +69,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"math"
@@ -76,6 +93,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/place"
 	"repro/internal/power"
+	"repro/internal/recon"
 	"repro/internal/thermal"
 	"repro/internal/track"
 	"repro/internal/workload"
@@ -93,15 +111,24 @@ func main() {
 	maxModels := flag.Int("max-models", 32, "largest number of cached trained models")
 	storeDir := flag.String("store-dir", "", "trained-monitor persistence directory (empty = in-memory only)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+	coalesceWindow := flag.Duration("coalesce-window", 0, "bounded wait for batching concurrent estimate requests into one GEMM (0 = disabled)")
+	coalesceMax := flag.Int("coalesce-max", 256, "snapshot count that flushes a coalesced batch immediately")
 	flag.Parse()
 
-	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	// Buffered structured logs: one syscall per flush interval instead of one
+	// per request line (see logbuf.go). Drained explicitly on every exit path.
+	logSink := newLogBuffer(os.Stderr)
+	defer logSink.Close()
+	logger := slog.New(slog.NewJSONHandler(logSink, nil))
 	srv := newServer(*maxSnap)
 	srv.maxModels = *maxModels
 	srv.logger = logger
+	srv.coalesceWindow = *coalesceWindow
+	srv.coalesceMax = *coalesceMax
 	if *storeDir != "" {
 		if err := srv.openStore(*storeDir); err != nil {
 			logger.Error("store", "err", err)
+			logSink.Close()
 			os.Exit(1)
 		}
 		loaded, skipped := srv.warmStart()
@@ -118,6 +145,7 @@ func main() {
 	select {
 	case err := <-serveErr:
 		logger.Error("serve", "err", err)
+		logSink.Close()
 		os.Exit(1)
 	case <-ctx.Done():
 	}
@@ -128,6 +156,7 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logger.Error("shutdown", "err", err)
+		logSink.Close()
 		os.Exit(1)
 	}
 	logger.Info("drained")
@@ -193,6 +222,33 @@ type monitorEntry struct {
 	genOnce   sync.Once
 	genErr    error
 	snapshots atomic.Int64
+
+	// coal batches concurrent operator-arm estimate requests into shared
+	// GEMMs; nil unless the daemon runs with -coalesce-window > 0.
+	coalOnce sync.Once
+	coal     *coalescer
+
+	// mapsPool recycles per-request estimate output buffers (batch × N
+	// floats): the serving hot path must not allocate a fresh ~60 KB of maps
+	// per request at tens of thousands of snapshots per second.
+	mapsPool sync.Pool
+}
+
+// getMaps returns n reusable length-N map buffers; the caller hands the
+// returned batch back via putMaps after the response is encoded.
+func (e *monitorEntry) getMaps(n int) [][]float64 {
+	var maps [][]float64
+	if v, ok := e.mapsPool.Get().(*[][]float64); ok {
+		maps = *v
+	}
+	for len(maps) < n {
+		maps = append(maps, make([]float64, e.mon.N()))
+	}
+	return maps[:n]
+}
+
+func (e *monitorEntry) putMaps(maps [][]float64) {
+	e.mapsPool.Put(&maps)
 }
 
 type server struct {
@@ -201,6 +257,12 @@ type server struct {
 	storeDir  string
 	logger    *slog.Logger
 	metrics   *metricsSet
+
+	// coalesceWindow > 0 batches concurrent estimate requests per monitor
+	// into shared GEMMs: a request waits at most the window (or until
+	// coalesceMax snapshots are queued) for peers to share a flush.
+	coalesceWindow time.Duration
+	coalesceMax    int
 
 	mu       sync.Mutex
 	models   map[trainKey]*modelEntry
@@ -253,27 +315,51 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // dispatch routes the request and returns the route label used by metrics
 // and the request log ({id} collapsed so per-monitor paths aggregate).
+//
+// The canonical API surface lives under /v1/. The unversioned spellings of
+// the API routes (e.g. /monitors) are kept as thin aliases for one release;
+// they serve identically but carry a "legacy_"-prefixed route label so
+// /metrics separates remaining legacy traffic from /v1 traffic. /healthz and
+// /metrics are infrastructure endpoints — unversioned canonically, with /v1/
+// aliases so every endpoint is reachable under the versioned prefix.
 func (s *server) dispatch(w http.ResponseWriter, r *http.Request) string {
-	switch {
-	case r.URL.Path == "/healthz":
+	path := r.URL.Path
+	switch path {
+	case "/healthz", "/v1/healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		return "healthz"
-	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
-		s.handleMetrics(w)
-		return "metrics"
-	case r.URL.Path == "/v1/stats" && r.Method == http.MethodGet:
+	case "/metrics", "/v1/metrics":
+		if r.Method == http.MethodGet {
+			s.handleMetrics(w)
+			return "metrics"
+		}
+	}
+	rest, versioned := strings.CutPrefix(path, "/v1/")
+	if versioned {
+		rest = "/" + rest
+	} else {
+		rest = path
+	}
+	label := func(name string) string {
+		if versioned {
+			return name
+		}
+		return "legacy_" + name
+	}
+	switch {
+	case rest == "/stats" && r.Method == http.MethodGet:
 		s.handleStats(w)
-		return "stats"
-	case r.URL.Path == "/v1/monitors" && r.Method == http.MethodPost:
+		return label("stats")
+	case rest == "/monitors" && r.Method == http.MethodPost:
 		s.handleCreate(w, r)
-		return "create"
-	case r.URL.Path == "/v1/monitors" && r.Method == http.MethodGet:
+		return label("create")
+	case rest == "/monitors" && r.Method == http.MethodGet:
 		s.handleList(w)
-		return "list"
-	case strings.HasPrefix(r.URL.Path, "/v1/monitors/"):
-		return s.handleMonitor(w, r)
+		return label("list")
+	case strings.HasPrefix(rest, "/monitors/"):
+		return label(s.handleMonitor(w, r, strings.TrimPrefix(rest, "/monitors/")))
 	default:
-		httpError(w, http.StatusNotFound, "no such route")
+		httpError(w, http.StatusNotFound, "not_found", "no such route")
 		return "notfound"
 	}
 }
@@ -363,7 +449,7 @@ func (cr *createRequest) defaults() {
 func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
 		return
 	}
 	req.defaults()
@@ -375,23 +461,23 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		fp, err = floorplan.Named(req.Floorplan)
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad floorplan: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_floorplan", "bad floorplan: %v", err)
 		return
 	}
 	// Workload selection: registry names and/or one inline declarative
 	// spec. nil specs = the default four-preset mix.
 	specs, wlKey, err := resolveWorkloads(req.Workloads, req.WorkloadSpec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad workload: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_workload", "bad workload: %v", err)
 		return
 	}
 	solver, err := thermal.ParseSolver(req.SimSolver)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad sim_solver %q (want auto, cg or direct)", req.SimSolver)
+		httpError(w, http.StatusBadRequest, "bad_solver", "bad sim_solver %q (want auto, cg or direct)", req.SimSolver)
 		return
 	}
 	if req.SimWorkers < 0 {
-		httpError(w, http.StatusBadRequest, "sim_workers %d is negative (0 = all CPUs)", req.SimWorkers)
+		httpError(w, http.StatusBadRequest, "bad_workers", "sim_workers %d is negative (0 = all CPUs)", req.SimWorkers)
 		return
 	}
 	pcfg := power.ConfigFor(fp, defaultLoadCoupling)
@@ -403,7 +489,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Workload: wlKey}
 	entry, ok := s.modelFor(key)
 	if !ok {
-		httpError(w, http.StatusTooManyRequests,
+		httpError(w, http.StatusTooManyRequests, "cache_full",
 			"model cache full (%d configurations); reuse an existing training configuration", s.maxModels)
 		return
 	}
@@ -447,7 +533,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.persistModel(key, entry, req.Workloads, req.WorkloadSpec)
 	})
 	if entry.err != nil {
-		httpError(w, http.StatusBadRequest, "training failed: %v", entry.err)
+		httpError(w, http.StatusBadRequest, "train_failed", "training failed: %v", entry.err)
 		return
 	}
 	sensors := req.Sensors
@@ -465,33 +551,33 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		case "d-optimal":
 			alloc = &place.DOptimal{}
 		default:
-			httpError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+			httpError(w, http.StatusBadRequest, "bad_strategy", "unknown strategy %q", req.Strategy)
 			return
 		}
 		var err error
 		sensors, err = entry.model.PlaceSensors(req.M, core.PlaceOptions{K: req.K, Allocator: alloc})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "placement failed: %v", err)
+			httpError(w, http.StatusBadRequest, "placement_failed", "placement failed: %v", err)
 			return
 		}
 	}
 	mon, err := entry.model.NewMonitor(req.K, sensors)
 	if err != nil {
 		// M < K, duplicate or out-of-range sensors, rank deficiency.
-		httpError(w, http.StatusBadRequest, "monitor rejected: %v", err)
+		httpError(w, http.StatusBadRequest, "monitor_rejected", "monitor rejected: %v", err)
 		return
 	}
 	var kf *track.Kalman
 	if req.Tracking {
 		kf, err = track.NewKalman(entry.model.Basis, req.K, sensors, track.Config{Rho: req.Rho})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "tracker rejected: %v", err)
+			httpError(w, http.StatusBadRequest, "tracker_rejected", "tracker rejected: %v", err)
 			return
 		}
 	}
 	cond, err := mon.Cond()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "cond: %v", err)
+		httpError(w, http.StatusInternalServerError, "internal", "cond: %v", err)
 		return
 	}
 	me := &monitorEntry{id: "", key: key, mon: mon, kf: kf,
@@ -581,14 +667,13 @@ func (s *server) handleStats(w http.ResponseWriter) {
 
 // --- per-monitor routes ---
 
-func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request) string {
-	rest := strings.TrimPrefix(r.URL.Path, "/v1/monitors/")
+func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request, rest string) string {
 	id, action, _ := strings.Cut(rest, "/")
 	s.mu.Lock()
 	entry := s.monitors[id]
 	s.mu.Unlock()
 	if entry == nil {
-		httpError(w, http.StatusNotFound, "no monitor %q", id)
+		httpError(w, http.StatusNotFound, "not_found", "no monitor %q", id)
 		return "notfound"
 	}
 	switch {
@@ -609,15 +694,73 @@ func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request) string {
 		s.handleSimulate(w, r, entry)
 		return "simulate"
 	default:
-		httpError(w, http.StatusNotFound, "no route %s %s", r.Method, r.URL.Path)
+		httpError(w, http.StatusNotFound, "not_found", "no route %s %s", r.Method, r.URL.Path)
 		return "notfound"
 	}
 }
 
 type estimateRequest struct {
-	Readings    [][]float64 `json:"readings"`
-	Workers     int         `json:"workers"`
-	IncludeMaps bool        `json:"include_maps"`
+	// Readings is captured raw and parsed by the pooled fast scanner in
+	// codec.go — the array is the bulk of the request bytes, and reflective
+	// decode of it dominated the serving profile.
+	Readings    json.RawMessage `json:"readings"`
+	Workers     int             `json:"workers"`
+	IncludeMaps bool            `json:"include_maps"`
+	// Arm selects the reconstruction path: "" or "operator" (default) is the
+	// precomputed-operator GEMM; "qr" is the per-snapshot QR-solve ablation.
+	Arm string `json:"arm"`
+}
+
+func releaseNothing() {}
+
+// bodyPool recycles whole-request read buffers for the estimate hot path.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decodeEstimateRequest parses an estimate/track body: one read into a
+// pooled buffer, then the single-pass scanner in codec.go, with encoding/json
+// as the fallback authority for anything the scanner does not claim. The
+// returned rows may alias pooled storage: call release exactly once, after
+// the rows (and any result slices aliasing them) are dead.
+func decodeEstimateRequest(r io.Reader, req *estimateRequest) (rows [][]float64, release func(), err error) {
+	body := bodyPool.Get().(*bytes.Buffer)
+	body.Reset()
+	if _, err := body.ReadFrom(r); err != nil {
+		bodyPool.Put(body)
+		return nil, releaseNothing, err
+	}
+	data := body.Bytes()
+	buf := readingsPool.Get().(*readingsBuf)
+	if rows, ok := buf.parseEstimateRequest(data, req); ok {
+		bodyPool.Put(body)
+		return rows, func() { readingsPool.Put(buf) }, nil
+	}
+	readingsPool.Put(buf)
+	defer bodyPool.Put(body)
+	// Unusual shape (escapes, extra keys, non-numeric tokens, malformed
+	// JSON): let encoding/json decide whether it is valid and report its
+	// error — unknown fields stay ignored, exactly as before the fast path.
+	if err := json.Unmarshal(data, req); err != nil {
+		return nil, releaseNothing, err
+	}
+	if len(req.Readings) == 0 {
+		// Field absent: same as an empty batch downstream.
+		return nil, releaseNothing, nil
+	}
+	if err := json.Unmarshal(req.Readings, &rows); err != nil {
+		return nil, releaseNothing, err
+	}
+	return rows, releaseNothing, nil
+}
+
+// parseArm maps the wire arm names onto reconstruction arms.
+func parseArm(s string) (recon.Arm, bool) {
+	switch s {
+	case "", "operator":
+		return recon.ArmOperator, true
+	case "qr":
+		return recon.ArmQR, true
+	}
+	return 0, false
 }
 
 // snapshotSummary is the per-snapshot digest a thermal manager consumes.
@@ -629,16 +772,25 @@ type snapshotSummary struct {
 	Map     []float64 `json:"map,omitempty"`
 }
 
+// summarize digests one map in a single fused pass (min, max, mean, argmax
+// together — the summary is a measurable slice of serving cost at high
+// snapshot rates). Bit-identical to mat.MinMax + mat.Mean + a first-match
+// scan: the max updates only on strict improvement, so MaxCell is the first
+// index attaining the global max, and the mean accumulates left to right.
 func summarize(x []float64, includeMap bool) snapshotSummary {
-	lo, hi := mat.MinMax(x)
+	lo, hi := x[0], x[0]
+	acc := x[0]
 	maxCell := 0
-	for i, v := range x {
-		if v == hi {
-			maxCell = i
-			break
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		acc += v
+		if v > hi {
+			hi, maxCell = v, i
+		} else if v < lo {
+			lo = v
 		}
 	}
-	sum := snapshotSummary{MaxC: hi, MinC: lo, MeanC: mat.Mean(x), MaxCell: maxCell}
+	sum := snapshotSummary{MaxC: hi, MinC: lo, MeanC: acc / float64(len(x)), MaxCell: maxCell}
 	if includeMap {
 		sum.Map = x
 	}
@@ -647,11 +799,11 @@ func summarize(x []float64, includeMap bool) snapshotSummary {
 
 func (s *server) checkBatch(w http.ResponseWriter, readings [][]float64) bool {
 	if len(readings) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		httpError(w, http.StatusBadRequest, "empty_batch", "empty batch")
 		return false
 	}
 	if len(readings) > s.maxBatch {
-		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(readings), s.maxBatch)
+		httpError(w, http.StatusBadRequest, "batch_too_large", "batch of %d exceeds limit %d", len(readings), s.maxBatch)
 		return false
 	}
 	return true
@@ -659,17 +811,37 @@ func (s *server) checkBatch(w http.ResponseWriter, readings [][]float64) bool {
 
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
 	var req estimateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	readings, release, err := decodeEstimateRequest(r.Body, &req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
 		return
 	}
-	if !s.checkBatch(w, req.Readings) {
+	defer release()
+	arm, ok := parseArm(req.Arm)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "bad_arm", "unknown arm %q (want operator or qr)", req.Arm)
 		return
 	}
-	maps, err := e.mon.EstimateBatch(req.Readings, req.Workers)
+	if !s.checkBatch(w, readings) {
+		return
+	}
+	var maps [][]float64
+	if arm == recon.ArmOperator && s.coalesceWindow > 0 {
+		// Operator-arm requests share flushes; the QR ablation arm bypasses
+		// the queue so its latency reflects the per-snapshot solve.
+		maps, err = s.coalescerFor(e).estimate(readings)
+	} else {
+		// Pooled output buffers: the non-coalesced hot path reuses its
+		// batch × N floats across requests instead of re-allocating them.
+		buf := e.getMaps(len(readings))
+		defer e.putMaps(buf)
+		if err = e.mon.EstimateBatchArmInto(buf, readings, req.Workers, arm); err == nil {
+			maps = buf
+		}
+	}
 	if err != nil {
 		// Wrong-length vectors, NaN/Inf readings: client error, never a panic.
-		httpError(w, http.StatusBadRequest, "estimate: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
 		return
 	}
 	s.snapshots.Add(int64(len(maps)))
@@ -678,25 +850,36 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 	for i, x := range maps {
 		out[i] = summarize(x, req.IncludeMaps)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	// Hand-rendered response (see codec.go): same bytes a json.Encoder would
+	// produce for {"results":[...]}, minus the reflection.
+	body := responsePool.Get().(*[]byte)
+	*body = appendEstimateResponse((*body)[:0], out)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(*body); err != nil && s.logger != nil {
+		s.logger.Error("write response", "err", err)
+	}
+	responsePool.Put(body)
 }
 
 func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
 	if e.kf == nil {
-		httpError(w, http.StatusBadRequest, "monitor %s has no tracker (create with \"tracking\": true)", e.id)
+		httpError(w, http.StatusBadRequest, "no_tracker", "monitor %s has no tracker (create with \"tracking\": true)", e.id)
 		return
 	}
 	var req estimateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
-	if !s.checkBatch(w, req.Readings) {
-		return
-	}
-	maps, err := e.kf.StepBatch(req.Readings)
+	readings, release, err := decodeEstimateRequest(r.Body, &req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "track: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
+		return
+	}
+	defer release()
+	if !s.checkBatch(w, readings) {
+		return
+	}
+	maps, err := e.kf.StepBatch(readings)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_readings", "track: %v", err)
 		return
 	}
 	s.snapshots.Add(int64(len(maps)))
@@ -734,32 +917,32 @@ type simulateRequest struct {
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
 	var req simulateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
 		return
 	}
 	if req.Count == 0 {
 		req.Count = 16
 	}
 	if req.Count < 0 || req.Count > s.maxBatch {
-		httpError(w, http.StatusBadRequest, "count %d outside [1,%d]", req.Count, s.maxBatch)
+		httpError(w, http.StatusBadRequest, "bad_count", "count %d outside [1,%d]", req.Count, s.maxBatch)
 		return
 	}
 	var spec *workload.Spec
 	if req.Workload != "" {
 		var err error
 		if spec, err = workload.Parse(req.Workload); err != nil {
-			httpError(w, http.StatusBadRequest, "bad workload: %v", err)
+			httpError(w, http.StatusBadRequest, "bad_workload", "bad workload: %v", err)
 			return
 		}
 	}
 	if len(req.WorkloadSpec) > 0 {
 		if spec != nil {
-			httpError(w, http.StatusBadRequest, "workload and workload_spec are mutually exclusive")
+			httpError(w, http.StatusBadRequest, "bad_workload", "workload and workload_spec are mutually exclusive")
 			return
 		}
 		var err error
 		if spec, err = workload.Decode(req.WorkloadSpec); err != nil {
-			httpError(w, http.StatusBadRequest, "bad workload_spec: %v", err)
+			httpError(w, http.StatusBadRequest, "bad_workload", "bad workload_spec: %v", err)
 			return
 		}
 	}
@@ -770,7 +953,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		// (cg and direct are not bit-identical).
 		solver, err := thermal.ParseSolver(e.key.Solver)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "monitor solver: %v", err)
+			httpError(w, http.StatusInternalServerError, "internal", "monitor solver: %v", err)
 			return
 		}
 		s.simGen <- struct{}{}
@@ -784,7 +967,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		})
 		<-s.simGen
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "simulate workload: %v", err)
+			httpError(w, http.StatusBadRequest, "simulate_failed", "simulate workload: %v", err)
 			return
 		}
 		src = ds
@@ -794,7 +977,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		// (same key, same specs, same solver arm).
 		ds, err := e.ensureEnsemble(s)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "regenerating training ensemble: %v", err)
+			httpError(w, http.StatusInternalServerError, "internal", "regenerating training ensemble: %v", err)
 			return
 		}
 		src = ds
@@ -821,7 +1004,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 	}
 	maps, err := e.mon.EstimateBatch(readings, req.Workers)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "estimate: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
 		return
 	}
 	s.snapshots.Add(int64(len(maps)))
@@ -849,6 +1032,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// errorBody is the uniform error envelope every failure is written as:
+// {"error":{"code":"...","message":"..."}}. Codes are stable slugs clients
+// can switch on; messages are human-readable detail that may change.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]errorBody{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
 }

@@ -16,6 +16,11 @@ import (
 // tests to exercise the model cache.
 const createBody = `{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":80,"seed":3,"kmax":8,"k":4,"m":8%s}`
 
+// errEnvelope mirrors the uniform error body every failure is written as.
+type errEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
 func doJSON(t *testing.T, ts *httptest.Server, method, path string, body string, out any) *http.Response {
 	t.Helper()
 	req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte(body)))
@@ -176,11 +181,11 @@ func TestDaemonModelCacheCap(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	createMonitor(t, ts, "") // fills the single cache slot
-	var body map[string]string
+	var body errEnvelope
 	resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
 		fmt.Sprintf(createBody, `,"seed":99`), &body)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("over-cap create: status %d (%v)", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusTooManyRequests || body.Error.Code != "cache_full" {
+		t.Fatalf("over-cap create: status %d (%+v)", resp.StatusCode, body)
 	}
 	// The cached configuration still works.
 	createMonitor(t, ts, "")
@@ -300,19 +305,19 @@ func TestCreateSimSolverOptions(t *testing.T) {
 		}
 	}
 
-	var out map[string]string
+	var out errEnvelope
 	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
-		fmt.Sprintf(createBody, `,"sim_solver":"jacobi"`), &out); resp.StatusCode != 400 {
-		t.Fatalf("bad sim_solver: status %d (%v)", resp.StatusCode, out)
+		fmt.Sprintf(createBody, `,"sim_solver":"jacobi"`), &out); resp.StatusCode != 400 || out.Error.Code != "bad_solver" {
+		t.Fatalf("bad sim_solver: status %d (%+v)", resp.StatusCode, out)
 	}
 	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
-		fmt.Sprintf(createBody, `,"sim_workers":-1`), &out); resp.StatusCode != 400 {
-		t.Fatalf("negative sim_workers: status %d (%v)", resp.StatusCode, out)
+		fmt.Sprintf(createBody, `,"sim_workers":-1`), &out); resp.StatusCode != 400 || out.Error.Code != "bad_workers" {
+		t.Fatalf("negative sim_workers: status %d (%+v)", resp.StatusCode, out)
 	}
 	// Degenerate generation config surfaces as a 400, not a panic.
 	if resp := doJSON(t, ts, http.MethodPost, "/v1/monitors",
 		`{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":2,"seed":3,"kmax":8,"k":4,"m":8}`, &out); resp.StatusCode != 400 {
-		t.Fatalf("too-few snapshots: status %d (%v)", resp.StatusCode, out)
+		t.Fatalf("too-few snapshots: status %d (%+v)", resp.StatusCode, out)
 	}
 }
 
@@ -337,21 +342,21 @@ func TestCreateWorkloadOptions(t *testing.T) {
 	}
 
 	// Bad names and bad specs are 400s, never panics.
-	var em map[string]string
+	var em errEnvelope
 	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
 		`{"snapshots":24,"workloads":["cryptomining"]}`, &em)
-	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(em["error"], "cryptomining") {
-		t.Fatalf("bad workload name: status %d %v", resp.StatusCode, em)
+	if resp.StatusCode != http.StatusBadRequest || em.Error.Code != "bad_workload" || !strings.Contains(em.Error.Message, "cryptomining") {
+		t.Fatalf("bad workload name: status %d %+v", resp.StatusCode, em)
 	}
 	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
 		`{"snapshots":24,"workload_spec":{"phases":[]}}`, &em)
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty-phase spec: status %d %v", resp.StatusCode, em)
+		t.Fatalf("empty-phase spec: status %d %+v", resp.StatusCode, em)
 	}
 	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
 		`{"snapshots":24,"workload_spec":{"phases":[{"rates":{}}],"frobnicate":1}}`, &em)
-	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(em["error"], "frobnicate") {
-		t.Fatalf("unknown spec field: status %d %v", resp.StatusCode, em)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(em.Error.Message, "frobnicate") {
+		t.Fatalf("unknown spec field: status %d %+v", resp.StatusCode, em)
 	}
 }
 
@@ -399,11 +404,11 @@ func TestCreateManycoreFloorplans(t *testing.T) {
 		t.Fatalf("parametric manycore create: status %d (%+v)", resp.StatusCode, cr)
 	}
 	// Degenerate parameters are 400s.
-	var em map[string]string
+	var em errEnvelope
 	resp = doJSON(t, ts, http.MethodPost, "/v1/monitors",
 		`{"floorplan":"manycore","cores":16,"caches":8,"mesh_w":3,"mesh_h":4}`, &em)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad mesh: status %d %v", resp.StatusCode, em)
+	if resp.StatusCode != http.StatusBadRequest || em.Error.Code != "bad_floorplan" {
+		t.Fatalf("bad mesh: status %d %+v", resp.StatusCode, em)
 	}
 }
 

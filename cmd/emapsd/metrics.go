@@ -28,6 +28,9 @@ type metricsSet struct {
 	monitorsLoaded atomic.Int64 // monitors warm-started from the store at boot
 	storeSaves     atomic.Int64 // records persisted (models + monitors)
 	storeFailures  atomic.Int64 // persistence or store-load failures (daemon kept serving)
+
+	coalesceFlushes  atomic.Int64 // coalesced-queue flushes (one shared GEMM each)
+	coalesceRequests atomic.Int64 // estimate requests served through the coalescer
 }
 
 // latencyBuckets are the histogram upper bounds in seconds. The serving
@@ -136,6 +139,8 @@ func (m *metricsSet) render(w io.Writer, g gauges) {
 	counter("emapsd_monitors_loaded_total", "Monitors warm-started from the store at boot.", m.monitorsLoaded.Load())
 	counter("emapsd_store_saves_total", "Records persisted to the store (models and monitors).", m.storeSaves.Load())
 	counter("emapsd_store_failures_total", "Store read/write failures the daemon survived.", m.storeFailures.Load())
+	counter("emapsd_coalesce_flushes_total", "Coalesced estimate flushes (one shared GEMM each).", m.coalesceFlushes.Load())
+	counter("emapsd_coalesce_requests_total", "Estimate requests served through the coalescing queue.", m.coalesceRequests.Load())
 	gauge("emapsd_models", "Trained models resident in memory.", g.models)
 	gauge("emapsd_monitors", "Live monitors.", g.monitors)
 	counter("emapsd_http_requests_total", "All HTTP requests, any route.", g.requests)

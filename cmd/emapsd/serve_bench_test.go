@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServeEstimate measures the full in-process request path of the
+// serving hot route — dispatch, decode, batched estimate, summarize, encode
+// — without client-side HTTP overhead, at the load generator's default
+// shape (batch 16).
+func BenchmarkServeEstimate(b *testing.B) {
+	srv := newServer(1024)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var cr createResponse
+	resp, err := ts.Client().Post(ts.URL+"/v1/monitors", "application/json",
+		strings.NewReader(`{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":80,"seed":1,"kmax":8,"k":4,"m":8}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	readings := make([][]float64, 16)
+	for i := range readings {
+		row := make([]float64, cr.M)
+		for j := range row {
+			row[j] = 50 + float64(i+j)
+		}
+		readings[i] = row
+	}
+	body, _ := json.Marshal(map[string]any{"readings": readings})
+	payload := string(body)
+	path := "/v1/monitors/" + cr.ID + "/estimate"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(payload))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "snapshots/s")
+}

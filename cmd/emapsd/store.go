@@ -161,6 +161,7 @@ func (s *server) persistMonitor(e *monitorEntry, model *core.Model) {
 	meta.Tracking = e.kf != nil
 	meta.Rho = e.rho
 	rec := e.mon.Reconstructor()
+	op, opBias := rec.Operator()
 	if err := store.SaveFile(s.monitorPath(e.id), &store.Record{
 		Meta:      meta,
 		Basis:     model.Basis,
@@ -169,6 +170,8 @@ func (s *server) persistMonitor(e *monitorEntry, model *core.Model) {
 		Sensors:   rec.Sensors(),
 		K:         rec.K(),
 		QR:        rec.QR(),
+		Op:        op,
+		OpBias:    opBias,
 	}); err != nil {
 		s.metrics.storeFailures.Add(1)
 		s.logf("persist monitor", "id", e.id, "err", err)
@@ -264,7 +267,14 @@ func (s *server) loadMonitorRecord(path string) error {
 	if _, err := thermal.ParseSolver(key.Solver); err != nil {
 		return fmt.Errorf("stored solver: %w", err)
 	}
-	mon, err := core.RestoreMonitor(rec.Basis, rec.K, rec.Sensors, rec.QR)
+	// v2 records carry the folded reconstruction operator; v1 records re-fold
+	// it from the QR factors (deterministic, so serving stays bit-identical).
+	var mon *core.Monitor
+	if rec.Op != nil {
+		mon, err = core.RestoreMonitorWithOperator(rec.Basis, rec.K, rec.Sensors, rec.QR, rec.Op, rec.OpBias)
+	} else {
+		mon, err = core.RestoreMonitor(rec.Basis, rec.K, rec.Sensors, rec.QR)
+	}
 	if err != nil {
 		return fmt.Errorf("restoring monitor: %w", err)
 	}

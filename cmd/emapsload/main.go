@@ -8,19 +8,30 @@
 //
 // By default it creates its own small monitor (deleted again afterwards
 // unless -keep is set); point it at an existing monitor with -monitor. The
-// report goes to stdout or -out:
+// report goes to stdout or -out, in one of three formats (-format):
 //
-//	{
-//	  "endpoint": "estimate", "concurrency": 8, "batch": 16,
-//	  "requests": 5231, "errors": 0, "snapshots": 83696,
-//	  "requests_per_s": 523.0, "snapshots_per_s": 8369.4,
-//	  "latency_ms": {"mean": 15.2, "p50": 14.1, "p90": 21.0, "p99": 38.7, "max": 55.2}
-//	}
+//   - json (default) — the Report structure below
+//
+//   - prom — Prometheus text exposition (emapsload_* metrics), for pushing
+//     into a scrape pipeline
+//
+//   - bench — a cmd/bench2json-compatible benchmark document carrying
+//     snapshots/s, requests/s and latency percentiles, so cmd/benchdiff can
+//     gate serving throughput exactly like the microbenchmarks
+//
+//     {
+//     "endpoint": "estimate", "concurrency": 8, "batch": 16,
+//     "requests": 5231, "errors": 0, "snapshots": 83696,
+//     "requests_per_s": 523.0, "snapshots_per_s": 8369.4,
+//     "latency_ms": {"mean": 15.2, "p50": 14.1, "p90": 21.0, "p99": 38.7, "max": 55.2}
+//     }
 //
 // Latency is measured per request (client-observed, including JSON
 // encode/decode on the daemon side); percentiles use the nearest-rank
 // method over every completed request. Non-2xx responses count as errors
-// and are excluded from the latency population.
+// and are excluded from the latency population; a run with any errors
+// exits 1 (after writing its report), so CI load gates fail loudly instead
+// of gating on a partially failed run.
 package main
 
 import (
@@ -32,11 +43,14 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/benchjson"
 )
 
 func main() {
@@ -51,7 +65,8 @@ func main() {
 	flag.IntVar(&cfg.Requests, "requests", 0, "stop after this many requests instead of -duration (0 = use -duration)")
 	flag.Float64Var(&cfg.SNRdB, "snr-db", 20, "sensor SNR for the simulate endpoint")
 	flag.BoolVar(&cfg.Keep, "keep", false, "keep the created monitor instead of deleting it")
-	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	format := flag.String("format", "json", "report format: json, prom or bench")
+	out := flag.String("out", "", "write the report here instead of stdout")
 	flag.Parse()
 
 	rep, err := run(cfg)
@@ -59,20 +74,82 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emapsload: %v\n", err)
 		os.Exit(1)
 	}
-	blob, err := json.MarshalIndent(rep, "", "  ")
+	blob, err := renderReport(rep, *format)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "emapsload: encoding report: %v\n", err)
-		os.Exit(1)
-	}
-	blob = append(blob, '\n')
-	if *out == "" {
-		os.Stdout.Write(blob)
-		return
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "emapsload: %v\n", err)
 		os.Exit(1)
 	}
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "emapsload: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "emapsload: %d of %d requests failed\n", rep.Errors, rep.Requests)
+		os.Exit(1)
+	}
+}
+
+// renderReport serializes rep in the requested format. Unknown formats are
+// an error, not a silent JSON fallback — a typo'd -format in a CI gate must
+// fail the gate, not feed benchdiff the wrong schema.
+func renderReport(rep *Report, format string) ([]byte, error) {
+	switch format {
+	case "json":
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("encoding report: %w", err)
+		}
+		return append(blob, '\n'), nil
+	case "prom":
+		var buf bytes.Buffer
+		counter := func(name, help string, v float64) {
+			fmt.Fprintf(&buf, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+		}
+		gauge := func(name, help string, v float64) {
+			fmt.Fprintf(&buf, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		}
+		counter("emapsload_requests_total", "Requests issued by the load run.", float64(rep.Requests))
+		counter("emapsload_errors_total", "Requests that failed (non-2xx or transport error).", float64(rep.Errors))
+		counter("emapsload_snapshots_total", "Snapshots served across all successful requests.", float64(rep.Snapshots))
+		gauge("emapsload_requests_per_second", "Successful requests per second.", rep.RequestsPerS)
+		gauge("emapsload_snapshots_per_second", "Snapshots per second — the serving throughput headline.", rep.SnapshotsPS)
+		gauge("emapsload_duration_seconds", "Wall-clock duration of the load phase.", rep.DurationS)
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"0.5", rep.LatencyMS.P50}, {"0.9", rep.LatencyMS.P90}, {"0.99", rep.LatencyMS.P99}} {
+			fmt.Fprintf(&buf, "emapsload_latency_ms{quantile=%q} %g\n", q.label, q.v)
+		}
+		gauge("emapsload_latency_ms_mean", "Mean per-request latency in milliseconds.", rep.LatencyMS.Mean)
+		gauge("emapsload_latency_ms_max", "Worst per-request latency in milliseconds.", rep.LatencyMS.Max)
+		return buf.Bytes(), nil
+	case "bench":
+		doc := benchjson.Doc{
+			Goos:   runtime.GOOS,
+			Goarch: runtime.GOARCH,
+			Results: []benchjson.Result{{
+				// A stable benchmark-style name so cmd/benchdiff keys the
+				// serving gate the same way it keys microbenchmarks.
+				Name:    "BenchmarkServingLoad/endpoint=" + rep.Endpoint,
+				Package: "cmd/emapsload",
+				Iters:   rep.Requests,
+				Metrics: map[string]float64{
+					"snapshots/s": rep.SnapshotsPS,
+					"requests/s":  rep.RequestsPerS,
+					"p50_ms":      rep.LatencyMS.P50,
+					"p99_ms":      rep.LatencyMS.P99,
+				},
+			}},
+		}
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("encoding bench document: %w", err)
+		}
+		return append(blob, '\n'), nil
+	}
+	return nil, fmt.Errorf("unknown format %q (want json, prom or bench)", format)
 }
 
 // defaultCreateBody trains a small monitor quickly (~1 s): the load test

@@ -193,3 +193,62 @@ func TestRequestBodyShapes(t *testing.T) {
 		t.Fatalf("simulate body %s", body)
 	}
 }
+
+func TestRenderFormats(t *testing.T) {
+	rep := &Report{
+		Endpoint: "estimate", Concurrency: 4, Batch: 16,
+		DurationS: 2, Requests: 100, Errors: 0, Snapshots: 1600,
+		RequestsPerS: 50, SnapshotsPS: 800,
+		LatencyMS: Latencies{Mean: 1.5, P50: 1.2, P90: 2.0, P99: 3.5, Max: 4.0},
+	}
+
+	blob, err := renderReport(rep, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil || back.SnapshotsPS != 800 {
+		t.Fatalf("json round-trip: %v %+v", err, back)
+	}
+
+	blob, err = renderReport(rep, "prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"emapsload_snapshots_per_second 800",
+		"emapsload_requests_total 100",
+		`emapsload_latency_ms{quantile="0.99"} 3.5`,
+	} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("prom output missing %q:\n%s", want, blob)
+		}
+	}
+
+	blob, err = renderReport(rep, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []struct {
+			Name    string             `json:"name"`
+			Package string             `json:"package"`
+			Iters   int64              `json:"iterations"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil || len(doc.Results) != 1 {
+		t.Fatalf("bench document: %v\n%s", err, blob)
+	}
+	res := doc.Results[0]
+	if res.Name != "BenchmarkServingLoad/endpoint=estimate" || res.Package != "cmd/emapsload" || res.Iters != 100 {
+		t.Fatalf("bench identity: %+v", res)
+	}
+	if res.Metrics["snapshots/s"] != 800 || res.Metrics["p99_ms"] != 3.5 {
+		t.Fatalf("bench metrics: %+v", res.Metrics)
+	}
+
+	if _, err := renderReport(rep, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

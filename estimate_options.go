@@ -1,0 +1,108 @@
+package eigenmaps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/recon"
+)
+
+// Arm selects which of the two mathematically equivalent reconstruction
+// implementations serves an estimate. Both realize the paper's Theorem 1
+// least-squares recovery; they differ only in how the work is staged, and
+// they agree to accumulation-order rounding (< 1e-12 relative — pinned by
+// the library's agreement tests).
+type Arm string
+
+const (
+	// ArmOperator (the default, also selected by the empty string) applies
+	// the reconstruction operator R = Ψ_K(Ψ̃_K)⁺ precomputed at monitor
+	// creation: one N×M matvec per snapshot, batches as one blocked GEMM.
+	ArmOperator Arm = "operator"
+	// ArmQR runs the original two-stage path — QR back-substitution for the
+	// subspace coefficients, then the basis lift — kept as the reference
+	// ablation the operator arm is validated against.
+	ArmQR Arm = "qr"
+)
+
+// ParseArm maps an arm name ("", "operator", "qr") to the internal arm
+// selector. Unknown names error.
+func ParseArm(s string) (recon.Arm, error) {
+	switch Arm(s) {
+	case "", ArmOperator:
+		return recon.ArmOperator, nil
+	case ArmQR:
+		return recon.ArmQR, nil
+	}
+	// An OptionError keeps errors.Is(err, ErrInvalidOptions) matching while
+	// naming the actual offending field instead of "training options".
+	return 0, fmt.Errorf("eigenmaps: %w", &core.OptionError{
+		Option: "EstimateOptions.Arm",
+		Reason: fmt.Sprintf("%q (want %q or %q)", s, ArmOperator, ArmQR),
+	})
+}
+
+// EstimateOptions is the one option set threaded through every estimation
+// entry point — EstimateWith, EstimateIntoWith, EstimateBatchWith,
+// EstimateBatchIntoWith and EstimateStreamWith. The zero value is the
+// default serving configuration: operator arm, one worker per CPU.
+type EstimateOptions struct {
+	// Arm selects the reconstruction implementation; empty means ArmOperator.
+	Arm Arm
+	// Workers caps the goroutines reconstructing a batch or stream
+	// concurrently. 0 (the default) means one per CPU. Single-snapshot calls
+	// ignore it.
+	Workers int
+}
+
+func (opt EstimateOptions) arm() (recon.Arm, error) { return ParseArm(string(opt.Arm)) }
+
+// EstimateWith is Estimate with explicit options.
+func (mn *Monitor) EstimateWith(readings []float64, opt EstimateOptions) ([]float64, error) {
+	dst := make([]float64, mn.N())
+	if err := mn.EstimateIntoWith(dst, readings, opt); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// EstimateIntoWith is EstimateInto with explicit options.
+func (mn *Monitor) EstimateIntoWith(dst, readings []float64, opt EstimateOptions) error {
+	arm, err := opt.arm()
+	if err != nil {
+		return err
+	}
+	return mn.mon.EstimateArmInto(dst, readings, arm)
+}
+
+// EstimateBatchWith is EstimateBatch with explicit options.
+func (mn *Monitor) EstimateBatchWith(readings [][]float64, opt EstimateOptions) ([][]float64, error) {
+	arm, err := opt.arm()
+	if err != nil {
+		return nil, err
+	}
+	return mn.mon.EstimateBatchArm(readings, opt.Workers, arm)
+}
+
+// EstimateBatchIntoWith is EstimateBatchInto with explicit options.
+func (mn *Monitor) EstimateBatchIntoWith(dst, readings [][]float64, opt EstimateOptions) error {
+	arm, err := opt.arm()
+	if err != nil {
+		return err
+	}
+	return mn.mon.EstimateBatchArmInto(dst, readings, opt.Workers, arm)
+}
+
+// EstimateStreamWith is EstimateStream with explicit options. An invalid arm
+// fails every snapshot's StreamResult rather than the call: the stream
+// contract has no error return.
+func (mn *Monitor) EstimateStreamWith(in <-chan []float64, opt EstimateOptions) <-chan StreamResult {
+	arm, err := opt.arm()
+	estimate := func(dst, readings []float64) error {
+		if err != nil {
+			return err
+		}
+		return mn.mon.EstimateArmInto(dst, readings, arm)
+	}
+	return streamEstimates(in, BatchOptions{Workers: opt.Workers}, mn.N(), estimate)
+}

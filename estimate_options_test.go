@@ -1,0 +1,167 @@
+package eigenmaps_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	eigenmaps "repro"
+)
+
+func TestEstimateWithDefaultsMatchEstimate(t *testing.T) {
+	mon, readings := batchSetup(t)
+	want, err := mon.Estimate(readings[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mon.EstimateWith(readings[0], eigenmaps.EstimateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: EstimateWith %v != Estimate %v", i, got[i], want[i])
+		}
+	}
+}
+
+// The arms agree to accumulation-order rounding; < 1e-12 relative is the
+// pinned bound (see internal/core's agreement suite for the argument).
+func TestEstimateWithQRArmAgrees(t *testing.T) {
+	mon, readings := batchSetup(t)
+	op, err := mon.EstimateWith(readings[1], eigenmaps.EstimateOptions{Arm: eigenmaps.ArmOperator})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := mon.EstimateWith(readings[1], eigenmaps.EstimateOptions{Arm: eigenmaps.ArmQR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff, scale float64
+	for i := range op {
+		if d := math.Abs(op[i] - qr[i]); d > diff {
+			diff = d
+		}
+		if m := math.Abs(qr[i]); m > scale {
+			scale = m
+		}
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	if diff/scale > 1e-12 {
+		t.Fatalf("arms disagree by %g relative", diff/scale)
+	}
+}
+
+func TestEstimateBatchWithThreadsOptions(t *testing.T) {
+	mon, readings := batchSetup(t)
+	for _, arm := range []eigenmaps.Arm{eigenmaps.ArmOperator, eigenmaps.ArmQR} {
+		batch, err := mon.EstimateBatchWith(readings, eigenmaps.EstimateOptions{Arm: arm, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mon.EstimateWith(readings[7], eigenmaps.EstimateOptions{Arm: arm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if batch[7][i] != want[i] {
+				t.Fatalf("arm=%s cell %d: batch %v != single %v", arm, i, batch[7][i], want[i])
+			}
+		}
+		dst := make([][]float64, len(readings))
+		for i := range dst {
+			dst[i] = make([]float64, mon.N())
+		}
+		if err := mon.EstimateBatchIntoWith(dst, readings, eigenmaps.EstimateOptions{Arm: arm}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if dst[7][i] != want[i] {
+				t.Fatalf("arm=%s cell %d: batch-into %v != single %v", arm, i, dst[7][i], want[i])
+			}
+		}
+	}
+}
+
+func TestEstimateWithRejectsUnknownArm(t *testing.T) {
+	mon, readings := batchSetup(t)
+	if _, err := mon.EstimateWith(readings[0], eigenmaps.EstimateOptions{Arm: "cholesky"}); !errors.Is(err, eigenmaps.ErrInvalidOptions) {
+		t.Fatalf("unknown arm err = %v, want ErrInvalidOptions", err)
+	}
+	if err := mon.EstimateBatchIntoWith(nil, nil, eigenmaps.EstimateOptions{Arm: "x"}); !errors.Is(err, eigenmaps.ErrInvalidOptions) {
+		t.Fatalf("unknown arm (batch) err = %v, want ErrInvalidOptions", err)
+	}
+}
+
+func TestEstimateStreamWithSelectsArm(t *testing.T) {
+	mon, readings := batchSetup(t)
+	in := make(chan []float64, 4)
+	for _, xS := range readings[:4] {
+		in <- xS
+	}
+	close(in)
+	want, err := mon.EstimateWith(readings[2], eigenmaps.EstimateOptions{Arm: eigenmaps.ArmQR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for res := range mon.EstimateStreamWith(in, eigenmaps.EstimateOptions{Arm: eigenmaps.ArmQR, Workers: 2}) {
+		if res.Err != nil {
+			t.Fatalf("snapshot %d: %v", res.Index, res.Err)
+		}
+		seen++
+		if res.Index != 2 {
+			continue
+		}
+		for i := range want {
+			if res.Map[i] != want[i] {
+				t.Fatalf("cell %d: stream %v != single %v", i, res.Map[i], want[i])
+			}
+		}
+	}
+	if seen != 4 {
+		t.Fatalf("stream delivered %d results, want 4", seen)
+	}
+
+	// An invalid arm fails every snapshot's result, not the call.
+	bad := make(chan []float64, 1)
+	bad <- readings[0]
+	close(bad)
+	for res := range mon.EstimateStreamWith(bad, eigenmaps.EstimateOptions{Arm: "nope"}) {
+		if !errors.Is(res.Err, eigenmaps.ErrInvalidOptions) {
+			t.Fatalf("stream err = %v, want ErrInvalidOptions", res.Err)
+		}
+	}
+}
+
+// A saved-and-loaded monitor restores the persisted operator (a v2 record)
+// and serves bit-identically on both arms.
+func TestSaveLoadPreservesOperatorArm(t *testing.T) {
+	mon, readings := batchSetup(t)
+	var buf bytes.Buffer
+	if err := mon.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := eigenmaps.LoadMonitor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []eigenmaps.Arm{eigenmaps.ArmOperator, eigenmaps.ArmQR} {
+		want, err := mon.EstimateWith(readings[3], eigenmaps.EstimateOptions{Arm: arm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.EstimateWith(readings[3], eigenmaps.EstimateOptions{Arm: arm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("arm=%s cell %d: loaded %v != original %v", arm, i, got[i], want[i])
+			}
+		}
+	}
+}

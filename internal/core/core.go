@@ -240,6 +240,17 @@ func RestoreMonitor(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Monitor,
 	return &Monitor{rec: r}, nil
 }
 
+// RestoreMonitorWithOperator is RestoreMonitor plus a persisted
+// reconstruction operator (a v2 store record's operator section), skipping
+// the deterministic re-fold on load.
+func RestoreMonitorWithOperator(b *basis.Basis, k int, sensors []int, qr *mat.QR, op *mat.Matrix, opBias []float64) (*Monitor, error) {
+	r, err := recon.RestoreWithOperator(b, k, sensors, qr, op, opBias)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{rec: r}, nil
+}
+
 // Estimate reconstructs the full map from sensor readings (°C), ordered like
 // the sensor slice the monitor was built with.
 func (m *Monitor) Estimate(readings []float64) ([]float64, error) {
@@ -262,6 +273,32 @@ func (m *Monitor) EstimateBatch(readings [][]float64, workers int) ([][]float64,
 // receives the estimate for readings[i].
 func (m *Monitor) EstimateBatchInto(dst, readings [][]float64, workers int) error {
 	return m.rec.ReconstructBatchInto(dst, readings, workers)
+}
+
+// EstimateArmInto is EstimateInto with an explicit reconstruction arm
+// (recon.ArmOperator is the default serving path, recon.ArmQR the reference
+// ablation).
+func (m *Monitor) EstimateArmInto(dst, readings []float64, arm recon.Arm) error {
+	return m.rec.ReconstructArmInto(dst, readings, arm)
+}
+
+// EstimateBatchArmInto is EstimateBatchInto with an explicit arm.
+func (m *Monitor) EstimateBatchArmInto(dst, readings [][]float64, workers int, arm recon.Arm) error {
+	return m.rec.ReconstructBatchArmInto(dst, readings, workers, arm)
+}
+
+// EstimateBatchArm is EstimateBatch with an explicit arm.
+func (m *Monitor) EstimateBatchArm(readings [][]float64, workers int, arm recon.Arm) ([][]float64, error) {
+	out := make([][]float64, len(readings))
+	n := m.rec.N()
+	backing := make([]float64, len(readings)*n)
+	for i := range out {
+		out[i] = backing[i*n : (i+1)*n]
+	}
+	if err := m.rec.ReconstructBatchArmInto(out, readings, workers, arm); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // N returns the number of cells per estimated map (the dst size EstimateInto

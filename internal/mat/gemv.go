@@ -1,0 +1,97 @@
+package mat
+
+// Affine kernels for the precomputed reconstruction operator: the serving
+// hot path is dst = bias + A·x with A the N×M operator, applied either to a
+// single reading vector (Estimate) or to a whole batch of them
+// (EstimateBatch / the daemon's coalesced GEMM). Both kernels are
+// allocation-free and blocked for instruction-level parallelism: the naive
+// single-accumulator loop serializes on the floating-point add chain, while
+// four independent accumulators keep the FMA pipeline full.
+
+// MulVecBiasInto writes dst = bias + a·x. dst must have length a.Rows(),
+// bias length a.Rows(), x length a.Cols(). dst must not alias bias or x.
+//
+// Rows are processed four at a time with independent accumulators, so the
+// four dot products overlap in the floating-point pipeline instead of
+// serializing on one add chain. Within a row the accumulation order is plain
+// left-to-right, identical to Dot, so results are deterministic.
+func MulVecBiasInto(dst, bias []float64, a *Matrix, x []float64) {
+	if len(x) != a.cols || len(dst) != a.rows || len(bias) != a.rows {
+		panic(ErrShape)
+	}
+	n := a.cols
+	i := 0
+	for ; i+4 <= a.rows; i += 4 {
+		base := i * n
+		r0 := a.data[base+0*n : base+1*n]
+		r1 := a.data[base+1*n : base+2*n]
+		r2 := a.data[base+2*n : base+3*n]
+		r3 := a.data[base+3*n : base+4*n]
+		var s0, s1, s2, s3 float64
+		for j, xv := range x {
+			s0 += r0[j] * xv
+			s1 += r1[j] * xv
+			s2 += r2[j] * xv
+			s3 += r3[j] * xv
+		}
+		dst[i+0] = bias[i+0] + s0
+		dst[i+1] = bias[i+1] + s1
+		dst[i+2] = bias[i+2] + s2
+		dst[i+3] = bias[i+3] + s3
+	}
+	for ; i < a.rows; i++ {
+		row := a.data[i*n : (i+1)*n]
+		var s float64
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		dst[i] = bias[i] + s
+	}
+}
+
+// MulVecBiasBatchInto applies dst[t] = bias + a·xs[t] for every snapshot t.
+// Each dst[t] must have length a.Rows() and each xs[t] length a.Cols();
+// len(dst) must equal len(xs). Snapshots are processed four at a time so
+// each operator row is loaded from memory once per block of four — the
+// blocked-GEMM form of the serving path. Per-snapshot results are
+// bit-identical to MulVecBiasInto on the same inputs: every dot product
+// accumulates left-to-right in its own register.
+func MulVecBiasBatchInto(dst [][]float64, bias []float64, a *Matrix, xs [][]float64) {
+	if len(dst) != len(xs) {
+		panic(ErrShape)
+	}
+	n := a.cols
+	for _, x := range xs {
+		if len(x) != n {
+			panic(ErrShape)
+		}
+	}
+	for _, d := range dst {
+		if len(d) != a.rows || len(bias) != a.rows {
+			panic(ErrShape)
+		}
+	}
+	t := 0
+	for ; t+4 <= len(xs); t += 4 {
+		x0, x1, x2, x3 := xs[t+0], xs[t+1], xs[t+2], xs[t+3]
+		d0, d1, d2, d3 := dst[t+0], dst[t+1], dst[t+2], dst[t+3]
+		for i := 0; i < a.rows; i++ {
+			row := a.data[i*n : (i+1)*n]
+			var s0, s1, s2, s3 float64
+			for j, rv := range row {
+				s0 += rv * x0[j]
+				s1 += rv * x1[j]
+				s2 += rv * x2[j]
+				s3 += rv * x3[j]
+			}
+			b := bias[i]
+			d0[i] = b + s0
+			d1[i] = b + s1
+			d2[i] = b + s2
+			d3[i] = b + s3
+		}
+	}
+	for ; t < len(xs); t++ {
+		MulVecBiasInto(dst[t], bias, a, xs[t])
+	}
+}

@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveBiasMulVec is the reference implementation the blocked kernels must
+// match bit-for-bit (same left-to-right accumulation order per row).
+func naiveBiasMulVec(bias []float64, a *Matrix, x []float64) []float64 {
+	out := make([]float64, a.Rows())
+	for i := 0; i < a.Rows(); i++ {
+		s := 0.0
+		for j, v := range a.Row(i) {
+			s += v * x[j]
+		}
+		out[i] = bias[i] + s
+	}
+	return out
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestMulVecBiasIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Row counts straddle the 4-row blocking boundary; col counts cover
+	// tiny and serving-realistic operator widths.
+	for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 17, 528} {
+		for _, cols := range []int{1, 3, 8, 16} {
+			a := NewFromData(rows, cols, randVec(rng, rows*cols))
+			x := randVec(rng, cols)
+			bias := randVec(rng, rows)
+			want := naiveBiasMulVec(bias, a, x)
+			got := make([]float64, rows)
+			MulVecBiasInto(got, bias, a, x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("rows=%d cols=%d: dst[%d] = %v, want %v", rows, cols, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecBiasBatchIntoMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewFromData(31, 8, randVec(rng, 31*8))
+	bias := randVec(rng, 31)
+	// Batch sizes straddle the 4-snapshot blocking boundary.
+	for _, batch := range []int{1, 2, 4, 5, 9, 16} {
+		xs := make([][]float64, batch)
+		dst := make([][]float64, batch)
+		for t2 := range xs {
+			xs[t2] = randVec(rng, 8)
+			dst[t2] = make([]float64, 31)
+		}
+		MulVecBiasBatchInto(dst, bias, a, xs)
+		for t2 := range xs {
+			single := make([]float64, 31)
+			MulVecBiasInto(single, bias, a, xs[t2])
+			for i := range single {
+				if dst[t2][i] != single[i] {
+					t.Fatalf("batch=%d: snapshot %d cell %d = %v, want %v", batch, t2, i, dst[t2][i], single[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecBiasIntoPanicsOnShape(t *testing.T) {
+	a := New(4, 3)
+	ok := make([]float64, 4)
+	for _, tc := range []struct {
+		name         string
+		dst, bias, x []float64
+	}{
+		{"short dst", make([]float64, 3), ok, make([]float64, 3)},
+		{"short bias", ok, make([]float64, 3), make([]float64, 3)},
+		{"short x", ok, ok, make([]float64, 2)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			MulVecBiasInto(tc.dst, tc.bias, a, tc.x)
+		}()
+	}
+}

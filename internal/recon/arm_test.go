@@ -1,0 +1,192 @@
+package recon
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// maxRelDiff returns max_i |a_i−b_i| / max(1, max_i |a_i|).
+func maxRelDiff(a, b []float64) float64 {
+	var diff, scale float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > diff {
+			diff = d
+		}
+		if m := math.Abs(a[i]); m > scale {
+			scale = m
+		}
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff / scale
+}
+
+// The two arms compute the same Theorem 1 estimate with different operation
+// orders, so they agree to accumulation-order error only. 1e-12 relative is
+// a loose bound for K,M ≤ 16 with a well-conditioned layout: each path does
+// O(K·M) flops per cell on O(1)-magnitude basis entries, so the float64
+// rounding gap is ~1e-14; 1e-12 leaves two orders of margin without ever
+// masking a real algebra bug.
+func TestOperatorArmAgreesWithQR(t *testing.T) {
+	for _, m := range []int{5, 8, 12} {
+		r, err := New(testBasis, 5, greedySensors(t, 5, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opDst := make([]float64, r.N())
+		qrDst := make([]float64, r.N())
+		for j := 0; j < 20; j++ {
+			xS := r.Sample(testSet.Map(j))
+			if err := r.ReconstructArmInto(opDst, xS, ArmOperator); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.ReconstructArmInto(qrDst, xS, ArmQR); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxRelDiff(qrDst, opDst); d > 1e-12 {
+				t.Fatalf("M=%d map %d: arms disagree by %g relative", m, j, d)
+			}
+		}
+	}
+}
+
+func TestDefaultArmIsOperator(t *testing.T) {
+	r, err := New(testBasis, 4, greedySensors(t, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xS := r.Sample(testSet.Map(3))
+	def := make([]float64, r.N())
+	op := make([]float64, r.N())
+	if err := r.ReconstructInto(def, xS); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReconstructArmInto(op, xS, ArmOperator); err != nil {
+		t.Fatal(err)
+	}
+	for i := range def {
+		if def[i] != op[i] {
+			t.Fatalf("cell %d: default %v != operator %v", i, def[i], op[i])
+		}
+	}
+}
+
+func TestBatchArmMatchesSequentialBitwise(t *testing.T) {
+	r, err := New(testBasis, 5, greedySensors(t, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 11 // straddles the 4-snapshot GEMM blocking
+	readings := make([][]float64, batch)
+	for j := range readings {
+		readings[j] = r.Sample(testSet.Map(j))
+	}
+	for _, arm := range []Arm{ArmOperator, ArmQR} {
+		dst := make([][]float64, batch)
+		for j := range dst {
+			dst[j] = make([]float64, r.N())
+		}
+		if err := r.ReconstructBatchArmInto(dst, readings, 3, arm); err != nil {
+			t.Fatal(err)
+		}
+		single := make([]float64, r.N())
+		for j := range readings {
+			if err := r.ReconstructArmInto(single, readings[j], arm); err != nil {
+				t.Fatal(err)
+			}
+			for i := range single {
+				if dst[j][i] != single[i] {
+					t.Fatalf("arm=%v snapshot %d cell %d: batch %v != single %v", arm, j, i, dst[j][i], single[i])
+				}
+			}
+		}
+	}
+}
+
+// The fold is deterministic: building twice from the same inputs, or
+// restoring from the cached factorization, yields a bit-identical operator —
+// the property that keeps persisted and re-folded operators interchangeable.
+func TestFoldDeterministic(t *testing.T) {
+	sensors := greedySensors(t, 5, 10)
+	r1, err := New(testBasis, 5, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(testBasis, 5, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Restore(testBasis, 5, sensors, r1.QR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op1, bias1 := r1.Operator()
+	for _, other := range []*Reconstructor{r2, r3} {
+		op, bias := other.Operator()
+		if !op.Equal(op1, 0) {
+			t.Fatal("re-folded operator differs bitwise")
+		}
+		for i := range bias1 {
+			if bias[i] != bias1[i] {
+				t.Fatalf("bias[%d] differs bitwise", i)
+			}
+		}
+	}
+}
+
+func TestRestoreWithOperator(t *testing.T) {
+	sensors := greedySensors(t, 5, 10)
+	r1, err := New(testBasis, 5, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, bias := r1.Operator()
+	r2, err := RestoreWithOperator(testBasis, 5, sensors, r1.QR(), op, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xS := r1.Sample(testSet.Map(5))
+	want := make([]float64, r1.N())
+	got := make([]float64, r2.N())
+	if err := r1.ReconstructInto(want, xS); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.ReconstructInto(got, xS); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: restored %v != original %v", i, got[i], want[i])
+		}
+	}
+
+	// Shape and nil validation.
+	if _, err := RestoreWithOperator(testBasis, 5, sensors, r1.QR(), nil, bias); err == nil {
+		t.Fatal("nil operator accepted")
+	}
+	if _, err := RestoreWithOperator(testBasis, 5, sensors, r1.QR(), mat.New(3, 3), bias); err == nil {
+		t.Fatal("wrong-shape operator accepted")
+	}
+	if _, err := RestoreWithOperator(testBasis, 5, sensors, r1.QR(), op, bias[:4]); err == nil {
+		t.Fatal("wrong-length bias accepted")
+	}
+}
+
+func TestUnknownArmRejected(t *testing.T) {
+	r, err := New(testBasis, 4, greedySensors(t, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xS := r.Sample(testSet.Map(0))
+	dst := make([]float64, r.N())
+	if err := r.ReconstructArmInto(dst, xS, Arm(99)); !errors.Is(err, ErrBadArm) {
+		t.Fatalf("ReconstructArmInto arm=99 err = %v", err)
+	}
+	if err := r.ReconstructBatchArmInto([][]float64{dst}, [][]float64{xS}, 1, Arm(99)); !errors.Is(err, ErrBadArm) {
+		t.Fatalf("ReconstructBatchArmInto arm=99 err = %v", err)
+	}
+}

@@ -46,14 +46,23 @@ func (r *Reconstructor) ReconstructBatch(readings [][]float64, workers int) ([][
 }
 
 // ReconstructBatchInto writes the estimate for readings[i] into dst[i]
-// (each length N). Snapshot ranges are sharded contiguously across workers;
-// scratch comes from the reconstructor's pool, so the steady state allocates
-// nothing per snapshot. On failure the first offending snapshot is reported
-// as a *BatchError; remaining snapshots in other shards may still have been
-// reconstructed.
+// (each length N) using the default operator arm: each worker's shard runs
+// as one blocked GEMM (four snapshots per operator-row load). Scratch-free
+// and allocation-free in the steady state. On failure the first offending
+// snapshot is reported as a *BatchError; remaining snapshots in other shards
+// may still have been reconstructed.
 func (r *Reconstructor) ReconstructBatchInto(dst [][]float64, readings [][]float64, workers int) error {
+	return r.ReconstructBatchArmInto(dst, readings, workers, ArmOperator)
+}
+
+// ReconstructBatchArmInto is ReconstructBatchInto with an explicit
+// implementation arm (see Arm).
+func (r *Reconstructor) ReconstructBatchArmInto(dst [][]float64, readings [][]float64, workers int, arm Arm) error {
 	if len(dst) != len(readings) {
 		return fmt.Errorf("recon: %d outputs for %d snapshots", len(dst), len(readings))
+	}
+	if arm != ArmOperator && arm != ArmQR {
+		return fmt.Errorf("%w: %d", ErrBadArm, int(arm))
 	}
 	if len(readings) == 0 {
 		return nil
@@ -69,6 +78,14 @@ func (r *Reconstructor) ReconstructBatchInto(dst [][]float64, readings [][]float
 		if err := r.checkReadings(xS); err != nil {
 			return &BatchError{Index: i, Err: err}
 		}
+	}
+	if arm == ArmOperator {
+		// Readings are already validated, and the operator arm cannot fail
+		// per-snapshot: each shard is one blocked GEMM.
+		mat.ParallelChunks(len(readings), workers, func(lo, hi int) {
+			mat.MulVecBiasBatchInto(dst[lo:hi], r.opBias, r.op, readings[lo:hi])
+		})
+		return nil
 	}
 	var firstErr *BatchError
 	var mu sync.Mutex

@@ -34,10 +34,42 @@ var (
 	ErrBadReading = errors.New("recon: non-finite sensor reading")
 )
 
+// Arm selects which of the two mathematically equivalent reconstruction
+// implementations serves an estimate. Both realize Theorem 1; they differ
+// only in how the work is staged.
+type Arm int
+
+const (
+	// ArmOperator applies the precomputed affine operator: x̃ = c + R·x_S
+	// with R = Ψ_K(Ψ̃_K)⁺ folded once at construction and c = mean − R·mean_S.
+	// One N×M matvec per snapshot, no intermediate coefficient solve. This
+	// is the default serving arm.
+	ArmOperator Arm = iota
+	// ArmQR runs the original two-stage path — QR back-substitution for α̂
+	// followed by the basis lift — and is kept as the reference ablation the
+	// operator arm's agreement is pinned against.
+	ArmQR
+)
+
+// String names the arm for benchmarks and logs.
+func (a Arm) String() string {
+	switch a {
+	case ArmOperator:
+		return "operator"
+	case ArmQR:
+		return "qr"
+	}
+	return fmt.Sprintf("Arm(%d)", int(a))
+}
+
+// ErrBadArm reports an Arm value that names neither implementation.
+var ErrBadArm = errors.New("recon: unknown reconstruction arm")
+
 // Reconstructor solves min_α ‖x_S − Ψ̃_K α‖₂ and synthesizes x̃ = mean + Ψ_K α̂.
-// It is safe for concurrent use after construction: the factorization is
-// read-only and per-call scratch comes from an internal pool, so any number
-// of goroutines may call Reconstruct/ReconstructInto on one shared instance.
+// It is safe for concurrent use after construction: the factorization and
+// the folded operator are read-only and per-call scratch comes from an
+// internal pool, so any number of goroutines may call
+// Reconstruct/ReconstructInto on one shared instance.
 type Reconstructor struct {
 	b       *basis.Basis
 	k       int
@@ -46,6 +78,9 @@ type Reconstructor struct {
 	psiTilde *mat.Matrix // M×K rows of Ψ_K at sensor locations
 	qr       *mat.QR
 	meanS    []float64 // mean map sampled at the sensors
+
+	op     *mat.Matrix // N×M folded operator R = Ψ_K (Ψ̃_K)⁺
+	opBias []float64   // N: c = mean − R·mean_S, so x̃ = c + R·x_S
 
 	scratch sync.Pool // *solveScratch, reused across ReconstructInto calls
 }
@@ -73,7 +108,7 @@ func (r *Reconstructor) getScratch() *solveScratch {
 // given sensor cell indices. It fails fast if M < K or Ψ̃_K is rank
 // deficient (the preconditions of Theorem 1).
 func New(b *basis.Basis, k int, sensors []int) (*Reconstructor, error) {
-	return build(b, k, sensors, nil)
+	return build(b, k, sensors, nil, nil, nil)
 }
 
 // Restore rebuilds a reconstructor from a previously cached least-squares
@@ -86,12 +121,29 @@ func Restore(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Reconstructor, 
 	if qr == nil {
 		return nil, fmt.Errorf("recon: restore: nil factorization")
 	}
-	return build(b, k, sensors, qr)
+	return build(b, k, sensors, qr, nil, nil)
+}
+
+// RestoreWithOperator is Restore plus an already-folded operator (op is the
+// N×M matrix R, opBias the length-N affine term c) from a v2 store record,
+// skipping the fold entirely. Shapes are validated against (b, k, sensors);
+// the fold is deterministic, so adopting a persisted operator and re-folding
+// from the same factorization produce bit-identical estimates.
+func RestoreWithOperator(b *basis.Basis, k int, sensors []int, qr *mat.QR, op *mat.Matrix, opBias []float64) (*Reconstructor, error) {
+	if qr == nil {
+		return nil, fmt.Errorf("recon: restore: nil factorization")
+	}
+	if op == nil || opBias == nil {
+		return nil, fmt.Errorf("recon: restore: nil operator section")
+	}
+	return build(b, k, sensors, qr, op, opBias)
 }
 
 // build validates (b, k, sensors) and assembles the reconstructor, factoring
 // Ψ̃_K fresh when qr is nil and adopting qr (after a shape check) otherwise.
-func build(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Reconstructor, error) {
+// The folded operator is adopted from (op, opBias) when given and folded from
+// the factorization otherwise.
+func build(b *basis.Basis, k int, sensors []int, qr *mat.QR, op *mat.Matrix, opBias []float64) (*Reconstructor, error) {
 	if k < 1 || k > b.KMax() {
 		return nil, fmt.Errorf("recon: %w", basis.ErrKRange)
 	}
@@ -125,6 +177,16 @@ func build(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Reconstructor, er
 	for i, s := range sensors {
 		meanS[i] = b.Mean[s]
 	}
+	if op == nil {
+		var err error
+		op, opBias, err = fold(psiK, qr, b.Mean, meanS)
+		if err != nil {
+			return nil, err
+		}
+	} else if rows, cols := op.Dims(); rows != b.N() || cols != len(sensors) || len(opBias) != b.N() {
+		return nil, fmt.Errorf("recon: restore: operator is %d×%d (+%d bias), want %d×%d (+%d)",
+			rows, cols, len(opBias), b.N(), len(sensors), b.N())
+	}
 	return &Reconstructor{
 		b:        b,
 		k:        k,
@@ -132,7 +194,40 @@ func build(b *basis.Basis, k int, sensors []int, qr *mat.QR) (*Reconstructor, er
 		psiTilde: psiTilde,
 		qr:       qr,
 		meanS:    meanS,
+		op:       op,
+		opBias:   opBias,
 	}, nil
+}
+
+// fold precomputes the affine reconstruction operator of Theorem 1:
+// R = Ψ_K (Ψ̃_K)⁺ (N×M) and c = mean − R·mean_S, so an estimate collapses to
+// x̃ = c + R·x_S — one matvec, no per-snapshot solve. The pseudoinverse is
+// extracted column-by-column from the cached QR factorization (column j is
+// the least-squares solution against the j-th unit vector), which makes the
+// fold deterministic: the same factorization always yields bit-identical R,
+// and therefore a re-folded operator matches a persisted one exactly.
+func fold(psiK *mat.Matrix, qr *mat.QR, mean, meanS []float64) (*mat.Matrix, []float64, error) {
+	m, k := qr.Dims()
+	pinv := mat.New(k, m) // (Ψ̃_K)⁺, K×M
+	e := make([]float64, m)
+	work := make([]float64, m)
+	col := make([]float64, k)
+	for j := 0; j < m; j++ {
+		e[j] = 1
+		if err := qr.SolveInto(col, e, work); err != nil {
+			return nil, nil, fmt.Errorf("recon: operator fold: %w", err)
+		}
+		e[j] = 0
+		for i, v := range col {
+			pinv.Set(i, j, v)
+		}
+	}
+	op := mat.Mul(psiK, pinv) // N×M
+	bias := mat.MulVec(op, meanS)
+	for i, v := range mean {
+		bias[i] = v - bias[i]
+	}
+	return op, bias, nil
 }
 
 // K returns the subspace dimension.
@@ -155,6 +250,12 @@ func (r *Reconstructor) Basis() *basis.Basis { return r.b }
 // every estimating goroutine). Serialize it with its Factors method and
 // rebuild via Restore for bit-identical estimates.
 func (r *Reconstructor) QR() *mat.QR { return r.qr }
+
+// Operator returns the folded reconstruction operator R (N×M) and its
+// affine term c, satisfying x̃ = c + R·x_S. Both are read-only and shared by
+// every estimating goroutine; serialize them into a v2 store record and
+// rebuild via RestoreWithOperator to skip the fold on load.
+func (r *Reconstructor) Operator() (*mat.Matrix, []float64) { return r.op, r.opBias }
 
 // SensingMatrix returns Ψ̃_K (a copy).
 func (r *Reconstructor) SensingMatrix() *mat.Matrix { return r.psiTilde.Clone() }
@@ -219,23 +320,39 @@ func (r *Reconstructor) Reconstruct(xS []float64) ([]float64, error) {
 }
 
 // ReconstructInto is the allocation-free form of Reconstruct: it writes the
-// estimated map into dst (length N). Scratch buffers come from an internal
-// pool, so concurrent callers on a shared Reconstructor pay zero steady-state
-// allocations per snapshot.
+// estimated map into dst (length N) using the default operator arm — one
+// blocked N×M matvec, zero steady-state allocations per snapshot.
 func (r *Reconstructor) ReconstructInto(dst, xS []float64) error {
+	return r.ReconstructArmInto(dst, xS, ArmOperator)
+}
+
+// ReconstructArmInto is ReconstructInto with an explicit implementation arm.
+// ArmOperator applies the folded operator; ArmQR runs the reference
+// solve-then-lift path. The two agree to the accumulation-order level
+// (within ~1e-12 relative on realistic data; see the package tests for the
+// pinned agreement).
+func (r *Reconstructor) ReconstructArmInto(dst, xS []float64, arm Arm) error {
 	if len(dst) != r.b.N() {
 		return fmt.Errorf("recon: destination length %d != N %d", len(dst), r.b.N())
 	}
 	if err := r.checkReadings(xS); err != nil {
 		return err
 	}
-	sc := r.getScratch()
-	err := r.coefficientsInto(sc.alpha, xS, sc)
-	if err == nil {
-		r.b.SynthesizeInto(dst, sc.alpha)
+	switch arm {
+	case ArmOperator:
+		mat.MulVecBiasInto(dst, r.opBias, r.op, xS)
+		return nil
+	case ArmQR:
+		sc := r.getScratch()
+		err := r.coefficientsInto(sc.alpha, xS, sc)
+		if err == nil {
+			r.b.SynthesizeInto(dst, sc.alpha)
+		}
+		r.scratch.Put(sc)
+		return err
+	default:
+		return fmt.Errorf("%w: %d", ErrBadArm, int(arm))
 	}
-	r.scratch.Put(sc)
-	return err
 }
 
 // Sample extracts the sensor readings from a full map.

@@ -11,17 +11,22 @@
 // An envelope frames a single payload:
 //
 //	magic   "EMST"            4 bytes
-//	version uint32 LE         format version (currently 1)
+//	version uint32 LE         format version (currently 2)
 //	length  uint64 LE         payload byte count
 //	payload length bytes
 //	crc     uint32 LE         IEEE CRC-32 of the payload
 //
-// The version 1 payload is a fixed sequence of sections: a strict-decoded
+// The payload is a fixed sequence of sections: a strict-decoded
 // JSON metadata blob (the training key, solver/noise configuration and
 // serving options), a presence bitmap, then the optional floorplan, the
 // basis (in the basis package's own format, length-prefixed), the optional
 // energy map and the optional monitor section (K, sensors, packed QR
-// factors).
+// factors). Version 2 adds one optional section after the monitor: the
+// folded reconstruction operator (N×M matrix plus length-N affine term),
+// so a warm-started daemon skips even the deterministic re-fold. A payload
+// without the operator section is byte-identical under both versions, and
+// this build still decodes version 1 files; the operator is simply re-folded
+// from the QR factors on load.
 //
 // # Decoding contract
 //
@@ -58,8 +63,12 @@ import (
 
 const (
 	magic = "EMST"
-	// Version is the current (and only) format version.
-	Version = 1
+	// Version is the current format version, the one Encode writes. Decode
+	// additionally accepts version 1 (identical except that it cannot carry
+	// the operator section).
+	Version = 2
+	// minVersion is the oldest format version Decode still reads.
+	minVersion = 1
 	// maxPayload caps the envelope length field so a corrupt header cannot
 	// drive a large allocation before the checksum is ever verified (the
 	// payload is sized and read eagerly). The largest realistic record —
@@ -209,16 +218,26 @@ type Record struct {
 	Sensors []int
 	K       int
 	QR      *mat.QR
+
+	// Op/OpBias are the folded reconstruction operator (N×M) and its affine
+	// term (length N): x̃ = OpBias + Op·x_S. Optional (version ≥ 2); when
+	// absent the loader re-folds the operator from the QR factors, which is
+	// deterministic and therefore bit-identical. Only valid alongside the
+	// monitor section.
+	Op     *mat.Matrix
+	OpBias []float64
 }
 
 // HasMonitor reports whether the record carries the monitor section.
 func (rec *Record) HasMonitor() bool { return rec.QR != nil }
 
-// Section-presence bits in the payload's flags word.
+// Section-presence bits in the payload's flags word. flagOperator is only
+// legal in version ≥ 2 envelopes.
 const (
 	flagFloorplan = 1 << iota
 	flagEnergy
 	flagMonitor
+	flagOperator
 )
 
 // Encode writes rec in the store format. Only writer failures can error:
@@ -229,6 +248,15 @@ func Encode(w io.Writer, rec *Record) error {
 	}
 	if (rec.Sensors != nil || rec.QR != nil) && !(rec.Sensors != nil && rec.QR != nil && rec.K > 0) {
 		return errf(KindInvalid, "partial monitor section (need sensors, K and QR together)")
+	}
+	if (rec.Op != nil) != (rec.OpBias != nil) {
+		return errf(KindInvalid, "partial operator section (need operator and bias together)")
+	}
+	if rec.Op != nil && rec.QR == nil {
+		return errf(KindInvalid, "operator section without monitor section")
+	}
+	if rec.Op != nil && rec.Op.Rows() != len(rec.OpBias) {
+		return errf(KindInvalid, "operator bias length %d for %d rows", len(rec.OpBias), rec.Op.Rows())
 	}
 	var payload bytes.Buffer
 	metaJSON, err := json.Marshal(rec.Meta)
@@ -250,6 +278,9 @@ func Encode(w io.Writer, rec *Record) error {
 	}
 	if rec.QR != nil {
 		flags |= flagMonitor
+	}
+	if rec.Op != nil {
+		flags |= flagOperator
 	}
 	putU32(&payload, flags)
 
@@ -287,6 +318,14 @@ func Encode(w io.Writer, rec *Record) error {
 		putU32(&payload, uint32(qn))
 		putFloats(&payload, packed.Data())
 		putFloats(&payload, tau)
+	}
+
+	if rec.Op != nil {
+		rows, cols := rec.Op.Dims()
+		putU32(&payload, uint32(rows))
+		putU32(&payload, uint32(cols))
+		putFloats(&payload, rec.Op.Data())
+		putFloats(&payload, rec.OpBias)
 	}
 
 	head := make([]byte, 0, 16)
@@ -327,8 +366,8 @@ func Decode(r io.Reader) (*Record, error) {
 		return nil, &Error{Kind: KindIO, Detail: "reading header", Err: err}
 	}
 	version := binary.LittleEndian.Uint32(head[0:4])
-	if version != Version {
-		return nil, errf(KindUnknownVersion, "version %d (this build reads %d)", version, Version)
+	if version < minVersion || version > Version {
+		return nil, errf(KindUnknownVersion, "version %d (this build reads %d..%d)", version, minVersion, Version)
 	}
 	length := binary.LittleEndian.Uint64(head[4:12])
 	if length > maxPayload {
@@ -352,13 +391,13 @@ func Decode(r io.Reader) (*Record, error) {
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return nil, errf(KindChecksum, "crc32 %08x, header says %08x", got, want)
 	}
-	return parsePayload(payload)
+	return parsePayload(payload, version)
 }
 
 // parsePayload parses a checksum-verified payload. Structural overruns here
 // mean the writer and reader disagree about the format (or the file was
 // forged around its checksum): KindInvalid, not KindTruncated.
-func parsePayload(payload []byte) (*Record, error) {
+func parsePayload(payload []byte, version uint32) (*Record, error) {
 	p := &reader{buf: payload}
 	rec := &Record{}
 
@@ -380,8 +419,12 @@ func parsePayload(payload []byte) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	if flags&^uint32(flagFloorplan|flagEnergy|flagMonitor) != 0 {
-		return nil, errf(KindInvalid, "unknown section flags %#x", flags)
+	known := uint32(flagFloorplan | flagEnergy | flagMonitor)
+	if version >= 2 {
+		known |= flagOperator
+	}
+	if flags&^known != 0 {
+		return nil, errf(KindInvalid, "unknown section flags %#x for version %d", flags, version)
 	}
 
 	if flags&flagFloorplan != 0 {
@@ -422,6 +465,15 @@ func parsePayload(payload []byte) (*Record, error) {
 
 	if flags&flagMonitor != 0 {
 		if err := p.monitorSection(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	if flags&flagOperator != 0 {
+		if flags&flagMonitor == 0 {
+			return nil, errf(KindInvalid, "operator section without monitor section")
+		}
+		if err := p.operatorSection(rec); err != nil {
 			return nil, err
 		}
 	}
@@ -481,6 +533,11 @@ func validate(rec *Record) error {
 		}
 		if qm, qn := rec.QR.Dims(); qm != len(rec.Sensors) || qn != rec.K {
 			return errf(KindInvalid, "factorization is %d×%d for M=%d K=%d", qm, qn, len(rec.Sensors), rec.K)
+		}
+		if rec.Op != nil {
+			if rows, cols := rec.Op.Dims(); rows != n || cols != len(rec.Sensors) {
+				return errf(KindInvalid, "operator is %d×%d for N=%d M=%d", rows, cols, n, len(rec.Sensors))
+			}
 		}
 	}
 	return nil
@@ -681,5 +738,30 @@ func (p *reader) monitorSection(rec *Record) error {
 		return &Error{Kind: KindInvalid, Detail: "QR factors", Err: err}
 	}
 	rec.QR = qr
+	return nil
+}
+
+func (p *reader) operatorSection(rec *Record) error {
+	rows, err := p.u32("operator rows")
+	if err != nil {
+		return err
+	}
+	cols, err := p.u32("operator cols")
+	if err != nil {
+		return err
+	}
+	if uint64(rows)*uint64(cols) > 1<<32 {
+		return errf(KindInvalid, "implausible operator shape %dx%d", rows, cols)
+	}
+	data, err := p.floats(int(rows)*int(cols), "operator")
+	if err != nil {
+		return err
+	}
+	bias, err := p.floats(int(rows), "operator bias")
+	if err != nil {
+		return err
+	}
+	rec.Op = mat.NewFromData(int(rows), int(cols), data)
+	rec.OpBias = bias
 	return nil
 }

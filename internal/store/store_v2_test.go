@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/recon"
+)
+
+// operatorRecord returns trainSmall's record with the folded operator
+// section attached, as the daemon persists it.
+func operatorRecord(t *testing.T) *Record {
+	t.Helper()
+	_, rec := trainSmall(t)
+	r, err := recon.Restore(rec.Basis, rec.K, rec.Sensors, rec.QR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Op, rec.OpBias = r.Operator()
+	return rec
+}
+
+func TestOperatorRoundTrip(t *testing.T) {
+	rec := operatorRecord(t)
+	got, err := Decode(bytes.NewReader(encodeToBytes(t, rec)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Op == nil || got.OpBias == nil {
+		t.Fatal("operator section lost in round trip")
+	}
+	if !bytes.Equal(floatBits(got.Op.Data()), floatBits(rec.Op.Data())) {
+		t.Fatal("operator bits changed")
+	}
+	if !bytes.Equal(floatBits(got.OpBias), floatBits(rec.OpBias)) {
+		t.Fatal("operator bias bits changed")
+	}
+	// A monitor restored from the persisted operator estimates bit-identically
+	// to one that re-folds from the QR factors.
+	refolded, err := recon.Restore(got.Basis, got.K, got.Sensors, got.QR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := recon.RestoreWithOperator(got.Basis, got.K, got.Sensors, got.QR, got.Op, got.OpBias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := make([]float64, len(got.Sensors))
+	for i := range readings {
+		readings[i] = 60 + 2*float64(i)
+	}
+	a, err := refolded.Reconstruct(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := adopted.Reconstruct(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(floatBits(a), floatBits(b)) {
+		t.Fatal("adopted operator estimates differ from re-folded")
+	}
+}
+
+// Version 1 files — written before the operator section existed — must still
+// decode. The CRC covers only the payload (not the envelope version field),
+// and a payload without the operator section is byte-identical under both
+// versions, so rewriting the version word of an operator-free v2 encode
+// reproduces a genuine v1 file exactly.
+func TestDecodeVersion1Record(t *testing.T) {
+	_, rec := trainSmall(t)
+	data := encodeToBytes(t, rec) // no operator section
+	v1 := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(v1[4:8], 1)
+	got, err := Decode(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if !got.HasMonitor() || got.Op != nil {
+		t.Fatalf("v1 record: monitor=%v op=%v", got.HasMonitor(), got.Op)
+	}
+	if got.K != rec.K || len(got.Sensors) != len(rec.Sensors) {
+		t.Fatalf("v1 record content mismatch: K=%d M=%d", got.K, len(got.Sensors))
+	}
+}
+
+// A version 1 envelope whose flags claim an operator section is a forgery
+// (v1 writers predate the flag): KindInvalid, not a crash or a silent read.
+func TestDecodeVersion1RejectsOperatorFlag(t *testing.T) {
+	rec := operatorRecord(t)
+	data := encodeToBytes(t, rec)
+	v1 := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(v1[4:8], 1)
+	decodeErr(t, v1, ErrInvalid)
+}
+
+func TestEncodeRejectsPartialOperatorSection(t *testing.T) {
+	rec := operatorRecord(t)
+	var buf bytes.Buffer
+	half := *rec
+	half.OpBias = nil
+	if err := Encode(&buf, &half); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("operator-without-bias error %v, want ErrInvalid", err)
+	}
+	orphan := *rec
+	orphan.Sensors, orphan.K, orphan.QR = nil, 0, nil
+	if err := Encode(&buf, &orphan); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("operator-without-monitor error %v, want ErrInvalid", err)
+	}
+	short := *rec
+	short.OpBias = rec.OpBias[:3]
+	if err := Encode(&buf, &short); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("short-bias error %v, want ErrInvalid", err)
+	}
+}
+
+func TestDecodeRejectsWrongShapeOperator(t *testing.T) {
+	rec := operatorRecord(t)
+	wrong := *rec
+	wrong.Op = mat.New(3, 3)
+	wrong.OpBias = make([]float64, 3)
+	decodeErr(t, encodeToBytes(t, &wrong), ErrInvalid)
+}
+
+func TestDecodeRejectsOversizedOperatorShape(t *testing.T) {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<20)
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<20)
+	p := &reader{buf: buf}
+	if err := p.operatorSection(&Record{}); err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("error %v, want ErrInvalid", err)
+	}
+}

@@ -42,15 +42,20 @@ var (
 	ErrStoreInvalid = store.ErrInvalid
 )
 
-// storeRecord bundles the monitor's full serving state for the codec.
+// storeRecord bundles the monitor's full serving state for the codec,
+// including the folded reconstruction operator (a v2 section) so a loaded
+// monitor skips even the deterministic re-fold.
 func (mn *Monitor) storeRecord() *store.Record {
 	rec := mn.mon.Reconstructor()
+	op, opBias := rec.Operator()
 	return &store.Record{
 		Meta:    store.Meta{GridW: mn.grid.W, GridH: mn.grid.H},
 		Basis:   rec.Basis(),
 		Sensors: rec.Sensors(),
 		K:       rec.K(),
 		QR:      rec.QR(),
+		Op:      op,
+		OpBias:  opBias,
 	}
 }
 
@@ -92,7 +97,15 @@ func monitorFromRecord(rec *store.Record) (*Monitor, error) {
 		return nil, fmt.Errorf("eigenmaps: %w", &store.Error{
 			Kind: store.KindInvalid, Detail: "record has no monitor section (model-only store file)"})
 	}
-	mon, err := core.RestoreMonitor(rec.Basis, rec.K, rec.Sensors, rec.QR)
+	// v2 records carry the folded operator; v1 records re-fold it from the
+	// QR factors, which is deterministic and therefore bit-identical.
+	var mon *core.Monitor
+	var err error
+	if rec.Op != nil {
+		mon, err = core.RestoreMonitorWithOperator(rec.Basis, rec.K, rec.Sensors, rec.QR, rec.Op, rec.OpBias)
+	} else {
+		mon, err = core.RestoreMonitor(rec.Basis, rec.K, rec.Sensors, rec.QR)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("eigenmaps: %w", err)
 	}
