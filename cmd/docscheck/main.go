@@ -1,0 +1,149 @@
+// Command docscheck is the docs layer's link checker: it scans markdown
+// files for [text](target) links and fails when a relative target does not
+// exist or a #fragment does not match a heading in the target file
+// (GitHub-slug rules). External http(s)/mailto links are skipped — CI must
+// not depend on the network — so the check pins exactly the links this
+// repository controls.
+//
+//	docscheck README.md DESIGN.md docs/*.md
+//
+// Broken links go to stdout as file:line: messages; any finding exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: docscheck file.md [file.md ...]\n\nChecks relative markdown links and fragments.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		findings, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// linkPattern matches inline markdown links. Images (![alt](src)) resolve
+// the same way, so the leading ! is simply part of the preceding text.
+var linkPattern = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile returns one finding per broken link in one markdown file.
+func checkFile(path string) ([]string, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	inFence := false
+	for i, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if reason := checkLink(path, target); reason != "" {
+				findings = append(findings, fmt.Sprintf("%s:%d: link %q: %s", path, i+1, target, reason))
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkLink validates one link target relative to the file that holds it,
+// returning "" when the link is fine.
+func checkLink(from, target string) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "" // external; not checked
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := from
+	if file != "" {
+		resolved = filepath.Join(filepath.Dir(from), file)
+		info, err := os.Stat(resolved)
+		if err != nil {
+			return "target does not exist"
+		}
+		if info.IsDir() || frag == "" {
+			return "" // directory links and plain file links end here
+		}
+	}
+	if frag == "" {
+		return "empty link"
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // fragments into non-markdown files are not checkable
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return "target unreadable"
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return "no heading for fragment"
+	}
+	return ""
+}
+
+// headingAnchors collects the GitHub-style anchor slugs of every markdown
+// heading in path: lowercase, spaces to dashes, punctuation (except dashes
+// and underscores) dropped.
+func headingAnchors(path string) (map[string]bool, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		anchors[slugify(text)] = true
+	}
+	return anchors, nil
+}
+
+// slugify reduces a heading to its GitHub anchor.
+func slugify(text string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

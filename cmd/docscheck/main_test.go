@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBrokenAndValidLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other Doc\n\n## Deep Section, With Punctuation!\n")
+	write(t, dir, "code.go", "package x\n")
+	doc := write(t, dir, "doc.md", strings.Join([]string{
+		"# Doc",
+		"",
+		"Good: [other](other.md), [section](other.md#deep-section-with-punctuation),",
+		"[self](#doc), [code](code.go), [ext](https://example.com/x.md), [img](other.md).",
+		"",
+		"Bad: [gone](missing.md) and [nofrag](other.md#no-such-heading) and [badself](#nope).",
+		"",
+		"```",
+		"[fenced](not-checked.md)",
+		"```",
+	}, "\n"))
+	findings, err := checkFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("%d findings, want 3:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	for _, want := range []string{"missing.md", "no-such-heading", "#nope"} {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding for %q in %v", want, findings)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"Quick start":                    "quick-start",
+		"Deep Section, With Punctuation": "deep-section-with-punctuation",
+		"v1 API":                         "v1-api",
+		"store.index / EMSI":             "storeindex--emsi",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRepoDocsLinksResolve is the live gate CI runs via the binary; kept in
+// `go test` too so a broken doc link fails locally.
+func TestRepoDocsLinksResolve(t *testing.T) {
+	files := []string{"../../README.md", "../../DESIGN.md", "../../ROADMAP.md"}
+	docs, _ := filepath.Glob("../../docs/*.md")
+	files = append(files, docs...)
+	for _, path := range files {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		findings, err := checkFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("broken links:\n%s", strings.Join(findings, "\n"))
+		}
+	}
+}

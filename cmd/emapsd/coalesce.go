@@ -135,11 +135,14 @@ func (c *coalescer) flush(batch []*coalesceCall) {
 	}
 }
 
-// coalescerFor returns e's coalescer, creating it on first use. Only called
-// when coalescing is enabled (-coalesce-window > 0).
-func (s *server) coalescerFor(e *monitorEntry) *coalescer {
-	e.coalOnce.Do(func() {
-		e.coal = newCoalescer(e.mon, s.coalesceWindow, s.coalesceMax, s.metrics)
+// coalescerFor returns the resident state's coalescer, creating it on first
+// use. Only called when coalescing is enabled (-coalesce-window > 0). The
+// coalescer belongs to the resident state, not the entry: it captures the
+// paged-in monitor, so eviction drops the two together and a re-page-in
+// builds a fresh pair.
+func (s *server) coalescerFor(rs *residentState) *coalescer {
+	rs.coalOnce.Do(func() {
+		rs.coal = newCoalescer(rs.mon, s.coalesceWindow, s.coalesceMax, s.metrics)
 	})
-	return e.coal
+	return rs.coal
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// File locks coordinate replicas that share one -store-dir where no shared
+// memory exists: training single-flight (two replicas must not simulate the
+// same ensemble) and index rewrites (read-merge-write must not interleave).
+// A lock is a file created with O_CREATE|O_EXCL — atomic on every POSIX
+// filesystem — holding the owner's pid for post-mortem debugging.
+//
+// A replica killed mid-critical-section leaks its lockfile, so every
+// acquisition path steals locks whose mtime is older than the staleness
+// bound (-lock-stale): the dead owner cannot refresh the mtime, and any
+// critical section here (one training run, one index rewrite) finishes well
+// inside the bound or not at all. Stealing is remove-then-retry — two
+// stealers can both remove, but only one wins the O_EXCL create that
+// follows, so mutual exclusion still holds.
+
+// tryLockFile attempts one non-blocking lock acquisition. It reports
+// ok=false when the lock is already held; err is reserved for real I/O
+// failures (unwritable directory).
+func tryLockFile(path string) (ok bool, err error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	fmt.Fprintf(f, "pid %d\n", os.Getpid())
+	f.Close()
+	return true, nil
+}
+
+// stealIfStale removes path if its mtime is older than stale, reporting
+// whether it stole. A concurrent release (file already gone) is not a
+// steal.
+func stealIfStale(path string, stale time.Duration) bool {
+	info, err := os.Stat(path)
+	if err != nil || time.Since(info.ModTime()) < stale {
+		return false
+	}
+	return os.Remove(path) == nil
+}
+
+// lockFile blocks until it holds the lock at path, polling at the given
+// interval and stealing stale locks. The returned release removes the
+// lockfile; calling it is mandatory.
+func lockFile(path string, stale, poll time.Duration, onSteal func()) (release func(), err error) {
+	for {
+		ok, err := tryLockFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return func() { os.Remove(path) }, nil
+		}
+		if stealIfStale(path, stale) && onSteal != nil {
+			onSteal()
+		}
+		time.Sleep(poll)
+	}
+}

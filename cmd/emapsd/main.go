@@ -67,9 +67,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"log/slog"
 	"math"
@@ -94,8 +96,10 @@ import (
 	"repro/internal/place"
 	"repro/internal/power"
 	"repro/internal/recon"
+	"repro/internal/store"
 	"repro/internal/thermal"
 	"repro/internal/track"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -109,11 +113,22 @@ func main() {
 	addr := flag.String("addr", ":8760", "listen address")
 	maxSnap := flag.Int("max-batch", 4096, "largest accepted snapshot batch")
 	maxModels := flag.Int("max-models", 32, "largest number of cached trained models")
+	maxMonitors := flag.Int("max-monitors", 0, "largest number of resident (paged-in) monitors; 0 = unlimited")
 	storeDir := flag.String("store-dir", "", "trained-monitor persistence directory (empty = in-memory only)")
+	shard := flag.String("shard", "", "serve shard i of n replicas over a shared store-dir, as i/n (empty = unsharded)")
+	lockStale := flag.Duration("lock-stale", time.Minute, "age past which another replica's lockfile is presumed dead and stolen")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 	coalesceWindow := flag.Duration("coalesce-window", 0, "bounded wait for batching concurrent estimate requests into one GEMM (0 = disabled)")
 	coalesceMax := flag.Int("coalesce-max", 256, "snapshot count that flushes a coalesced batch immediately")
+	printRoutes := flag.Bool("print-routes", false, "print the /v1 route table and exit (CI docs gate)")
 	flag.Parse()
+
+	if *printRoutes {
+		for _, rt := range routeTable {
+			fmt.Printf("%s %s\n", rt.method, rt.path)
+		}
+		return
+	}
 
 	// Buffered structured logs: one syscall per flush interval instead of one
 	// per request line (see logbuf.go). Drained explicitly on every exit path.
@@ -122,9 +137,26 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(logSink, nil))
 	srv := newServer(*maxSnap)
 	srv.maxModels = *maxModels
+	srv.maxMonitors = *maxMonitors
 	srv.logger = logger
 	srv.coalesceWindow = *coalesceWindow
 	srv.coalesceMax = *coalesceMax
+	srv.lockStale = *lockStale
+	idx, n, err := parseShard(*shard)
+	if err != nil {
+		logger.Error("shard", "err", err)
+		logSink.Close()
+		os.Exit(1)
+	}
+	srv.shardIdx, srv.shardN = idx, n
+	if n > 1 {
+		if *storeDir == "" {
+			logger.Error("shard", "err", fmt.Errorf("-shard requires -store-dir (replicas share the store)"))
+			logSink.Close()
+			os.Exit(1)
+		}
+		srv.ring = newShardRing(n)
+	}
 	if *storeDir != "" {
 		if err := srv.openStore(*storeDir); err != nil {
 			logger.Error("store", "err", err)
@@ -132,7 +164,8 @@ func main() {
 			os.Exit(1)
 		}
 		loaded, skipped := srv.warmStart()
-		logger.Info("warm start", "store_dir", *storeDir, "monitors", loaded, "skipped", skipped)
+		logger.Info("warm start", "store_dir", *storeDir, "monitors", loaded, "skipped", skipped,
+			"shard", srv.shardIdx, "of", srv.shardN)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -203,30 +236,47 @@ type modelEntry struct {
 	err     error
 }
 
-// monitorEntry is one live monitor behind the request loop. ds is nil for
-// warm-started monitors until simulate's replay path first needs it (see
-// ensureEnsemble); workloads/specJSON/rho record the creation request so
-// the monitor can be persisted and later warm-started faithfully.
+// residentState is the paged part of a monitor: everything rebuildable
+// from its record on disk. Requests grab it with one atomic load; eviction
+// stores nil and the next touch pages it back in. In-flight requests keep
+// serving on the pointer they already hold, so eviction never races a
+// batch.
+type residentState struct {
+	mon *core.Monitor
+	kf  *track.Kalman // nil unless tracking was requested
+
+	// coal batches concurrent operator-arm estimate requests into shared
+	// GEMMs; nil unless the daemon runs with -coalesce-window > 0. It lives
+	// on the resident state (not the entry) because it captures mon.
+	coalOnce sync.Once
+	coal     *coalescer
+}
+
+// monitorEntry is one monitor behind the request loop — possibly paged out.
+// desc (from the store index) is everything list/routing needs without
+// touching the record; res is the paged serving state (nil while paged
+// out); the meta fields are the creation request's regeneration inputs,
+// filled at create or first page-in (metaOK) and stable afterwards. ds is
+// nil until simulate's replay path first needs it (see ensureEnsemble).
 type monitorEntry struct {
-	id        string
+	id   string
+	desc store.IndexEntry
+
+	res     atomic.Pointer[residentState]
+	lastUse atomic.Int64 // unix nanos of the last touch, drives monitor LRU
+
+	mu        sync.Mutex // guards page-in, the meta fields below, and ds
+	metaOK    bool
 	key       trainKey
-	mon       *core.Monitor
-	kf        *track.Kalman // nil unless tracking was requested
-	ds        *dataset.Dataset
 	fp        *floorplan.Floorplan
 	pcfg      power.Config
 	rho       float64
 	workloads []string
 	specJSON  json.RawMessage
 	specs     []*workload.Spec
-	genOnce   sync.Once
-	genErr    error
-	snapshots atomic.Int64
+	ds        *dataset.Dataset
 
-	// coal batches concurrent operator-arm estimate requests into shared
-	// GEMMs; nil unless the daemon runs with -coalesce-window > 0.
-	coalOnce sync.Once
-	coal     *coalescer
+	snapshots atomic.Int64
 
 	// mapsPool recycles per-request estimate output buffers (batch × N
 	// floats): the serving hot path must not allocate a fresh ~60 KB of maps
@@ -234,15 +284,15 @@ type monitorEntry struct {
 	mapsPool sync.Pool
 }
 
-// getMaps returns n reusable length-N map buffers; the caller hands the
+// getMaps returns n reusable length-cells map buffers; the caller hands the
 // returned batch back via putMaps after the response is encoded.
-func (e *monitorEntry) getMaps(n int) [][]float64 {
+func (e *monitorEntry) getMaps(n, cells int) [][]float64 {
 	var maps [][]float64
 	if v, ok := e.mapsPool.Get().(*[][]float64); ok {
 		maps = *v
 	}
 	for len(maps) < n {
-		maps = append(maps, make([]float64, e.mon.N()))
+		maps = append(maps, make([]float64, cells))
 	}
 	return maps[:n]
 }
@@ -252,11 +302,20 @@ func (e *monitorEntry) putMaps(maps [][]float64) {
 }
 
 type server struct {
-	maxBatch  int
-	maxModels int // training-config cache cap; keys are client-controlled
-	storeDir  string
-	logger    *slog.Logger
-	metrics   *metricsSet
+	maxBatch    int
+	maxModels   int // training-config cache cap; keys are client-controlled
+	maxMonitors int // resident-monitor cap (0 = unlimited); excess pages out LRU-first
+	storeDir    string
+	logger      *slog.Logger
+	metrics     *metricsSet
+
+	// Sharding: this replica is shard shardIdx of shardN over a shared
+	// store directory; ring maps monitor IDs to owners. shardN < 2 means
+	// unsharded.
+	shardIdx  int
+	shardN    int
+	ring      *shardRing
+	lockStale time.Duration // age past which another replica's lockfile is stolen
 
 	// coalesceWindow > 0 batches concurrent estimate requests per monitor
 	// into shared GEMMs: a request waits at most the window (or until
@@ -264,13 +323,20 @@ type server struct {
 	coalesceWindow time.Duration
 	coalesceMax    int
 
-	mu       sync.Mutex
-	models   map[trainKey]*modelEntry
-	monitors map[string]*monitorEntry
-	nextID   int
+	mu        sync.Mutex
+	models    map[trainKey]*modelEntry
+	monitors  map[string]*monitorEntry    // every registered monitor, resident or not
+	residents map[string]*monitorEntry    // the paged-in subset (LRU eviction scans this)
+	index     map[string]store.IndexEntry // in-memory mirror of store.index
+	nextID    int
 
 	requests  atomic.Int64
 	snapshots atomic.Int64
+
+	// fileOpens counts store file opens (records, models, index) — the test
+	// hook behind the O(resident + one index read) warm-boot acceptance
+	// criterion.
+	fileOpens atomic.Int64
 
 	// simGen bounds the thermal simulations run by simulate-with-workload
 	// requests, which (unlike create's cached training) are uncached
@@ -283,9 +349,13 @@ func newServer(maxBatch int) *server {
 	return &server{
 		maxBatch:  maxBatch,
 		maxModels: 32,
+		shardN:    1,
+		lockStale: time.Minute,
 		metrics:   newMetricsSet(),
 		models:    make(map[trainKey]*modelEntry),
 		monitors:  make(map[string]*monitorEntry),
+		residents: make(map[string]*monitorEntry),
+		index:     make(map[string]store.IndexEntry),
 		simGen:    make(chan struct{}, runtime.NumCPU()),
 	}
 }
@@ -350,6 +420,9 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request) string {
 	case rest == "/stats" && r.Method == http.MethodGet:
 		s.handleStats(w)
 		return label("stats")
+	case rest == "/shard" && r.Method == http.MethodGet:
+		s.handleShard(w)
+		return label("shard")
 	case rest == "/monitors" && r.Method == http.MethodPost:
 		s.handleCreate(w, r)
 		return label("create")
@@ -497,11 +570,29 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		entry.fp, entry.pcfg, entry.specs = fp, pcfg, specs
 		// A model evicted to disk earlier (or trained by a previous life of
 		// a durable daemon) reloads in milliseconds instead of retraining.
-		if model, dfp, dpcfg, ok := s.loadModelRecord(key); ok {
-			entry.model, entry.fp, entry.pcfg = model, dfp, dpcfg
-			entry.ready.Store(true)
-			s.metrics.modelsLoaded.Add(1)
+		loadFromDisk := func() bool {
+			model, dfp, dpcfg, ok := s.loadModelRecord(key)
+			if ok {
+				entry.model, entry.fp, entry.pcfg = model, dfp, dpcfg
+				entry.ready.Store(true)
+				s.metrics.modelsLoaded.Add(1)
+			}
+			return ok
+		}
+		if loadFromDisk() {
 			return
+		}
+		if s.shardN > 1 {
+			// Single-flight across replicas: hold the training lockfile, or
+			// wait for the replica that does and load its result. Either way
+			// re-check the disk before simulating — the whole point is that
+			// two replicas never generate the same ensemble.
+			if release := s.trainLock(key); release != nil {
+				defer release()
+			}
+			if loadFromDisk() {
+				return
+			}
 		}
 		entry.ds, entry.err = dataset.Generate(fp, dataset.GenConfig{
 			Grid:      floorplan.Grid{W: key.W, H: key.H},
@@ -580,20 +671,41 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "internal", "cond: %v", err)
 		return
 	}
-	me := &monitorEntry{id: "", key: key, mon: mon, kf: kf,
+	me := &monitorEntry{key: key,
 		ds: entry.ds, fp: entry.fp, pcfg: entry.pcfg,
-		rho: req.Rho, workloads: req.Workloads, specJSON: req.WorkloadSpec, specs: specs}
+		rho: req.Rho, workloads: req.Workloads, specJSON: req.WorkloadSpec, specs: specs,
+		metaOK: true}
+	rs := &residentState{mon: mon, kf: kf}
+	me.res.Store(rs)
+	me.lastUse.Store(time.Now().UnixNano())
 	s.mu.Lock()
-	s.nextID++
-	me.id = fmt.Sprintf("mon-%d", s.nextID)
+	// Sharded replicas allocate from disjoint ID sets: each advances past
+	// IDs the ring assigns elsewhere, so concurrent creates on different
+	// replicas can never pick the same ID.
+	for {
+		s.nextID++
+		id := fmt.Sprintf("mon-%d", s.nextID)
+		if s.owns(id) {
+			me.id = id
+			break
+		}
+	}
 	s.mu.Unlock()
+	me.desc = store.IndexEntry{ID: me.id,
+		TrainKey:  keyHash(key),
+		Floorplan: key.Floorplan, K: mon.K(), M: len(mon.Sensors()),
+		GridW: key.W, GridH: key.H, Tracking: kf != nil}
+	if s.storeDir != "" {
+		me.desc.File = me.id + monitorSuffix
+	}
 	// Persist before publishing: once the monitor is visible, a concurrent
 	// DELETE must find the record on disk — persisting afterwards could
 	// resurrect a just-deleted monitor at the next warm start.
-	s.persistMonitor(me, entry.model)
+	s.persistMonitor(me, rs, entry.model)
 	s.mu.Lock()
 	s.monitors[me.id] = me
 	s.mu.Unlock()
+	s.registerResident(me)
 	writeJSON(w, http.StatusCreated, createResponse{
 		ID: me.id, N: mon.N(), K: mon.K(), M: len(mon.Sensors()),
 		Sensors: mon.Sensors(), Cond: cond,
@@ -641,9 +753,11 @@ func (s *server) handleList(w http.ResponseWriter) {
 	s.mu.Lock()
 	infos := make([]monitorInfo, 0, len(s.monitors))
 	for _, e := range s.monitors {
+		// Everything list reports comes from the index descriptor, so
+		// listing a million-monitor store pages nothing in.
 		infos = append(infos, monitorInfo{
-			ID: e.id, Floorplan: e.key.Floorplan, GridW: e.key.W, GridH: e.key.H,
-			K: e.mon.K(), M: len(e.mon.Sensors()), Tracking: e.kf != nil,
+			ID: e.id, Floorplan: e.desc.Floorplan, GridW: e.desc.GridW, GridH: e.desc.GridH,
+			K: e.desc.K, M: e.desc.M, Tracking: e.desc.Tracking,
 			Snapshots: e.snapshots.Load(),
 		})
 	}
@@ -669,6 +783,15 @@ func (s *server) handleStats(w http.ResponseWriter) {
 
 func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request, rest string) string {
 	id, action, _ := strings.Cut(rest, "/")
+	if !s.owns(id) {
+		// 421: the monitor hashes to another replica. The owner index in the
+		// message is the routing hint a client-side router needs.
+		s.metrics.wrongShard.Add(1)
+		httpError(w, http.StatusMisdirectedRequest, "wrong_shard",
+			"monitor %q belongs to shard %d of %d (this is shard %d)",
+			id, s.ring.owner(id), s.shardN, s.shardIdx)
+		return "wrongshard"
+	}
 	s.mu.Lock()
 	entry := s.monitors[id]
 	s.mu.Unlock()
@@ -680,6 +803,7 @@ func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request, rest stri
 	case action == "" && r.Method == http.MethodDelete:
 		s.mu.Lock()
 		delete(s.monitors, id)
+		delete(s.residents, id)
 		s.mu.Unlock()
 		s.removeMonitorFile(id)
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
@@ -764,13 +888,11 @@ func parseArm(s string) (recon.Arm, bool) {
 }
 
 // snapshotSummary is the per-snapshot digest a thermal manager consumes.
-type snapshotSummary struct {
-	MaxC    float64   `json:"max_c"`
-	MinC    float64   `json:"min_c"`
-	MeanC   float64   `json:"mean_c"`
-	MaxCell int       `json:"max_cell"`
-	Map     []float64 `json:"map,omitempty"`
-}
+// It is the wire package's Summary, by alias rather than by copy: the JSON
+// codec (tags on wire.Summary) and the binary codec encode the same struct,
+// so the two protocols cannot drift apart field-wise — which is what the
+// cross-protocol parity pin relies on.
+type snapshotSummary = wire.Summary
 
 // summarize digests one map in a single fused pass (min, max, mean, argmax
 // together — the summary is a measurable slice of serving cost at high
@@ -809,7 +931,54 @@ func (s *server) checkBatch(w http.ResponseWriter, readings [][]float64) bool {
 	return true
 }
 
+// residentHTTP pages e in (or touches its resident state) and maps paging
+// failures onto the error envelope: a vanished record is the client-visible
+// 404 record_missing, anything else (corrupt record, mismatched ID) is a
+// 500 record_corrupt. Both reach the log with the typed *store.Error.
+func (s *server) residentHTTP(w http.ResponseWriter, e *monitorEntry) (*residentState, bool) {
+	rs, err := s.resident(e)
+	if err == nil {
+		return rs, true
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		httpError(w, http.StatusNotFound, "record_missing",
+			"monitor %s: record vanished from the store: %v", e.id, err)
+	} else {
+		httpError(w, http.StatusInternalServerError, "record_corrupt",
+			"monitor %s: paging in: %v", e.id, err)
+	}
+	return nil, false
+}
+
+// estimateMaps is the compute path shared by the JSON and binary estimate
+// protocols. done releases pooled output buffers — call it exactly once,
+// after the maps are encoded.
+func (s *server) estimateMaps(e *monitorEntry, rs *residentState, readings [][]float64, workers int, arm recon.Arm) (maps [][]float64, done func(), err error) {
+	if arm == recon.ArmOperator && s.coalesceWindow > 0 {
+		// Operator-arm requests share flushes; the QR ablation arm bypasses
+		// the queue so its latency reflects the per-snapshot solve.
+		maps, err = s.coalescerFor(rs).estimate(readings)
+		return maps, releaseNothing, err
+	}
+	// Pooled output buffers: the non-coalesced hot path reuses its
+	// batch × N floats across requests instead of re-allocating them.
+	buf := e.getMaps(len(readings), rs.mon.N())
+	if err := rs.mon.EstimateBatchArmInto(buf, readings, workers, arm); err != nil {
+		e.putMaps(buf)
+		return nil, releaseNothing, err
+	}
+	return buf, func() { e.putMaps(buf) }, nil
+}
+
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
+	rs, ok := s.residentHTTP(w, e)
+	if !ok {
+		return
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType) {
+		s.handleEstimateBinary(w, r, e, rs)
+		return
+	}
 	var req estimateRequest
 	readings, release, err := decodeEstimateRequest(r.Body, &req)
 	if err != nil {
@@ -825,25 +994,13 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 	if !s.checkBatch(w, readings) {
 		return
 	}
-	var maps [][]float64
-	if arm == recon.ArmOperator && s.coalesceWindow > 0 {
-		// Operator-arm requests share flushes; the QR ablation arm bypasses
-		// the queue so its latency reflects the per-snapshot solve.
-		maps, err = s.coalescerFor(e).estimate(readings)
-	} else {
-		// Pooled output buffers: the non-coalesced hot path reuses its
-		// batch × N floats across requests instead of re-allocating them.
-		buf := e.getMaps(len(readings))
-		defer e.putMaps(buf)
-		if err = e.mon.EstimateBatchArmInto(buf, readings, req.Workers, arm); err == nil {
-			maps = buf
-		}
-	}
+	maps, done, err := s.estimateMaps(e, rs, readings, req.Workers, arm)
 	if err != nil {
 		// Wrong-length vectors, NaN/Inf readings: client error, never a panic.
 		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
 		return
 	}
+	defer done()
 	s.snapshots.Add(int64(len(maps)))
 	e.snapshots.Add(int64(len(maps)))
 	out := make([]snapshotSummary, len(maps))
@@ -862,8 +1019,65 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 	responsePool.Put(body)
 }
 
+// wireBufPool recycles binary-protocol decode scratch, mirroring the JSON
+// path's readingsPool.
+var wireBufPool = sync.Pool{New: func() any { return new(wire.ReadingsBuf) }}
+
+// handleEstimateBinary serves one application/x-emaps estimate. The decoded
+// request and the computed summaries are the same structs the JSON path
+// sees — only the bytes on the wire differ. Errors keep the JSON envelope
+// regardless of the request protocol, so error handling is one client code
+// path.
+func (s *server) handleEstimateBinary(w http.ResponseWriter, r *http.Request, e *monitorEntry, rs *residentState) {
+	body := bodyPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer bodyPool.Put(body)
+	if _, err := body.ReadFrom(r.Body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_frame", "reading request: %v", err)
+		return
+	}
+	scratch := wireBufPool.Get().(*wire.ReadingsBuf)
+	defer wireBufPool.Put(scratch)
+	req, err := wire.DecodeEstimateRequest(body.Bytes(), scratch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_frame", "%v", err)
+		return
+	}
+	arm := recon.ArmOperator
+	if req.ArmQR {
+		arm = recon.ArmQR
+	}
+	if !s.checkBatch(w, req.Readings) {
+		return
+	}
+	maps, done, err := s.estimateMaps(e, rs, req.Readings, req.Workers, arm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
+		return
+	}
+	defer done()
+	s.snapshots.Add(int64(len(maps)))
+	e.snapshots.Add(int64(len(maps)))
+	out := make([]wire.Summary, len(maps))
+	for i, x := range maps {
+		out[i] = summarize(x, req.IncludeMaps)
+	}
+	respBuf := responsePool.Get().(*[]byte)
+	*respBuf = wire.AppendEstimateResponse((*respBuf)[:0], out)
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(*respBuf); err != nil && s.logger != nil {
+		s.logger.Error("write response", "err", err)
+	}
+	responsePool.Put(respBuf)
+}
+
 func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
-	if e.kf == nil {
+	rs, ok := s.residentHTTP(w, e)
+	if !ok {
+		return
+	}
+	if rs.kf == nil {
 		httpError(w, http.StatusBadRequest, "no_tracker", "monitor %s has no tracker (create with \"tracking\": true)", e.id)
 		return
 	}
@@ -877,7 +1091,7 @@ func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorE
 	if !s.checkBatch(w, readings) {
 		return
 	}
-	maps, err := e.kf.StepBatch(readings)
+	maps, err := rs.kf.StepBatch(readings)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_readings", "track: %v", err)
 		return
@@ -890,8 +1104,8 @@ func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorE
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"results":     out,
-		"steps":       e.kf.Steps(),
-		"uncertainty": e.kf.CovarianceTrace(),
+		"steps":       rs.kf.Steps(),
+		"uncertainty": rs.kf.CovarianceTrace(),
 	})
 }
 
@@ -915,6 +1129,10 @@ type simulateRequest struct {
 // scenario), corrupt the sensor readings at the requested SNR, reconstruct,
 // and report the error against ground truth.
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
+	rs, ok := s.residentHTTP(w, e)
+	if !ok {
+		return
+	}
 	var req simulateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
@@ -983,7 +1201,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		src = ds
 	}
 	rng := rand.New(rand.NewSource(req.Seed))
-	rec := e.mon.Reconstructor()
+	rec := rs.mon.Reconstructor()
 	// Loop-invariant: the *source* ensemble's mean at the sensors — for a
 	// cross-scenario run the fresh scenario's own mean, so SNR calibrates
 	// against that scenario's fluctuation power, not the DC offset between
@@ -1002,7 +1220,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request, e *monit
 		}
 		readings[i] = xS
 	}
-	maps, err := e.mon.EstimateBatch(readings, req.Workers)
+	maps, err := rs.mon.EstimateBatch(readings, req.Workers)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
 		return

@@ -20,14 +20,19 @@ type metricsSet struct {
 	mu     sync.Mutex
 	routes map[string]*routeMetrics
 
-	cacheHits      atomic.Int64 // model cache: key already resident
-	cacheMisses    atomic.Int64 // model cache: key absent (train or disk load)
-	modelsTrained  atomic.Int64 // full simulate+train runs
-	modelsLoaded   atomic.Int64 // models reloaded from the store instead of retrained
-	modelsEvicted  atomic.Int64 // models dropped from memory to make room
-	monitorsLoaded atomic.Int64 // monitors warm-started from the store at boot
-	storeSaves     atomic.Int64 // records persisted (models + monitors)
-	storeFailures  atomic.Int64 // persistence or store-load failures (daemon kept serving)
+	cacheHits       atomic.Int64 // model cache: key already resident
+	cacheMisses     atomic.Int64 // model cache: key absent (train or disk load)
+	modelsTrained   atomic.Int64 // full simulate+train runs
+	modelsLoaded    atomic.Int64 // models reloaded from the store instead of retrained
+	modelsEvicted   atomic.Int64 // models dropped from memory to make room
+	monitorsLoaded  atomic.Int64 // monitor records paged in (boot scan or first touch)
+	monitorsEvicted atomic.Int64 // resident monitors paged out under -max-monitors pressure
+	storeSaves      atomic.Int64 // records persisted (models + monitors)
+	storeFailures   atomic.Int64 // persistence or store-load failures (daemon kept serving)
+	indexRebuilds   atomic.Int64 // store-index decode failures downgraded to a scan
+	lockWaits       atomic.Int64 // times this replica waited on another's lockfile
+	lockSteals      atomic.Int64 // stale lockfiles stolen from dead replicas
+	wrongShard      atomic.Int64 // requests refused with 421 (monitor owned elsewhere)
 
 	coalesceFlushes  atomic.Int64 // coalesced-queue flushes (one shared GEMM each)
 	coalesceRequests atomic.Int64 // estimate requests served through the coalescer
@@ -136,9 +141,14 @@ func (m *metricsSet) render(w io.Writer, g gauges) {
 	counter("emapsd_models_trained_total", "Full simulate+train runs executed.", m.modelsTrained.Load())
 	counter("emapsd_models_store_loaded_total", "Models reloaded from the store instead of retrained.", m.modelsLoaded.Load())
 	counter("emapsd_models_evicted_total", "Models evicted from memory to the store to make room.", m.modelsEvicted.Load())
-	counter("emapsd_monitors_loaded_total", "Monitors warm-started from the store at boot.", m.monitorsLoaded.Load())
+	counter("emapsd_monitors_loaded_total", "Monitor records paged in from the store (boot scan or first touch).", m.monitorsLoaded.Load())
+	counter("emapsd_monitors_evicted_total", "Resident monitors paged out under -max-monitors pressure.", m.monitorsEvicted.Load())
 	counter("emapsd_store_saves_total", "Records persisted to the store (models and monitors).", m.storeSaves.Load())
 	counter("emapsd_store_failures_total", "Store read/write failures the daemon survived.", m.storeFailures.Load())
+	counter("emapsd_index_rebuilds_total", "Store-index decode failures downgraded to a rebuild-from-scan.", m.indexRebuilds.Load())
+	counter("emapsd_lock_waits_total", "Times this replica waited on another replica's lockfile.", m.lockWaits.Load())
+	counter("emapsd_lock_steals_total", "Stale lockfiles stolen from dead replicas.", m.lockSteals.Load())
+	counter("emapsd_wrong_shard_total", "Requests refused with 421 because another shard owns the monitor.", m.wrongShard.Load())
 	counter("emapsd_coalesce_flushes_total", "Coalesced estimate flushes (one shared GEMM each).", m.coalesceFlushes.Load())
 	counter("emapsd_coalesce_requests_total", "Estimate requests served through the coalescing queue.", m.coalesceRequests.Load())
 	gauge("emapsd_models", "Trained models resident in memory.", g.models)

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Sharded serving: N replicas over one shared -store-dir, each owning the
+// monitors that consistent-hash to its shard index. Ownership is a pure
+// function of (monitor ID, shard count), so every replica — and every
+// client — computes the same routing table with no coordination. A request
+// for a monitor another replica owns is refused with 421 wrong_shard and
+// the owner's index, so a thin client-side router (emapsload's multi-addr
+// mode, or any proxy) can pin each monitor to its replica.
+//
+// The ring uses 64 virtual nodes per shard so ownership spreads evenly even
+// at small shard counts, and so growing from n to n+1 shards moves only
+// ~1/(n+1) of the monitors — the classic consistent-hashing property, which
+// matters because a moved monitor costs its new owner a page-in.
+
+// vnodesPerShard is the virtual-node count each shard contributes to the
+// ring.
+const vnodesPerShard = 64
+
+// shardRing maps monitor IDs to shard indices by consistent hashing.
+type shardRing struct {
+	n      int
+	hashes []uint64 // sorted vnode positions
+	shards []int    // shards[i] owns hashes[i]
+}
+
+// newShardRing builds the ring for n shards. n < 2 yields a degenerate
+// ring that owns everything at shard 0.
+func newShardRing(n int) *shardRing {
+	if n < 1 {
+		n = 1
+	}
+	r := &shardRing{n: n}
+	type point struct {
+		h     uint64
+		shard int
+	}
+	points := make([]point, 0, n*vnodesPerShard)
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			points = append(points, point{hash64(fmt.Sprintf("shard-%d-vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].h < points[j].h })
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.h)
+		r.shards = append(r.shards, p.shard)
+	}
+	return r
+}
+
+// owner returns the shard index owning id: the first vnode at or after
+// hash(id), wrapping past the top of the ring.
+func (r *shardRing) owner(id string) int {
+	if r == nil || r.n < 2 {
+		return 0
+	}
+	h := hash64(id)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.shards[i]
+}
+
+// hash64 positions a string on the ring: FNV-1a for the byte mixing, then
+// a murmur3-style finalizer. The finalizer is load-bearing — raw FNV of
+// short near-identical strings ("mon-1", "mon-2", …) clusters in the
+// 64-bit space badly enough to skew a 4-shard ring to a 7:1 ownership
+// ratio; the avalanche step restores an even spread at 64 vnodes/shard.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// parseShard parses the -shard flag ("i/n", e.g. "0/2"; "" = unsharded).
+func parseShard(s string) (idx, n int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &n); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want i/n (e.g. 0/2)", s)
+	}
+	if n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("-shard %q: index must be in [0,%d)", s, n)
+	}
+	return idx, n, nil
+}

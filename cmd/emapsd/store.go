@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -23,16 +24,29 @@ import (
 )
 
 // The daemon's durable store: one file per live monitor
-// (mon-<n>.emon — the full serving bundle, self-contained) and one per
-// trained model (model-<keyhash>.emod — basis + energy + floorplan, no
-// placement). Monitors are reloaded eagerly at boot (warm start); models
-// are reloaded lazily when a create misses the in-memory cache, which is
-// also what makes evict-to-disk safe: eviction only drops the resident
-// copy of state that is already on disk.
+// (mon-<n>.emon — the full serving bundle, self-contained), one per trained
+// model (model-<keyhash>.emod — basis + energy + floorplan, no placement),
+// and one index (store.index) summarizing every monitor record.
+//
+// The index is what makes the store scale past the resident set: boot reads
+// it in one file open and registers a paged-out stub per entry; the full
+// record is loaded ("paged in") on the monitor's first touch and dropped
+// again under -max-monitors pressure. Warm start is therefore
+// O(resident + one index read), not O(corpus) — a million records cost a
+// million file reads only if all million are actually served. Records that
+// the index does not cover (a pre-index store, a crash between record write
+// and index write, a corrupt index) are reconciled by a directory scan at
+// boot: each such record is validated with a full read, registered
+// resident, and the index is rewritten — the rebuild-from-scan fallback.
+// Losing the index costs one O(corpus) boot, never data.
 const (
 	monitorSuffix = ".emon"
 	modelSuffix   = ".emod"
+	indexName     = "store.index"
 )
+
+// lockPoll is how often blocked lock acquisitions re-check the lockfile.
+const lockPoll = 25 * time.Millisecond
 
 // openStore validates and remembers the persistence directory.
 func (s *server) openStore(dir string) error {
@@ -64,6 +78,18 @@ func (s *server) monitorPath(id string) string {
 
 func (s *server) modelPath(key trainKey) string {
 	return filepath.Join(s.storeDir, "model-"+keyHash(key)+modelSuffix)
+}
+
+func (s *server) indexPath() string {
+	return filepath.Join(s.storeDir, indexName)
+}
+
+// loadRecord is the single funnel every record read goes through, so the
+// daemon can account for its file opens — the warm-boot acceptance test
+// asserts O(resident + one index read) opens through this counter.
+func (s *server) loadRecord(path string) (*store.Record, error) {
+	s.fileOpens.Add(1)
+	return store.LoadFile(path)
 }
 
 // metaForKey renders a training key (plus the regeneration inputs that are
@@ -150,17 +176,17 @@ func (s *server) persistModel(key trainKey, entry *modelEntry, workloads []strin
 	s.metrics.storeSaves.Add(1)
 }
 
-// persistMonitor writes a live monitor's full serving bundle. Best-effort,
-// like persistModel.
-func (s *server) persistMonitor(e *monitorEntry, model *core.Model) {
+// persistMonitor writes a live monitor's full serving bundle and indexes
+// it. Best-effort, like persistModel.
+func (s *server) persistMonitor(e *monitorEntry, rs *residentState, model *core.Model) {
 	if s.storeDir == "" {
 		return
 	}
 	meta := metaForKey(e.key, e.workloads, e.specJSON)
 	meta.MonitorID = e.id
-	meta.Tracking = e.kf != nil
+	meta.Tracking = rs.kf != nil
 	meta.Rho = e.rho
-	rec := e.mon.Reconstructor()
+	rec := rs.mon.Reconstructor()
 	op, opBias := rec.Operator()
 	if err := store.SaveFile(s.monitorPath(e.id), &store.Record{
 		Meta:      meta,
@@ -178,6 +204,7 @@ func (s *server) persistMonitor(e *monitorEntry, model *core.Model) {
 		return
 	}
 	s.metrics.storeSaves.Add(1)
+	s.updateIndex(&e.desc, "")
 }
 
 // loadModelRecord tries to satisfy a model-cache miss from disk. It returns
@@ -188,7 +215,7 @@ func (s *server) loadModelRecord(key trainKey) (*core.Model, *floorplan.Floorpla
 		return nil, nil, power.Config{}, false
 	}
 	path := s.modelPath(key)
-	rec, err := store.LoadFile(path)
+	rec, err := s.loadRecord(path)
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
 			s.metrics.storeFailures.Add(1)
@@ -214,58 +241,207 @@ func (s *server) loadModelRecord(key trainKey) (*core.Model, *floorplan.Floorpla
 	return model, rec.Floorplan, pcfg, true
 }
 
-// warmStart reloads every monitor record in the store directory, rebuilding
-// live monitors (and re-seeding the model cache) with zero retraining. A
-// corrupt or incompatible file is logged and skipped — one damaged record
-// must not take the whole store down.
+// trainLock serializes training for key across replicas sharing the store.
+// It returns a release func when this replica holds the lock (it should
+// train), or nil when the peer holding it finished (its model record is on
+// disk — reload instead) or the lock is unusable (train unlocked; worst
+// case is one duplicate training, never corruption, since model writes are
+// atomic and idempotent for a given key). Stale locks from killed replicas
+// are stolen after -lock-stale.
+func (s *server) trainLock(key trainKey) func() {
+	lockPath := s.modelPath(key) + ".lock"
+	waited := false
+	for {
+		ok, err := tryLockFile(lockPath)
+		if err != nil {
+			s.logf("train lock", "path", lockPath, "err", err)
+			return nil
+		}
+		if ok {
+			return func() { os.Remove(lockPath) }
+		}
+		if _, err := os.Stat(s.modelPath(key)); err == nil {
+			return nil // the peer finished; its record is ready to load
+		}
+		if !waited {
+			waited = true
+			s.metrics.lockWaits.Add(1)
+		}
+		if stealIfStale(lockPath, s.lockStale) {
+			s.metrics.lockSteals.Add(1)
+			continue
+		}
+		time.Sleep(lockPoll)
+	}
+}
+
+// owns reports whether this replica serves id. Unsharded daemons own
+// everything.
+func (s *server) owns(id string) bool {
+	return s.shardN < 2 || s.ring.owner(id) == s.shardIdx
+}
+
+// warmStart registers every monitor in the store directory. Indexed records
+// become paged-out stubs — no file open until first touch; records the
+// index does not cover are validated with a full read (a corrupt or
+// incompatible file is logged and skipped — one damaged record must not
+// take the whole store down) and registered resident. loaded counts
+// registered monitors owned by this replica, skipped counts damaged
+// records.
 func (s *server) warmStart() (loaded, skipped int) {
 	entries, err := os.ReadDir(s.storeDir)
 	if err != nil {
 		s.logf("warm start", "err", err)
 		return 0, 0
 	}
-	names := make([]string, 0, len(entries))
+	onDisk := make(map[string]bool)
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), monitorSuffix) {
-			names = append(names, e.Name())
+			onDisk[e.Name()] = true
+		}
+	}
+	idx, err := store.LoadIndexFile(s.indexPath())
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// First boot (or a pre-index store): nothing to page from, fall
+			// through to the scan.
+			idx = nil
+		} else {
+			// Corrupt or truncated index: rebuild from scan — logged, never
+			// fatal. One open was spent discovering this.
+			s.fileOpens.Add(1)
+			s.metrics.indexRebuilds.Add(1)
+			s.logf("store index unreadable; rebuilding from scan", "path", s.indexPath(), "err", err)
+			idx = nil
+		}
+	} else {
+		s.fileOpens.Add(1)
+	}
+
+	dirty := idx == nil && len(onDisk) > 0
+	covered := make(map[string]bool)
+	if idx != nil {
+		for _, en := range idx.Entries {
+			if !onDisk[en.File] {
+				// Index/record disagreement: the record is gone (deleted
+				// out-of-band, or a crash between delete and index rewrite).
+				// Drop the entry; a paged store must never 404 at page-in for
+				// a monitor it could have refused at boot.
+				s.logf("warm start: dropping indexed monitor with no record", "id", en.ID, "file", en.File)
+				dirty = true
+				continue
+			}
+			covered[en.File] = true
+			s.index[en.ID] = en
+			s.bumpNextID(en.ID)
+			if s.owns(en.ID) {
+				s.monitors[en.ID] = &monitorEntry{id: en.ID, desc: en}
+				loaded++
+			}
+		}
+	}
+
+	// Reconcile records the index does not cover: the rebuild-from-scan
+	// fallback, and the only boot path that opens record files.
+	var names []string
+	for name := range onDisk {
+		if !covered[name] {
+			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		path := filepath.Join(s.storeDir, name)
-		if err := s.loadMonitorRecord(path); err != nil {
+		e, err := s.adoptRecord(path, name)
+		if err != nil {
 			s.metrics.storeFailures.Add(1)
 			s.logf("warm start: skipping record", "path", path, "err", err)
 			skipped++
 			continue
 		}
-		loaded++
+		dirty = true
+		if e != nil {
+			loaded++
+		}
 	}
-	s.metrics.monitorsLoaded.Add(int64(loaded))
+	if dirty {
+		s.writeIndex()
+	}
 	return loaded, skipped
 }
 
-// loadMonitorRecord rebuilds one live monitor from its store file.
-func (s *server) loadMonitorRecord(path string) error {
-	rec, err := store.LoadFile(path)
-	if err != nil {
-		return err
+// bumpNextID advances the ID allocator past a store-found monitor ID so new
+// monitors never collide with reloaded (or other shards') ones.
+func (s *server) bumpNextID(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "mon-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
 	}
+}
+
+// adoptRecord fully loads an unindexed record, registers it (resident when
+// this replica owns it) and adds it to the in-memory index mirror. It
+// returns the entry (nil for an unowned monitor) or the load/validation
+// error.
+func (s *server) adoptRecord(path, file string) (*monitorEntry, error) {
+	rec, err := s.loadRecord(path)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := buildMonitorState(rec)
+	if err != nil {
+		return nil, err
+	}
+	id := rec.Meta.MonitorID
+	if _, dup := s.index[id]; dup {
+		return nil, fmt.Errorf("duplicate monitor id %q in store", id)
+	}
+	if _, dup := s.monitors[id]; dup {
+		return nil, fmt.Errorf("duplicate monitor id %q in store", id)
+	}
+	desc := descFor(rec, file, lr.key)
+	s.index[id] = desc
+	s.bumpNextID(id)
+	if !s.owns(id) {
+		return nil, nil
+	}
+	e := &monitorEntry{id: id, desc: desc}
+	e.fillMeta(lr)
+	e.res.Store(lr.rs)
+	e.lastUse.Store(time.Now().UnixNano())
+	s.monitors[id] = e
+	s.residents[id] = e
+	s.seedModelCache(lr)
+	s.metrics.monitorsLoaded.Add(1)
+	return e, nil
+}
+
+// loadedRecord is a fully decoded monitor record, ready to serve.
+type loadedRecord struct {
+	rs    *residentState
+	key   trainKey
+	specs []*workload.Spec
+	pcfg  power.Config
+	rec   *store.Record
+}
+
+// buildMonitorState rebuilds the serving state from a decoded record.
+func buildMonitorState(rec *store.Record) (*loadedRecord, error) {
 	if !rec.HasMonitor() {
-		return fmt.Errorf("record has no monitor section")
+		return nil, fmt.Errorf("record has no monitor section")
 	}
 	if rec.Meta.MonitorID == "" {
-		return fmt.Errorf("record has no monitor id")
+		return nil, fmt.Errorf("record has no monitor id")
 	}
 	if rec.Floorplan == nil || rec.Energy == nil {
-		return fmt.Errorf("record missing floorplan or energy")
+		return nil, fmt.Errorf("record missing floorplan or energy")
 	}
 	key, specs, err := keyFromMeta(rec.Meta)
 	if err != nil {
-		return fmt.Errorf("reconstructing train key: %w", err)
+		return nil, fmt.Errorf("reconstructing train key: %w", err)
 	}
 	if _, err := thermal.ParseSolver(key.Solver); err != nil {
-		return fmt.Errorf("stored solver: %w", err)
+		return nil, fmt.Errorf("stored solver: %w", err)
 	}
 	// v2 records carry the folded reconstruction operator; v1 records re-fold
 	// it from the QR factors (deterministic, so serving stays bit-identical).
@@ -276,7 +452,7 @@ func (s *server) loadMonitorRecord(path string) error {
 		mon, err = core.RestoreMonitor(rec.Basis, rec.K, rec.Sensors, rec.QR)
 	}
 	if err != nil {
-		return fmt.Errorf("restoring monitor: %w", err)
+		return nil, fmt.Errorf("restoring monitor: %w", err)
 	}
 	var kf *track.Kalman
 	if rec.Meta.Tracking {
@@ -284,41 +460,228 @@ func (s *server) loadMonitorRecord(path string) error {
 		// restarts from its stationary prior, exactly like a fresh monitor.
 		kf, err = track.NewKalman(rec.Basis, rec.K, rec.Sensors, track.Config{Rho: rec.Meta.Rho})
 		if err != nil {
-			return fmt.Errorf("restoring tracker: %w", err)
+			return nil, fmt.Errorf("restoring tracker: %w", err)
 		}
 	}
 	pcfg := power.ConfigFor(rec.Floorplan, rec.Meta.LoadCoupling)
-	e := &monitorEntry{
-		id: rec.Meta.MonitorID, key: key, mon: mon, kf: kf,
-		fp: rec.Floorplan, pcfg: pcfg,
-		rho: rec.Meta.Rho, workloads: rec.Meta.Workloads, specJSON: rec.Meta.WorkloadSpec,
+	return &loadedRecord{
+		rs:    &residentState{mon: mon, kf: kf},
+		key:   key,
 		specs: specs,
+		pcfg:  pcfg,
+		rec:   rec,
+	}, nil
+}
+
+// descFor summarizes a record as its index entry.
+func descFor(rec *store.Record, file string, key trainKey) store.IndexEntry {
+	return store.IndexEntry{
+		ID:        rec.Meta.MonitorID,
+		File:      file,
+		TrainKey:  keyHash(key),
+		Floorplan: rec.Meta.Floorplan,
+		K:         rec.K,
+		M:         len(rec.Sensors),
+		GridW:     rec.Meta.GridW,
+		GridH:     rec.Meta.GridH,
+		Tracking:  rec.Meta.Tracking,
 	}
+}
+
+// fillMeta copies a loaded record's regeneration inputs into the entry.
+// Callers hold e.mu (or the entry is not yet published).
+func (e *monitorEntry) fillMeta(lr *loadedRecord) {
+	if e.metaOK {
+		return
+	}
+	e.key = lr.key
+	e.fp = lr.rec.Floorplan
+	e.pcfg = lr.pcfg
+	e.rho = lr.rec.Meta.Rho
+	e.workloads = lr.rec.Meta.Workloads
+	e.specJSON = lr.rec.Meta.WorkloadSpec
+	e.specs = lr.specs
+	e.metaOK = true
+}
+
+// seedModelCache re-seeds the model cache from a loaded record so a later
+// create with this key places sensors without retraining (the ensemble
+// itself stays lazy). Callers must not hold s.mu.
+func (s *server) seedModelCache(lr *loadedRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.monitors[e.id]; dup {
-		return fmt.Errorf("duplicate monitor id %q in store", e.id)
-	}
-	s.monitors[e.id] = e
-	var n int
-	if _, err := fmt.Sscanf(e.id, "mon-%d", &n); err == nil && n > s.nextID {
-		s.nextID = n
-	}
-	// Re-seed the model cache so a later create with this key places
-	// sensors without retraining (the ensemble itself stays lazy).
-	if _, ok := s.models[key]; !ok && len(s.models) < s.maxModels {
+	if _, ok := s.models[lr.key]; !ok && len(s.models) < s.maxModels {
 		entry := &modelEntry{
-			model: &core.Model{Basis: rec.Basis, Energy: rec.Energy, Grid: rec.Basis.Grid},
-			fp:    rec.Floorplan, pcfg: pcfg, specs: specs,
+			model: &core.Model{Basis: lr.rec.Basis, Energy: lr.rec.Energy, Grid: lr.rec.Basis.Grid},
+			fp:    lr.rec.Floorplan, pcfg: lr.pcfg, specs: lr.specs,
 		}
 		entry.once.Do(func() {})
 		entry.ready.Store(true)
-		s.models[key] = entry
+		s.models[lr.key] = entry
 	}
-	return nil
 }
 
-// removeMonitorFile deletes a retired monitor's record.
+// resident returns e's serving state, paging the record in on first touch.
+// The fast path is one atomic load; the slow path is single-flight per
+// entry under e.mu. A missing record file (index/record disagreement)
+// surfaces as a typed *store.Error wrapping fs.ErrNotExist.
+func (s *server) resident(e *monitorEntry) (*residentState, error) {
+	if rs := e.res.Load(); rs != nil {
+		e.lastUse.Store(time.Now().UnixNano())
+		return rs, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rs := e.res.Load(); rs != nil {
+		e.lastUse.Store(time.Now().UnixNano())
+		return rs, nil
+	}
+	if s.storeDir == "" || e.desc.File == "" {
+		// Not store-backed: nothing to page from. Only reachable if state
+		// tracking breaks, so fail loudly rather than serve garbage.
+		return nil, fmt.Errorf("monitor %s has no resident state and no record", e.id)
+	}
+	path := filepath.Join(s.storeDir, e.desc.File)
+	rec, err := s.loadRecord(path)
+	if err != nil {
+		s.metrics.storeFailures.Add(1)
+		s.logf("page in", "id", e.id, "path", path, "err", err)
+		return nil, err
+	}
+	if rec.Meta.MonitorID != e.id {
+		// The index named a file that holds someone else's record (renamed
+		// out-of-band): refuse, like the model loader's key check.
+		s.metrics.storeFailures.Add(1)
+		err := &store.Error{Kind: store.KindInvalid,
+			Detail: fmt.Sprintf("record %s holds monitor %q, index says %q", path, rec.Meta.MonitorID, e.id)}
+		s.logf("page in", "id", e.id, "path", path, "err", err)
+		return nil, err
+	}
+	lr, err := buildMonitorState(rec)
+	if err != nil {
+		s.metrics.storeFailures.Add(1)
+		s.logf("page in", "id", e.id, "path", path, "err", err)
+		if _, ok := err.(*store.Error); !ok {
+			err = &store.Error{Kind: store.KindInvalid, Detail: err.Error()}
+		}
+		return nil, err
+	}
+	e.fillMeta(lr)
+	s.registerResident(e)
+	s.seedModelCache(lr)
+	e.res.Store(lr.rs)
+	e.lastUse.Store(time.Now().UnixNano())
+	s.metrics.monitorsLoaded.Add(1)
+	return lr.rs, nil
+}
+
+// registerResident adds e to the resident set, evicting the
+// least-recently-used resident monitor when -max-monitors is exceeded.
+// Eviction drops only the rebuildable serving state — the stub (and the
+// record on disk) stay, so the monitor pages back in on its next touch;
+// requests already holding the evicted state finish safely on it. Callers
+// must not hold s.mu.
+func (s *server) registerResident(e *monitorEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.residents[e.id] = e
+	if s.maxMonitors <= 0 {
+		return
+	}
+	for len(s.residents) > s.maxMonitors {
+		var victim *monitorEntry
+		for _, cand := range s.residents {
+			if cand == e || cand.desc.File == "" {
+				continue // never evict the entry being paged in, nor store-less monitors
+			}
+			if victim == nil || cand.lastUse.Load() < victim.lastUse.Load() {
+				victim = cand
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.res.Store(nil)
+		delete(s.residents, victim.id)
+		s.metrics.monitorsEvicted.Add(1)
+	}
+}
+
+// updateIndex upserts (or removes, when removeID is set) one entry in the
+// index mirror and rewrites the index file. Best-effort: index damage only
+// ever costs a rebuild-from-scan at the next boot.
+func (s *server) updateIndex(upsert *store.IndexEntry, removeID string) {
+	if s.storeDir == "" {
+		return
+	}
+	s.mu.Lock()
+	if upsert != nil {
+		s.index[upsert.ID] = *upsert
+	}
+	if removeID != "" {
+		delete(s.index, removeID)
+	}
+	s.mu.Unlock()
+	s.writeIndex()
+}
+
+// writeIndex persists the index mirror. Sharded replicas serialize under
+// the index lockfile and read-merge-write: this replica is the authority
+// for the monitors it owns, the on-disk index is the authority for everyone
+// else's — so concurrent replicas converge instead of clobbering each
+// other.
+func (s *server) writeIndex() {
+	if s.storeDir == "" {
+		return
+	}
+	if s.shardN > 1 {
+		release, err := lockFile(s.indexPath()+".lock", s.lockStale, lockPoll,
+			func() { s.metrics.lockSteals.Add(1) })
+		if err != nil {
+			s.metrics.storeFailures.Add(1)
+			s.logf("index lock", "err", err)
+			return
+		}
+		defer release()
+	}
+	s.mu.Lock()
+	merged := make(map[string]store.IndexEntry, len(s.index))
+	for id, en := range s.index {
+		merged[id] = en
+	}
+	s.mu.Unlock()
+	if s.shardN > 1 {
+		// Under the lock, other shards' entries on disk are fresher than our
+		// mirror: overlay them, and drop unowned mirror entries the disk no
+		// longer has (their owner deleted them).
+		for id := range merged {
+			if !s.owns(id) {
+				delete(merged, id)
+			}
+		}
+		if disk, err := store.LoadIndexFile(s.indexPath()); err == nil {
+			for _, en := range disk.Entries {
+				if !s.owns(en.ID) {
+					merged[en.ID] = en
+				}
+			}
+		}
+	}
+	idx := &store.Index{Entries: make([]store.IndexEntry, 0, len(merged))}
+	for _, en := range merged {
+		idx.Entries = append(idx.Entries, en)
+	}
+	if err := store.SaveIndexFile(s.indexPath(), idx); err != nil {
+		s.metrics.storeFailures.Add(1)
+		s.logf("write index", "err", err)
+		return
+	}
+	s.mu.Lock()
+	s.index = merged
+	s.mu.Unlock()
+}
+
+// removeMonitorFile deletes a retired monitor's record and index entry.
 func (s *server) removeMonitorFile(id string) {
 	if s.storeDir == "" {
 		return
@@ -327,6 +690,7 @@ func (s *server) removeMonitorFile(id string) {
 		s.metrics.storeFailures.Add(1)
 		s.logf("remove monitor record", "id", id, "err", err)
 	}
+	s.updateIndex(nil, id)
 }
 
 // evictLocked drops one ready model from the in-memory cache to make room,
@@ -361,29 +725,32 @@ func (s *server) evictLocked() bool {
 // ensureEnsemble lazily (re)generates a warm-started monitor's training
 // ensemble — needed only by simulate's replay path, which is why it is not
 // part of the persisted record: the ensemble is by far the largest artifact
-// and is bit-reproducible from the key. Generation happens at most once per
-// monitor and is bounded by the simGen semaphore like any other
-// per-request simulation.
+// and is bit-reproducible from the key. Serialized per monitor under e.mu
+// (a failed generation is retried by the next request, not cached) and
+// bounded by the simGen semaphore like any other per-request simulation.
 func (e *monitorEntry) ensureEnsemble(s *server) (*dataset.Dataset, error) {
-	e.genOnce.Do(func() {
-		if e.ds != nil {
-			return
-		}
-		solver, err := thermal.ParseSolver(e.key.Solver)
-		if err != nil {
-			e.genErr = err
-			return
-		}
-		s.simGen <- struct{}{}
-		defer func() { <-s.simGen }()
-		e.ds, e.genErr = dataset.Generate(e.fp, dataset.GenConfig{
-			Grid:      floorplan.Grid{W: e.key.W, H: e.key.H},
-			Snapshots: e.key.Snapshots,
-			Specs:     e.specs,
-			Seed:      e.key.Seed,
-			Power:     e.pcfg,
-			Solver:    solver,
-		})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ds != nil {
+		return e.ds, nil
+	}
+	solver, err := thermal.ParseSolver(e.key.Solver)
+	if err != nil {
+		return nil, err
+	}
+	s.simGen <- struct{}{}
+	defer func() { <-s.simGen }()
+	ds, err := dataset.Generate(e.fp, dataset.GenConfig{
+		Grid:      floorplan.Grid{W: e.key.W, H: e.key.H},
+		Snapshots: e.key.Snapshots,
+		Specs:     e.specs,
+		Seed:      e.key.Seed,
+		Power:     e.pcfg,
+		Solver:    solver,
 	})
-	return e.ds, e.genErr
+	if err != nil {
+		return nil, err
+	}
+	e.ds = ds
+	return ds, nil
 }

@@ -7,8 +7,24 @@
 //	emapsload -addr 127.0.0.1:8760 -concurrency 8 -duration 10s
 //
 // By default it creates its own small monitor (deleted again afterwards
-// unless -keep is set); point it at an existing monitor with -monitor. The
-// report goes to stdout or -out, in one of three formats (-format):
+// unless -keep is set); point it at an existing monitor with -monitor.
+//
+// Fleet mode: -monitors N spreads the load over N monitors, with each
+// request picking its target by a zipfian draw (-zipf s, s > 1; s <= 1
+// falls back to uniform) — the skewed access pattern a million-monitor
+// deployment sees, where a hot head stays resident and a long tail pages
+// in and out. -addrs host:p0,host:p1 points the run at several sharded
+// replicas sharing one store: monitors are created round-robin (each
+// replica allocates only IDs it owns, so the creating replica is the
+// owner) and every request is routed to its monitor's owner, exercising
+// the same id→shard pinning a production router would do. To re-drive an
+// existing fleet (say, after a replica restart, to measure the cold
+// page-in tail) pass the ids instead: -monitor mon-1,mon-4,mon-7 — each id
+// is located on whichever replica lists it, and the -monitor order is the
+// zipf rank order (first id hottest). -proto binary switches the estimate
+// payloads to the application/x-emaps wire protocol.
+//
+// The report goes to stdout or -out, in one of three formats (-format):
 //
 //   - json (default) — the Report structure below
 //
@@ -41,6 +57,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -51,12 +68,17 @@ import (
 	"time"
 
 	"repro/internal/benchjson"
+	"repro/internal/wire"
 )
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:8760", "daemon address (host:port)")
-	flag.StringVar(&cfg.Monitor, "monitor", "", "existing monitor id to load (default: create one)")
+	flag.StringVar(&cfg.Addrs, "addrs", "", "comma-separated replica addresses (sharded daemons over one store; overrides -addr)")
+	flag.StringVar(&cfg.Monitor, "monitor", "", "existing monitor id(s) to load, comma-separated (default: create -monitors new ones)")
+	flag.IntVar(&cfg.Monitors, "monitors", 1, "monitors to spread the load over (created unless -monitor is set)")
+	flag.Float64Var(&cfg.Zipf, "zipf", 0, "zipf exponent for monitor selection (> 1 = skewed; <= 1 = uniform)")
+	flag.StringVar(&cfg.Proto, "proto", "json", "estimate request encoding: json or binary (application/x-emaps)")
 	flag.StringVar(&cfg.CreateBody, "create-body", defaultCreateBody, "JSON body used to create the monitor when -monitor is empty")
 	flag.StringVar(&cfg.Endpoint, "endpoint", "estimate", "endpoint to load: estimate, track or simulate")
 	flag.IntVar(&cfg.Batch, "batch", 16, "snapshots per request (readings per batch, or simulate count)")
@@ -159,7 +181,11 @@ const defaultCreateBody = `{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots"
 
 type config struct {
 	Addr        string
+	Addrs       string
 	Monitor     string
+	Monitors    int
+	Zipf        float64
+	Proto       string
 	CreateBody  string
 	Endpoint    string
 	Batch       int
@@ -174,8 +200,12 @@ type config struct {
 // baseline; later perf PRs diff against it.
 type Report struct {
 	Addr         string    `json:"addr"`
+	Replicas     []string  `json:"replicas,omitempty"`
 	Endpoint     string    `json:"endpoint"`
+	Proto        string    `json:"proto"`
 	Monitor      string    `json:"monitor"`
+	Monitors     int       `json:"monitors"`
+	Zipf         float64   `json:"zipf"`
 	Concurrency  int       `json:"concurrency"`
 	Batch        int       `json:"batch"`
 	DurationS    float64   `json:"duration_s"`
@@ -196,7 +226,20 @@ type Latencies struct {
 	Max  float64 `json:"max"`
 }
 
-// run drives the whole load test against a live daemon.
+// target is one monitor under load: its owning replica's URL, the request
+// payload (built once — the measured variance is the serving path's, not
+// the workload's), and how many snapshots one request asks for.
+type target struct {
+	id          string
+	base        string // owning replica, "http://host:port"
+	url         string
+	body        []byte
+	contentType string
+	perReq      int
+	created     bool
+}
+
+// run drives the whole load test against one or more live daemons.
 func run(cfg config) (*Report, error) {
 	if cfg.Concurrency < 1 {
 		return nil, fmt.Errorf("concurrency %d < 1", cfg.Concurrency)
@@ -204,39 +247,58 @@ func run(cfg config) (*Report, error) {
 	if cfg.Batch < 1 {
 		return nil, fmt.Errorf("batch %d < 1", cfg.Batch)
 	}
+	if cfg.Monitors == 0 {
+		cfg.Monitors = 1
+	}
+	if cfg.Monitors < 1 {
+		return nil, fmt.Errorf("monitors %d < 1", cfg.Monitors)
+	}
+	if cfg.Proto == "" {
+		cfg.Proto = "json"
+	}
 	switch cfg.Endpoint {
 	case "estimate", "track", "simulate":
 	default:
 		return nil, fmt.Errorf("unknown endpoint %q (want estimate, track or simulate)", cfg.Endpoint)
 	}
-	base := "http://" + cfg.Addr
-	if strings.HasPrefix(cfg.Addr, "http://") || strings.HasPrefix(cfg.Addr, "https://") {
-		base = cfg.Addr
+	switch cfg.Proto {
+	case "json":
+	case "binary":
+		if cfg.Endpoint != "estimate" {
+			return nil, fmt.Errorf("-proto binary speaks the estimate endpoint only (got %q)", cfg.Endpoint)
+		}
+	default:
+		return nil, fmt.Errorf("unknown proto %q (want json or binary)", cfg.Proto)
 	}
-	client := &http.Client{Timeout: 60 * time.Second}
 
-	if err := checkHealth(client, base); err != nil {
-		return nil, err
-	}
-	id, m, created, err := resolveMonitor(client, base, cfg)
+	bases, err := resolveBases(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if created && !cfg.Keep {
+	client := &http.Client{Timeout: 60 * time.Second}
+	for _, base := range bases {
+		if err := checkHealth(client, base); err != nil {
+			return nil, err
+		}
+	}
+	targets, err := resolveTargets(client, bases, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Keep {
 		defer func() {
-			req, _ := http.NewRequest(http.MethodDelete, base+"/v1/monitors/"+id, nil)
-			if resp, err := client.Do(req); err == nil {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+			for _, tg := range targets {
+				if !tg.created {
+					continue
+				}
+				req, _ := http.NewRequest(http.MethodDelete, tg.base+"/v1/monitors/"+tg.id, nil)
+				if resp, err := client.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
 			}
 		}()
 	}
-
-	body, perReq, err := requestBody(cfg, m)
-	if err != nil {
-		return nil, err
-	}
-	url := base + "/v1/monitors/" + id + "/" + cfg.Endpoint
 
 	var (
 		wg        sync.WaitGroup
@@ -251,6 +313,9 @@ func run(cfg config) (*Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker deterministic sampler: reruns hit the same monitor
+			// sequence, so run-to-run variance is the daemon's alone.
+			pick := newPicker(len(targets), cfg.Zipf, int64(w)+1)
 			for {
 				if cfg.Requests > 0 {
 					if issued.Add(1) > int64(cfg.Requests) {
@@ -259,8 +324,9 @@ func run(cfg config) (*Report, error) {
 				} else if !time.Now().Before(deadline) {
 					return
 				}
+				tg := targets[pick()]
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(tg.url, tg.contentType, bytes.NewReader(tg.body))
 				if err != nil {
 					errs.Add(1)
 					continue
@@ -272,7 +338,7 @@ func run(cfg config) (*Report, error) {
 					continue
 				}
 				lats[w] = append(lats[w], time.Since(t0).Seconds())
-				snapshots.Add(int64(perReq))
+				snapshots.Add(int64(tg.perReq))
 			}
 		}(w)
 	}
@@ -284,7 +350,8 @@ func run(cfg config) (*Report, error) {
 		all = append(all, l...)
 	}
 	rep := &Report{
-		Addr: cfg.Addr, Endpoint: cfg.Endpoint, Monitor: id,
+		Addr: cfg.Addr, Endpoint: cfg.Endpoint, Proto: cfg.Proto,
+		Monitor: targets[0].id, Monitors: len(targets), Zipf: cfg.Zipf,
 		Concurrency: cfg.Concurrency, Batch: cfg.Batch,
 		DurationS: elapsed,
 		Requests:  int64(len(all)) + errs.Load(),
@@ -292,11 +359,49 @@ func run(cfg config) (*Report, error) {
 		Snapshots: snapshots.Load(),
 		LatencyMS: summarizeLatencies(all),
 	}
+	if cfg.Addrs != "" {
+		rep.Replicas = strings.Split(cfg.Addrs, ",")
+	}
 	if elapsed > 0 {
 		rep.RequestsPerS = float64(len(all)) / elapsed
 		rep.SnapshotsPS = float64(snapshots.Load()) / elapsed
 	}
 	return rep, nil
+}
+
+// newPicker returns a deterministic target sampler: zipfian over rank when
+// s > 1 (rank 0 hottest), uniform otherwise. One monitor needs no RNG at
+// all.
+func newPicker(n int, s float64, seed int64) func() int {
+	if n <= 1 {
+		return func() int { return 0 }
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if s > 1 {
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(n) }
+}
+
+// resolveBases normalizes -addr/-addrs into base URLs.
+func resolveBases(cfg config) ([]string, error) {
+	addrs := []string{cfg.Addr}
+	if cfg.Addrs != "" {
+		addrs = strings.Split(cfg.Addrs, ",")
+	}
+	bases := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("-addrs has an empty address")
+		}
+		if !strings.HasPrefix(a, "http://") && !strings.HasPrefix(a, "https://") {
+			a = "http://" + a
+		}
+		bases = append(bases, a)
+	}
+	return bases, nil
 }
 
 func checkHealth(client *http.Client, base string) error {
@@ -312,64 +417,108 @@ func checkHealth(client *http.Client, base string) error {
 	return nil
 }
 
-// resolveMonitor returns the target monitor's id and sensor count, creating
-// a monitor when cfg.Monitor is empty.
-func resolveMonitor(client *http.Client, base string, cfg config) (id string, m int, created bool, err error) {
+// resolveTargets builds the monitor fleet. With -monitor (one id or a
+// comma-separated list, in zipf rank order) it locates each existing
+// monitor's owning replica (each sharded replica lists only the monitors it
+// owns, so the listing that contains the ID is the owner). With -monitors N
+// it creates N monitors round-robin across the replicas — sharded daemons
+// allocate only IDs they own, so the creating replica is the owner and
+// every request routes exactly as a production id→shard pinning router
+// would.
+func resolveTargets(client *http.Client, bases []string, cfg config) ([]target, error) {
 	if cfg.Monitor != "" {
-		resp, err := client.Get(base + "/v1/monitors")
-		if err != nil {
-			return "", 0, false, err
+		ids := strings.Split(cfg.Monitor, ",")
+		want := make(map[string]int, len(ids)) // id → rank in the -monitor order
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+			if ids[i] == "" {
+				return nil, fmt.Errorf("-monitor has an empty id")
+			}
+			if _, dup := want[ids[i]]; dup {
+				return nil, fmt.Errorf("-monitor lists %q twice", ids[i])
+			}
+			want[ids[i]] = i
 		}
-		defer resp.Body.Close()
-		var list struct {
-			Monitors []struct {
-				ID string `json:"id"`
-				M  int    `json:"m"`
-			} `json:"monitors"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-			return "", 0, false, fmt.Errorf("listing monitors: %w", err)
-		}
-		for _, mi := range list.Monitors {
-			if mi.ID == cfg.Monitor {
-				return mi.ID, mi.M, false, nil
+		targets := make([]target, len(ids))
+		for _, base := range bases {
+			resp, err := client.Get(base + "/v1/monitors")
+			if err != nil {
+				return nil, err
+			}
+			var list struct {
+				Monitors []struct {
+					ID string `json:"id"`
+					M  int    `json:"m"`
+				} `json:"monitors"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&list)
+			resp.Body.Close()
+			if err != nil {
+				return nil, fmt.Errorf("listing monitors on %s: %w", base, err)
+			}
+			for _, mi := range list.Monitors {
+				if rank, ok := want[mi.ID]; ok && targets[rank].id == "" {
+					tg, err := finishTarget(cfg, target{id: mi.ID, base: base}, mi.M)
+					if err != nil {
+						return nil, err
+					}
+					targets[rank] = tg
+				}
 			}
 		}
-		return "", 0, false, fmt.Errorf("no monitor %q on the daemon", cfg.Monitor)
+		for i := range targets {
+			if targets[i].id == "" {
+				return nil, fmt.Errorf("no monitor %q on any replica", ids[i])
+			}
+		}
+		return targets, nil
 	}
-	resp, err := client.Post(base+"/v1/monitors", "application/json", strings.NewReader(cfg.CreateBody))
-	if err != nil {
-		return "", 0, false, err
+	targets := make([]target, 0, cfg.Monitors)
+	for i := 0; i < cfg.Monitors; i++ {
+		base := bases[i%len(bases)]
+		resp, err := client.Post(base+"/v1/monitors", "application/json", strings.NewReader(cfg.CreateBody))
+		if err != nil {
+			return nil, err
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("create monitor on %s: status %d: %s", base, resp.StatusCode, blob)
+		}
+		var cr struct {
+			ID      string `json:"id"`
+			Sensors []int  `json:"sensors"`
+		}
+		if err := json.Unmarshal(blob, &cr); err != nil {
+			return nil, fmt.Errorf("create monitor: %w", err)
+		}
+		tg, err := finishTarget(cfg, target{id: cr.ID, base: base, created: true}, len(cr.Sensors))
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, tg)
 	}
-	defer resp.Body.Close()
-	blob, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusCreated {
-		return "", 0, false, fmt.Errorf("create monitor: status %d: %s", resp.StatusCode, blob)
-	}
-	var cr struct {
-		ID      string `json:"id"`
-		Sensors []int  `json:"sensors"`
-	}
-	if err := json.Unmarshal(blob, &cr); err != nil {
-		return "", 0, false, fmt.Errorf("create monitor: %w", err)
-	}
-	return cr.ID, len(cr.Sensors), true, nil
+	return targets, nil
 }
 
-// requestBody builds the (fixed) request payload and reports how many
-// snapshots one request asks for. Readings are synthetic but finite and
-// plausible (°C around a warm die); every request carries the same body so
-// the measured variance is the serving path's, not the workload's.
-func requestBody(cfg config, m int) ([]byte, int, error) {
+// finishTarget attaches the fixed request payload to a resolved monitor.
+// Readings are synthetic but finite and plausible (°C around a warm die);
+// every request to one monitor carries the same body so the measured
+// variance is the serving path's, not the workload's.
+func finishTarget(cfg config, tg target, m int) (target, error) {
+	tg.url = tg.base + "/v1/monitors/" + tg.id + "/" + cfg.Endpoint
+	tg.contentType = "application/json"
+	tg.perReq = cfg.Batch
 	switch cfg.Endpoint {
 	case "simulate":
 		body, err := json.Marshal(map[string]any{
 			"count": cfg.Batch, "snr_db": cfg.SNRdB, "seed": int64(1),
 		})
-		return body, cfg.Batch, err
+		tg.body = body
+		return tg, err
 	default: // estimate, track
 		if m < 1 {
-			return nil, 0, fmt.Errorf("monitor reports %d sensors", m)
+			return tg, fmt.Errorf("monitor %s reports %d sensors", tg.id, m)
 		}
 		readings := make([][]float64, cfg.Batch)
 		for i := range readings {
@@ -379,8 +528,14 @@ func requestBody(cfg config, m int) ([]byte, int, error) {
 			}
 			readings[i] = row
 		}
+		if cfg.Proto == "binary" {
+			frame, err := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Readings: readings})
+			tg.body, tg.contentType = frame, wire.ContentType
+			return tg, err
+		}
 		body, err := json.Marshal(map[string]any{"readings": readings})
-		return body, cfg.Batch, err
+		tg.body = body
+		return tg, err
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/wire"
 )
 
 func TestPercentileNearestRank(t *testing.T) {
@@ -164,15 +166,18 @@ func TestRunRejectsBadConfig(t *testing.T) {
 }
 
 func TestRequestBodyShapes(t *testing.T) {
-	body, per, err := requestBody(config{Endpoint: "estimate", Batch: 3}, 8)
-	if err != nil || per != 3 {
-		t.Fatalf("estimate body: per=%d err=%v", per, err)
+	tg, err := finishTarget(config{Endpoint: "estimate", Batch: 3, Proto: "json"}, target{id: "mon-9", base: "http://x"}, 8)
+	if err != nil || tg.perReq != 3 || tg.contentType != "application/json" {
+		t.Fatalf("estimate body: per=%d ct=%q err=%v", tg.perReq, tg.contentType, err)
+	}
+	if tg.url != "http://x/v1/monitors/mon-9/estimate" {
+		t.Fatalf("target url %q", tg.url)
 	}
 	var est struct {
 		Readings [][]float64 `json:"readings"`
 	}
-	if err := json.Unmarshal(body, &est); err != nil || len(est.Readings) != 3 || len(est.Readings[0]) != 8 {
-		t.Fatalf("estimate body %s", body)
+	if err := json.Unmarshal(tg.body, &est); err != nil || len(est.Readings) != 3 || len(est.Readings[0]) != 8 {
+		t.Fatalf("estimate body %s", tg.body)
 	}
 	for _, row := range est.Readings {
 		for _, v := range row {
@@ -181,16 +186,222 @@ func TestRequestBodyShapes(t *testing.T) {
 			}
 		}
 	}
-	body, per, err = requestBody(config{Endpoint: "simulate", Batch: 7, SNRdB: 15}, 8)
-	if err != nil || per != 7 {
-		t.Fatalf("simulate body: per=%d err=%v", per, err)
+
+	// The binary body is the same readings on the application/x-emaps wire.
+	btg, err := finishTarget(config{Endpoint: "estimate", Batch: 3, Proto: "binary"}, target{id: "mon-9", base: "http://x"}, 8)
+	if err != nil || btg.contentType != wire.ContentType {
+		t.Fatalf("binary target: ct=%q err=%v", btg.contentType, err)
+	}
+	var scratch wire.ReadingsBuf
+	req, err := wire.DecodeEstimateRequest(btg.body, &scratch)
+	if err != nil || len(req.Readings) != 3 || len(req.Readings[0]) != 8 {
+		t.Fatalf("binary body does not decode to the batch: %v", err)
+	}
+	for i, row := range req.Readings {
+		for j, v := range row {
+			if v != est.Readings[i][j] {
+				t.Fatalf("binary reading [%d][%d] = %g, json %g", i, j, v, est.Readings[i][j])
+			}
+		}
+	}
+
+	tg, err = finishTarget(config{Endpoint: "simulate", Batch: 7, SNRdB: 15, Proto: "json"}, target{id: "mon-9", base: "http://x"}, 8)
+	if err != nil || tg.perReq != 7 {
+		t.Fatalf("simulate body: per=%d err=%v", tg.perReq, err)
 	}
 	var sim struct {
 		Count int     `json:"count"`
 		SNR   float64 `json:"snr_db"`
 	}
-	if err := json.Unmarshal(body, &sim); err != nil || sim.Count != 7 || sim.SNR != 15 {
-		t.Fatalf("simulate body %s", body)
+	if err := json.Unmarshal(tg.body, &sim); err != nil || sim.Count != 7 || sim.SNR != 15 {
+		t.Fatalf("simulate body %s", tg.body)
+	}
+}
+
+// TestPickerDistributions pins the monitor sampler: deterministic for a
+// seed, uniform at s<=1, head-heavy at s>1, constant for one target.
+func TestPickerDistributions(t *testing.T) {
+	if newPicker(1, 2.0, 1)() != 0 {
+		t.Fatal("single-target picker must return 0")
+	}
+	const n, draws = 10, 20_000
+	uni := newPicker(n, 0, 7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[uni()]++
+	}
+	for idx, c := range counts {
+		if c < draws/n/2 || c > draws*2/n {
+			t.Fatalf("uniform picker skewed: target %d drawn %d/%d (%v)", idx, c, draws, counts)
+		}
+	}
+	zipf := newPicker(n, 1.5, 7)
+	zcounts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		zcounts[zipf()]++
+	}
+	if zcounts[0] < draws/3 {
+		t.Fatalf("zipf picker head not hot: %v", zcounts)
+	}
+	if zcounts[n-1] >= zcounts[0] {
+		t.Fatalf("zipf picker tail as hot as head: %v", zcounts)
+	}
+	// Same seed, same sequence.
+	a, b := newPicker(n, 1.5, 42), newPicker(n, 1.5, 42)
+	for i := 0; i < 100; i++ {
+		if a() != b() {
+			t.Fatal("picker is not deterministic for a fixed seed")
+		}
+	}
+}
+
+// fleetStub is a replica stub for multi-monitor runs: it allocates IDs with
+// its own prefix (as a sharded daemon allocates only owned IDs) and serves
+// estimates for any of them, counting requests and checking the wire
+// content type.
+func fleetStub(t *testing.T, prefix string, wantCT string) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var created, estimates atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/v1/monitors", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			// Like a sharded replica, list only owned monitors: a fixed
+			// two-monitor slice per stub.
+			fmt.Fprintf(w, `{"monitors":[{"id":"%s-1","m":8},{"id":"%s-2","m":8}]}`, prefix, prefix)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"id":"%s-%d","m":8,"sensors":[1,2,3,4,5,6,7,8]}`, prefix, created.Add(1))
+	})
+	mux.HandleFunc("/v1/monitors/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodDelete {
+			fmt.Fprint(w, `{}`)
+			return
+		}
+		if !strings.HasPrefix(r.URL.Path, "/v1/monitors/"+prefix+"-") {
+			// Request routed to the wrong replica — exactly what the
+			// per-target base must prevent.
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			return
+		}
+		if got := r.Header.Get("Content-Type"); got != wantCT {
+			t.Errorf("estimate Content-Type %q, want %q", got, wantCT)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		estimates.Add(1)
+		fmt.Fprint(w, `{"results":[]}`)
+	})
+	return httptest.NewServer(mux), &created, &estimates
+}
+
+// TestRunFleetAcrossReplicas: -monitors spreads creates round-robin over
+// -addrs, the zipfian sampler touches every target, and each estimate goes
+// to the replica that created (owns) its monitor.
+func TestRunFleetAcrossReplicas(t *testing.T) {
+	tsA, createdA, estA := fleetStub(t, "mon-a", "application/json")
+	tsB, createdB, estB := fleetStub(t, "mon-b", "application/json")
+	defer tsA.Close()
+	defer tsB.Close()
+	rep, err := run(config{
+		Addr: "ignored", Addrs: tsA.URL + "," + tsB.URL,
+		Endpoint: "estimate", Batch: 2, Monitors: 4, Zipf: 1.3,
+		Concurrency: 2, Requests: 200, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests != 200 {
+		t.Fatalf("requests=%d errors=%d, want 200/0", rep.Requests, rep.Errors)
+	}
+	if rep.Monitors != 4 || rep.Zipf != 1.3 || len(rep.Replicas) != 2 {
+		t.Fatalf("report fleet fields: %+v", rep)
+	}
+	if createdA.Load() != 2 || createdB.Load() != 2 {
+		t.Fatalf("creates %d/%d, want round-robin 2/2", createdA.Load(), createdB.Load())
+	}
+	if estA.Load() == 0 || estB.Load() == 0 {
+		t.Fatalf("estimates %d/%d — a replica saw no traffic", estA.Load(), estB.Load())
+	}
+	if estA.Load()+estB.Load() != 200 {
+		t.Fatalf("stubs saw %d estimates, want 200", estA.Load()+estB.Load())
+	}
+}
+
+// TestRunExistingFleet: a comma-separated -monitor list re-drives existing
+// monitors, each pinned to the replica that lists (owns) it, creating and
+// deleting nothing.
+func TestRunExistingFleet(t *testing.T) {
+	tsA, createdA, estA := fleetStub(t, "mon-a", "application/json")
+	tsB, createdB, estB := fleetStub(t, "mon-b", "application/json")
+	defer tsA.Close()
+	defer tsB.Close()
+	rep, err := run(config{
+		Addr: "ignored", Addrs: tsA.URL + "," + tsB.URL,
+		Monitor: "mon-a-1, mon-b-2,mon-a-2", Endpoint: "estimate",
+		Batch: 2, Zipf: 1.3, Concurrency: 2, Requests: 100, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests != 100 {
+		t.Fatalf("requests=%d errors=%d, want 100/0", rep.Requests, rep.Errors)
+	}
+	if rep.Monitors != 3 || rep.Monitor != "mon-a-1" {
+		t.Fatalf("fleet identity (first id is rank 0): %+v", rep)
+	}
+	if createdA.Load() != 0 || createdB.Load() != 0 {
+		t.Fatalf("existing-fleet run created monitors: %d/%d", createdA.Load(), createdB.Load())
+	}
+	if estA.Load() == 0 || estB.Load() == 0 {
+		t.Fatalf("estimates %d/%d — a replica saw no traffic", estA.Load(), estB.Load())
+	}
+	if estA.Load()+estB.Load() != 100 {
+		t.Fatalf("stubs saw %d estimates, want 100", estA.Load()+estB.Load())
+	}
+
+	// An id no replica lists fails loudly, naming the id.
+	if _, err := run(config{
+		Addr: tsA.URL, Monitor: "mon-a-1,mon-z-9", Endpoint: "estimate",
+		Batch: 1, Concurrency: 1, Requests: 1, Duration: time.Minute,
+	}); err == nil || !strings.Contains(err.Error(), "mon-z-9") {
+		t.Fatalf("missing fleet member error: %v", err)
+	}
+	// Duplicate and empty ids are config errors, not silent dedup.
+	if _, err := run(config{
+		Addr: tsA.URL, Monitor: "mon-a-1,mon-a-1", Endpoint: "estimate",
+		Batch: 1, Concurrency: 1,
+	}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate id error: %v", err)
+	}
+	if _, err := run(config{
+		Addr: tsA.URL, Monitor: "mon-a-1,,mon-a-2", Endpoint: "estimate",
+		Batch: 1, Concurrency: 1,
+	}); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty id error: %v", err)
+	}
+}
+
+// TestRunBinaryProto: -proto binary sends application/x-emaps frames.
+func TestRunBinaryProto(t *testing.T) {
+	ts, _, est := fleetStub(t, "mon-a", wire.ContentType)
+	defer ts.Close()
+	rep, err := run(config{
+		Addr: ts.URL, Endpoint: "estimate", Proto: "binary", Batch: 2,
+		Concurrency: 1, Requests: 10, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || est.Load() != 10 || rep.Proto != "binary" {
+		t.Fatalf("binary run: errors=%d est=%d proto=%q", rep.Errors, est.Load(), rep.Proto)
+	}
+	// Binary is estimate-only.
+	if _, err := run(config{Addr: ts.URL, Endpoint: "track", Proto: "binary", Batch: 1, Concurrency: 1}); err == nil {
+		t.Fatal("binary track accepted")
 	}
 }
 

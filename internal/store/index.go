@@ -1,0 +1,271 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The store index is what makes warm-starting a million-monitor store
+// O(resident + one index read) instead of O(corpus): one file beside the
+// monitor records summarizing every record well enough to register it,
+// route requests to it and list it — without opening it. The daemon reads
+// the index at boot, registers a lazy stub per entry, and pages the full
+// .emon record in on the monitor's first touch.
+//
+// The index reuses the EMST envelope idiom with its own magic:
+//
+//	magic   "EMSI"            4 bytes
+//	version uint32 LE         index format version (currently 1)
+//	length  uint64 LE         payload byte count
+//	payload length bytes
+//	crc     uint32 LE         IEEE CRC-32 of the payload
+//
+// The payload is a uint32 entry count followed by the entries, each a fixed
+// field sequence (strings are u32-length-prefixed UTF-8, integers u32 LE):
+// id, file, train key, floorplan, K, M, grid W, grid H, flags (bit 0 =
+// tracking). Entries are sorted by monitor ID, so encoding is deterministic
+// and two replicas writing the same logical index write the same bytes.
+//
+// The index is advisory, never authoritative: every decode failure (or a
+// missing index) downgrades the boot to a directory scan that rebuilds it,
+// and an entry that disagrees with its record on disk is detected at
+// page-in time. Losing the index costs one O(corpus) boot, never data.
+
+const (
+	indexMagic = "EMSI"
+	// IndexVersion is the index format version SaveIndex writes.
+	IndexVersion = 1
+	// maxIndexEntries bounds the entry count a corrupt header can claim
+	// before any allocation happens (~10^8 monitors is far beyond the
+	// design target of 10^6).
+	maxIndexEntries = 1 << 27
+)
+
+// IndexEntry summarizes one monitor record: everything the daemon needs to
+// register, list and route a monitor without reading its record file.
+type IndexEntry struct {
+	// ID is the monitor id ("mon-42").
+	ID string
+	// File is the record's filename relative to the store directory.
+	File string
+	// TrainKey is the hash naming the monitor's model record (the
+	// "model-<TrainKey>.emod" file), linking the monitor to the trained
+	// model it was placed on.
+	TrainKey string
+	// Floorplan is the die name ("t1", "athlon", "manycore-256c", ...).
+	Floorplan string
+	// K and M are the subspace dimension and sensor count.
+	K, M int
+	// GridW and GridH are the thermal-map grid dimensions.
+	GridW, GridH int
+	// Tracking records whether the monitor was created with a Kalman
+	// tracker.
+	Tracking bool
+}
+
+// Index is the boot-time summary of a monitor store: one entry per monitor
+// record, sorted by ID.
+type Index struct {
+	Entries []IndexEntry
+}
+
+// indexFlagTracking is the tracking bit in an entry's flags word.
+const indexFlagTracking = 1 << 0
+
+// EncodeIndex writes idx in the index format. Entries are encoded in ID
+// order regardless of their order in idx, so the bytes are a pure function
+// of the logical index.
+func EncodeIndex(w io.Writer, idx *Index) error {
+	entries := append([]IndexEntry(nil), idx.Entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	var payload bytes.Buffer
+	putU32(&payload, uint32(len(entries)))
+	for _, e := range entries {
+		putString(&payload, e.ID)
+		putString(&payload, e.File)
+		putString(&payload, e.TrainKey)
+		putString(&payload, e.Floorplan)
+		putU32(&payload, uint32(e.K))
+		putU32(&payload, uint32(e.M))
+		putU32(&payload, uint32(e.GridW))
+		putU32(&payload, uint32(e.GridH))
+		var flags uint32
+		if e.Tracking {
+			flags |= indexFlagTracking
+		}
+		putU32(&payload, flags)
+	}
+	head := make([]byte, 0, 16)
+	head = append(head, indexMagic...)
+	head = binary.LittleEndian.AppendUint32(head, IndexVersion)
+	head = binary.LittleEndian.AppendUint64(head, uint64(payload.Len()))
+	if _, err := w.Write(head); err != nil {
+		return &Error{Kind: KindIO, Detail: "writing index header", Err: err}
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return &Error{Kind: KindIO, Detail: "writing index payload", Err: err}
+	}
+	crc := crc32.ChecksumIEEE(payload.Bytes())
+	if _, err := w.Write(binary.LittleEndian.AppendUint32(nil, crc)); err != nil {
+		return &Error{Kind: KindIO, Detail: "writing index checksum", Err: err}
+	}
+	return nil
+}
+
+// DecodeIndex reads one index. The error contract matches Decode: hostile
+// bytes yield a typed *Error (ErrBadMagic, ErrUnknownVersion, ErrTruncated,
+// ErrChecksum, ErrInvalid), never a panic — and the caller is expected to
+// treat any of them as "rebuild the index from a directory scan".
+func DecodeIndex(r io.Reader) (*Index, error) {
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "index shorter than the 4-byte magic")
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading index magic", Err: err}
+	}
+	if string(mg[:]) != indexMagic {
+		return nil, errf(KindBadMagic, "index magic %q", mg[:])
+	}
+	head := make([]byte, 12)
+	if _, err := io.ReadFull(r, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "index header cut short")
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading index header", Err: err}
+	}
+	version := binary.LittleEndian.Uint32(head[0:4])
+	if version != IndexVersion {
+		return nil, errf(KindUnknownVersion, "index version %d (this build reads %d)", version, IndexVersion)
+	}
+	length := binary.LittleEndian.Uint64(head[4:12])
+	if length > maxPayload {
+		return nil, errf(KindInvalid, "index payload length %d exceeds cap %d", length, int64(maxPayload))
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "index payload: want %d bytes", length)
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading index payload", Err: err}
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errf(KindTruncated, "index checksum missing")
+		}
+		return nil, &Error{Kind: KindIO, Detail: "reading index checksum", Err: err}
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, errf(KindChecksum, "index crc32 %08x, header says %08x", got, want)
+	}
+	return parseIndexPayload(payload)
+}
+
+// parseIndexPayload parses a checksum-verified index payload.
+func parseIndexPayload(payload []byte) (*Index, error) {
+	p := &reader{buf: payload}
+	count, err := p.u32("index entry count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxIndexEntries {
+		return nil, errf(KindInvalid, "implausible index entry count %d", count)
+	}
+	idx := &Index{Entries: make([]IndexEntry, 0, count)}
+	seen := make(map[string]struct{}, count)
+	for i := uint32(0); i < count; i++ {
+		var e IndexEntry
+		if e.ID, err = p.string("index id"); err != nil {
+			return nil, err
+		}
+		if e.File, err = p.string("index file"); err != nil {
+			return nil, err
+		}
+		if e.TrainKey, err = p.string("index train key"); err != nil {
+			return nil, err
+		}
+		if e.Floorplan, err = p.string("index floorplan"); err != nil {
+			return nil, err
+		}
+		var k, m, gw, gh, flags uint32
+		if k, err = p.u32("index K"); err != nil {
+			return nil, err
+		}
+		if m, err = p.u32("index M"); err != nil {
+			return nil, err
+		}
+		if gw, err = p.u32("index grid W"); err != nil {
+			return nil, err
+		}
+		if gh, err = p.u32("index grid H"); err != nil {
+			return nil, err
+		}
+		if flags, err = p.u32("index flags"); err != nil {
+			return nil, err
+		}
+		if flags&^uint32(indexFlagTracking) != 0 {
+			return nil, errf(KindInvalid, "unknown index entry flags %#x", flags)
+		}
+		e.K, e.M, e.GridW, e.GridH = int(k), int(m), int(gw), int(gh)
+		e.Tracking = flags&indexFlagTracking != 0
+		if e.ID == "" || e.File == "" {
+			return nil, errf(KindInvalid, "index entry %d has empty id or file", i)
+		}
+		if filepath.Base(e.File) != e.File {
+			return nil, errf(KindInvalid, "index entry %q names a non-local file %q", e.ID, e.File)
+		}
+		if _, dup := seen[e.ID]; dup {
+			return nil, errf(KindInvalid, "duplicate index entry %q", e.ID)
+		}
+		seen[e.ID] = struct{}{}
+		idx.Entries = append(idx.Entries, e)
+	}
+	if p.off != len(p.buf) {
+		return nil, errf(KindInvalid, "%d trailing index payload bytes", len(p.buf)-p.off)
+	}
+	return idx, nil
+}
+
+// SaveIndexFile writes idx to path atomically (temp file + fsync + rename),
+// like SaveFile: a crash mid-write leaves the old index or none, never a
+// torn one.
+func SaveIndexFile(path string, idx *Index) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return &Error{Kind: KindIO, Detail: "creating temp index file", Err: err}
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := EncodeIndex(tmp, idx); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return &Error{Kind: KindIO, Detail: "syncing temp index file", Err: err}
+	}
+	if err := tmp.Close(); err != nil {
+		return &Error{Kind: KindIO, Detail: "closing temp index file", Err: err}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return &Error{Kind: KindIO, Detail: "renaming index into place", Err: err}
+	}
+	return nil
+}
+
+// LoadIndexFile reads an index written by SaveIndexFile.
+func LoadIndexFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &Error{Kind: KindIO, Detail: "opening index file", Err: err}
+	}
+	defer f.Close()
+	return DecodeIndex(f)
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func sampleIndex() *Index {
+	return &Index{Entries: []IndexEntry{
+		{ID: "mon-2", File: "mon-2.emon", TrainKey: "deadbeef01234567", Floorplan: "t1",
+			K: 4, M: 8, GridW: 12, GridH: 10, Tracking: true},
+		{ID: "mon-1", File: "mon-1.emon", TrainKey: "deadbeef01234567", Floorplan: "t1",
+			K: 4, M: 8, GridW: 12, GridH: 10},
+		{ID: "mon-10", File: "mon-10.emon", TrainKey: "cafe0123cafe0123", Floorplan: "manycore-256c",
+			K: 12, M: 24, GridW: 32, GridH: 32},
+	}}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	idx := sampleIndex()
+	var buf bytes.Buffer
+	if err := EncodeIndex(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("%d entries, want 3", len(got.Entries))
+	}
+	// Entries come back sorted by ID regardless of input order.
+	wantOrder := []string{"mon-1", "mon-10", "mon-2"}
+	for i, want := range wantOrder {
+		if got.Entries[i].ID != want {
+			t.Fatalf("entry %d is %q, want %q", i, got.Entries[i].ID, want)
+		}
+	}
+	byID := map[string]IndexEntry{}
+	for _, e := range got.Entries {
+		byID[e.ID] = e
+	}
+	if e := byID["mon-2"]; !e.Tracking || e.K != 4 || e.M != 8 || e.GridW != 12 || e.GridH != 10 ||
+		e.File != "mon-2.emon" || e.TrainKey != "deadbeef01234567" || e.Floorplan != "t1" {
+		t.Fatalf("mon-2 round-trip: %+v", e)
+	}
+	if e := byID["mon-10"]; e.Tracking || e.Floorplan != "manycore-256c" || e.K != 12 {
+		t.Fatalf("mon-10 round-trip: %+v", e)
+	}
+}
+
+// TestIndexDeterministicBytes: two encodes of the same logical index (any
+// entry order) produce the same bytes, so replicas rewriting a shared index
+// converge.
+func TestIndexDeterministicBytes(t *testing.T) {
+	idx := sampleIndex()
+	var a, b bytes.Buffer
+	if err := EncodeIndex(&a, idx); err != nil {
+		t.Fatal(err)
+	}
+	rev := &Index{}
+	for i := len(idx.Entries) - 1; i >= 0; i-- {
+		rev.Entries = append(rev.Entries, idx.Entries[i])
+	}
+	if err := EncodeIndex(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("index encoding depends on entry order")
+	}
+}
+
+func TestIndexFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.index")
+	if err := SaveIndexFile(path, sampleIndex()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("%d entries after file round-trip", len(got.Entries))
+	}
+}
+
+// TestIndexHostileBytes: every corruption yields the right typed error and
+// never a panic — the daemon downgrades any of these to a rebuild-from-scan.
+func TestIndexHostileBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeIndex(&buf, sampleIndex()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		copy(bad, "EMST") // a record envelope is not an index
+		if _, err := DecodeIndex(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[4] = 99
+		if _, err := DecodeIndex(bytes.NewReader(bad)); !errors.Is(err, ErrUnknownVersion) {
+			t.Fatalf("err = %v, want ErrUnknownVersion", err)
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for _, cut := range []int{0, 3, 10, 17, len(good) / 2, len(good) - 3} {
+			if _, err := DecodeIndex(bytes.NewReader(good[:cut])); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+			}
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)/2] ^= 0x10
+		if _, err := DecodeIndex(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("err = %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("duplicate id", func(t *testing.T) {
+		dup := &Index{Entries: []IndexEntry{
+			{ID: "mon-1", File: "a.emon"}, {ID: "mon-1", File: "b.emon"},
+		}}
+		var b bytes.Buffer
+		if err := EncodeIndex(&b, dup); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeIndex(bytes.NewReader(b.Bytes())); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("err = %v, want ErrInvalid", err)
+		}
+	})
+	t.Run("non-local file path", func(t *testing.T) {
+		esc := &Index{Entries: []IndexEntry{{ID: "mon-1", File: "../escape.emon"}}}
+		var b bytes.Buffer
+		if err := EncodeIndex(&b, esc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeIndex(bytes.NewReader(b.Bytes())); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("err = %v, want ErrInvalid", err)
+		}
+	})
+	t.Run("empty index is valid", func(t *testing.T) {
+		var b bytes.Buffer
+		if err := EncodeIndex(&b, &Index{}); err != nil {
+			t.Fatal(err)
+		}
+		idx, err := DecodeIndex(bytes.NewReader(b.Bytes()))
+		if err != nil || len(idx.Entries) != 0 {
+			t.Fatalf("empty index: %v %v", idx, err)
+		}
+	})
+}
