@@ -235,12 +235,16 @@ func isNumByte(c byte) bool {
 	return c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
 }
 
-// appendEstimateResponse renders {"results":[...]} without reflection.
-// strconv's shortest round-trip formatting can differ from encoding/json's
-// only in exponent styling (1e-05 vs 0.00001); clients decode bit-identical
-// float64 values either way.
-func appendEstimateResponse(buf []byte, results []snapshotSummary) []byte {
-	buf = append(buf, `{"results":[`...)
+// appendEstimateResponse renders {"quality":"...","results":[...]} without
+// reflection. The quality field comes first so clients (and emapsload's
+// counter) can classify a response from its fixed-offset prefix without
+// parsing the body. strconv's shortest round-trip formatting can differ
+// from encoding/json's only in exponent styling (1e-05 vs 0.00001); clients
+// decode bit-identical float64 values either way.
+func appendEstimateResponse(buf []byte, results []snapshotSummary, quality string) []byte {
+	buf = append(buf, `{"quality":"`...)
+	buf = append(buf, quality...)
+	buf = append(buf, `","results":[`...)
 	for i := range results {
 		if i > 0 {
 			buf = append(buf, ',')

@@ -144,18 +144,22 @@ func TestAppendEstimateResponseMatchesEncodingJSON(t *testing.T) {
 		},
 	}
 	for _, results := range cases {
-		got := appendEstimateResponse(nil, results)
+		got := appendEstimateResponse(nil, results, "drifting")
 		if !json.Valid(got) {
 			t.Fatalf("invalid JSON: %s", got)
 		}
 		type envelope struct {
+			Quality string            `json:"quality"`
 			Results []snapshotSummary `json:"results"`
 		}
 		var fromFast, fromStd envelope
 		if err := json.Unmarshal(got, &fromFast); err != nil {
 			t.Fatal(err)
 		}
-		std, err := json.Marshal(envelope{Results: results})
+		if fromFast.Quality != "drifting" {
+			t.Fatalf("quality %q, want drifting", fromFast.Quality)
+		}
+		std, err := json.Marshal(envelope{Quality: "drifting", Results: results})
 		if err != nil {
 			t.Fatal(err)
 		}

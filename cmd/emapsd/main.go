@@ -14,6 +14,8 @@
 //
 //	POST /v1/monitors                  create a monitor (trains on demand)
 //	GET  /v1/monitors                  list monitors and their counters
+//	GET  /v1/monitors/{id}             one monitor's identity, lineage and
+//	                                   live drift verdict
 //	DELETE /v1/monitors/{id}           retire a monitor
 //	POST /v1/monitors/{id}/estimate    batched reconstruction — one GEMM
 //	                                   against the precomputed operator by
@@ -87,8 +89,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/basis"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/drift"
 	"repro/internal/floorplan"
 	"repro/internal/mat"
 	"repro/internal/metrics"
@@ -120,6 +124,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 	coalesceWindow := flag.Duration("coalesce-window", 0, "bounded wait for batching concurrent estimate requests into one GEMM (0 = disabled)")
 	coalesceMax := flag.Int("coalesce-max", 256, "snapshot count that flushes a coalesced batch immediately")
+	adaptAfter := flag.Int("adapt-after", 64, "out-of-distribution snapshots absorbed before the shadow basis hot-swaps in (0 = never adapt)")
+	faultInject := flag.String("fault-inject", "", "deterministic sensor-fault spec applied to incoming readings, e.g. stuck:3,drop:0.01,offset:2:5 (dev/testing)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault-inject randomness (dropouts)")
 	printRoutes := flag.Bool("print-routes", false, "print the /v1 route table and exit (CI docs gate)")
 	flag.Parse()
 
@@ -142,6 +149,17 @@ func main() {
 	srv.coalesceWindow = *coalesceWindow
 	srv.coalesceMax = *coalesceMax
 	srv.lockStale = *lockStale
+	srv.adaptAfter = *adaptAfter
+	if *faultInject != "" {
+		faults, err := drift.ParseFaults(*faultInject)
+		if err != nil {
+			logger.Error("fault-inject", "err", err)
+			logSink.Close()
+			os.Exit(1)
+		}
+		srv.injector = drift.NewInjector(faults, *faultSeed)
+		logger.Warn("fault injection active", "spec", *faultInject, "seed", *faultSeed)
+	}
 	idx, n, err := parseShard(*shard)
 	if err != nil {
 		logger.Error("shard", "err", err)
@@ -245,6 +263,31 @@ type residentState struct {
 	mon *core.Monitor
 	kf  *track.Kalman // nil unless tracking was requested
 
+	// The serving basis and per-cell energy, kept so adaptation and
+	// persistence can rebuild records without reaching back to the model
+	// cache (an adapted generation's basis is not the cached model's).
+	basis  *basis.Basis
+	energy []float64
+
+	// drift is the detector + shadow-basis state (see drift.go); nil for
+	// uncalibrated monitors (no training ensemble in memory at create and
+	// no calibration in the store record), which always serve quality "ok".
+	drift *driftState
+
+	// Lineage: generation 0 is the freshly created monitor; every
+	// adaptation or sensor exclusion bumps it. parentKey is the ancestor's
+	// train-key hash, persisted so adapted records stay traceable.
+	generation int
+	parentKey  string
+
+	// Sensor-fault tolerance: origSensors is the client-facing sensor list
+	// (nil while no sensor has been excluded); keep holds the positions of
+	// the surviving sensors within a client reading vector of length
+	// clientM (nil = identity).
+	origSensors []int
+	keep        []int
+	clientM     int
+
 	// coal batches concurrent operator-arm estimate requests into shared
 	// GEMMs; nil unless the daemon runs with -coalesce-window > 0. It lives
 	// on the resident state (not the entry) because it captures mon.
@@ -323,6 +366,13 @@ type server struct {
 	coalesceWindow time.Duration
 	coalesceMax    int
 
+	// adaptAfter is how many out-of-distribution snapshots a drifting
+	// monitor absorbs into its shadow basis before hot-swapping the adapted
+	// generation in (0 = never adapt). injector, when non-nil, corrupts
+	// incoming readings with the -fault-inject spec (dev/testing only).
+	adaptAfter int
+	injector   *drift.Injector
+
 	mu        sync.Mutex
 	models    map[trainKey]*modelEntry
 	monitors  map[string]*monitorEntry    // every registered monitor, resident or not
@@ -347,16 +397,17 @@ type server struct {
 
 func newServer(maxBatch int) *server {
 	return &server{
-		maxBatch:  maxBatch,
-		maxModels: 32,
-		shardN:    1,
-		lockStale: time.Minute,
-		metrics:   newMetricsSet(),
-		models:    make(map[trainKey]*modelEntry),
-		monitors:  make(map[string]*monitorEntry),
-		residents: make(map[string]*monitorEntry),
-		index:     make(map[string]store.IndexEntry),
-		simGen:    make(chan struct{}, runtime.NumCPU()),
+		maxBatch:   maxBatch,
+		maxModels:  32,
+		shardN:     1,
+		adaptAfter: 64,
+		lockStale:  time.Minute,
+		metrics:    newMetricsSet(),
+		models:     make(map[trainKey]*modelEntry),
+		monitors:   make(map[string]*monitorEntry),
+		residents:  make(map[string]*monitorEntry),
+		index:      make(map[string]store.IndexEntry),
+		simGen:     make(chan struct{}, runtime.NumCPU()),
 	}
 }
 
@@ -440,9 +491,21 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request) string {
 func (s *server) handleMetrics(w http.ResponseWriter) {
 	s.mu.Lock()
 	g := gauges{models: len(s.models), monitors: len(s.monitors)}
+	entries := make([]*monitorEntry, 0, len(s.monitors))
+	for _, e := range s.monitors {
+		entries = append(entries, e)
+	}
 	s.mu.Unlock()
 	g.requests = s.requests.Load()
 	g.snapshots = s.snapshots.Load()
+	// Drift verdicts are read outside s.mu (each detector has its own lock);
+	// paged-out or uncalibrated monitors have no verdict to report.
+	for _, e := range entries {
+		if rs := e.res.Load(); rs != nil && rs.drift != nil {
+			g.driftStates = append(g.driftStates, driftGauge{id: e.id, state: int(rs.drift.det.State())})
+		}
+	}
+	sort.Slice(g.driftStates, func(i, j int) bool { return g.driftStates[i].id < g.driftStates[j].id })
 	// Render to memory first: render briefly holds the metrics mutex that
 	// every completing request touches, so it must never block on a slow
 	// scraper's connection.
@@ -675,7 +738,25 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		ds: entry.ds, fp: entry.fp, pcfg: entry.pcfg,
 		rho: req.Rho, workloads: req.Workloads, specJSON: req.WorkloadSpec, specs: specs,
 		metaOK: true}
-	rs := &residentState{mon: mon, kf: kf}
+	rs := &residentState{mon: mon, kf: kf, basis: entry.model.Basis, energy: entry.model.Energy}
+	// Drift calibration needs the training ensemble in memory; a create
+	// served from a store-loaded model skips it (the monitor serves
+	// quality "ok" and reports drift_state "uncalibrated").
+	if entry.ds != nil {
+		maps := make([][]float64, entry.ds.T())
+		for i := range maps {
+			maps[i] = entry.ds.Map(i)
+		}
+		if cal, err := calibrateMonitor(mon, maps); err == nil {
+			if dstate, err := newDriftState(cal, entry.model.Basis, entry.model.Energy, entry.ds.T()); err == nil {
+				rs.drift = dstate
+			} else {
+				s.logf("drift calibration", "err", err)
+			}
+		} else {
+			s.logf("drift calibration", "err", err)
+		}
+	}
 	me.res.Store(rs)
 	me.lastUse.Store(time.Now().UnixNano())
 	s.mu.Lock()
@@ -701,7 +782,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// Persist before publishing: once the monitor is visible, a concurrent
 	// DELETE must find the record on disk — persisting afterwards could
 	// resurrect a just-deleted monitor at the next warm start.
-	s.persistMonitor(me, rs, entry.model)
+	s.persistMonitor(me, rs)
 	s.mu.Lock()
 	s.monitors[me.id] = me
 	s.mu.Unlock()
@@ -800,6 +881,9 @@ func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request, rest stri
 		return "notfound"
 	}
 	switch {
+	case action == "" && r.Method == http.MethodGet:
+		s.handleMonitorStats(w, entry)
+		return "monitor"
 	case action == "" && r.Method == http.MethodDelete:
 		s.mu.Lock()
 		delete(s.monitors, id)
@@ -994,6 +1078,12 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 	if !s.checkBatch(w, readings) {
 		return
 	}
+	if s.injector != nil {
+		for _, row := range readings {
+			s.injector.Apply(row)
+		}
+	}
+	readings = rs.compactReadings(readings)
 	maps, done, err := s.estimateMaps(e, rs, readings, req.Workers, arm)
 	if err != nil {
 		// Wrong-length vectors, NaN/Inf readings: client error, never a panic.
@@ -1001,6 +1091,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 		return
 	}
 	defer done()
+	quality := s.feedDrift(e, rs, readings, maps)
 	s.snapshots.Add(int64(len(maps)))
 	e.snapshots.Add(int64(len(maps)))
 	out := make([]snapshotSummary, len(maps))
@@ -1008,9 +1099,9 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 		out[i] = summarize(x, req.IncludeMaps)
 	}
 	// Hand-rendered response (see codec.go): same bytes a json.Encoder would
-	// produce for {"results":[...]}, minus the reflection.
+	// produce for {"quality":"...","results":[...]}, minus the reflection.
 	body := responsePool.Get().(*[]byte)
-	*body = appendEstimateResponse((*body)[:0], out)
+	*body = appendEstimateResponse((*body)[:0], out, quality.String())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(*body); err != nil && s.logger != nil {
@@ -1050,12 +1141,20 @@ func (s *server) handleEstimateBinary(w http.ResponseWriter, r *http.Request, e 
 	if !s.checkBatch(w, req.Readings) {
 		return
 	}
-	maps, done, err := s.estimateMaps(e, rs, req.Readings, req.Workers, arm)
+	readings := req.Readings
+	if s.injector != nil {
+		for _, row := range readings {
+			s.injector.Apply(row)
+		}
+	}
+	readings = rs.compactReadings(readings)
+	maps, done, err := s.estimateMaps(e, rs, readings, req.Workers, arm)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
 		return
 	}
 	defer done()
+	quality := s.feedDrift(e, rs, readings, maps)
 	s.snapshots.Add(int64(len(maps)))
 	e.snapshots.Add(int64(len(maps)))
 	out := make([]wire.Summary, len(maps))
@@ -1063,7 +1162,7 @@ func (s *server) handleEstimateBinary(w http.ResponseWriter, r *http.Request, e 
 		out[i] = summarize(x, req.IncludeMaps)
 	}
 	respBuf := responsePool.Get().(*[]byte)
-	*respBuf = wire.AppendEstimateResponse((*respBuf)[:0], out)
+	*respBuf = wire.AppendEstimateResponse((*respBuf)[:0], out, qualityFor(quality))
 	w.Header().Set("Content-Type", wire.ContentType)
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(*respBuf); err != nil && s.logger != nil {
@@ -1091,11 +1190,20 @@ func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorE
 	if !s.checkBatch(w, readings) {
 		return
 	}
+	if s.injector != nil {
+		for _, row := range readings {
+			s.injector.Apply(row)
+		}
+	}
+	readings = rs.compactReadings(readings)
 	maps, err := rs.kf.StepBatch(readings)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_readings", "track: %v", err)
 		return
 	}
+	// Kalman-smoothed maps are not the least-squares projection, so the
+	// tracker path scores drift with the residual matvec, not the estimates.
+	quality := s.feedDrift(e, rs, readings, nil)
 	s.snapshots.Add(int64(len(maps)))
 	e.snapshots.Add(int64(len(maps)))
 	out := make([]snapshotSummary, len(maps))
@@ -1103,6 +1211,7 @@ func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorE
 		out[i] = summarize(x, req.IncludeMaps)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"quality":     quality.String(),
 		"results":     out,
 		"steps":       rs.kf.Steps(),
 		"uncertainty": rs.kf.CovarianceTrace(),

@@ -36,6 +36,9 @@ type metricsSet struct {
 
 	coalesceFlushes  atomic.Int64 // coalesced-queue flushes (one shared GEMM each)
 	coalesceRequests atomic.Int64 // estimate requests served through the coalescer
+
+	adaptations  atomic.Int64 // monitor hot-swaps (basis adaptations + sensor exclusions)
+	sensorFaults atomic.Int64 // faulty sensors excluded from serving
 }
 
 // latencyBuckets are the histogram upper bounds in seconds. The serving
@@ -88,6 +91,16 @@ type gauges struct {
 	monitors  int
 	requests  int64
 	snapshots int64
+
+	// driftStates is one entry per calibrated resident monitor: its current
+	// verdict as a labeled gauge (0 = ok, 1 = drifting, 2 = degraded).
+	driftStates []driftGauge
+}
+
+// driftGauge is one monitor's drift verdict for the exposition.
+type driftGauge struct {
+	id    string
+	state int
 }
 
 // render writes the Prometheus text exposition format. Output is
@@ -151,6 +164,12 @@ func (m *metricsSet) render(w io.Writer, g gauges) {
 	counter("emapsd_wrong_shard_total", "Requests refused with 421 because another shard owns the monitor.", m.wrongShard.Load())
 	counter("emapsd_coalesce_flushes_total", "Coalesced estimate flushes (one shared GEMM each).", m.coalesceFlushes.Load())
 	counter("emapsd_coalesce_requests_total", "Estimate requests served through the coalescing queue.", m.coalesceRequests.Load())
+	counter("emapsd_adaptations_total", "Monitor hot-swaps: basis adaptations plus sensor exclusions.", m.adaptations.Load())
+	counter("emapsd_sensor_faults_total", "Faulty sensors excluded from serving.", m.sensorFaults.Load())
+	fmt.Fprintf(w, "# HELP emapsd_drift_state Per-monitor drift verdict (0 = ok, 1 = drifting, 2 = degraded).\n# TYPE emapsd_drift_state gauge\n")
+	for _, dg := range g.driftStates {
+		fmt.Fprintf(w, "emapsd_drift_state{monitor=%q} %d\n", dg.id, dg.state)
+	}
 	gauge("emapsd_models", "Trained models resident in memory.", g.models)
 	gauge("emapsd_monitors", "Live monitors.", g.monitors)
 	counter("emapsd_http_requests_total", "All HTTP requests, any route.", g.requests)

@@ -11,8 +11,17 @@ import (
 // BenchmarkServeEstimate measures the full in-process request path of the
 // serving hot route — dispatch, decode, batched estimate, summarize, encode
 // — without client-side HTTP overhead, at the load generator's default
-// shape (batch 16).
-func BenchmarkServeEstimate(b *testing.B) {
+// shape (batch 16). Drift scoring is on this path (fresh monitors are
+// calibrated); BenchmarkServeEstimateNoDrift is the same route with the
+// detector stripped, so the pair measures drift detection's overhead.
+func BenchmarkServeEstimate(b *testing.B) { benchServeEstimate(b, true) }
+
+// BenchmarkServeEstimateNoDrift serves the identical load with the drift
+// detector removed — the uncalibrated-monitor path. The gap between this
+// and BenchmarkServeEstimate is the cost of per-batch residual scoring.
+func BenchmarkServeEstimateNoDrift(b *testing.B) { benchServeEstimate(b, false) }
+
+func benchServeEstimate(b *testing.B, withDrift bool) {
 	srv := newServer(1024)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -33,6 +42,9 @@ func BenchmarkServeEstimate(b *testing.B) {
 			row[j] = 50 + float64(i+j)
 		}
 		readings[i] = row
+	}
+	if !withDrift {
+		srv.monitors[cr.ID].res.Load().drift = nil
 	}
 	body, _ := json.Marshal(map[string]any{"readings": readings})
 	payload := string(body)

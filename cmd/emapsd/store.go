@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/drift"
 	"repro/internal/floorplan"
 	"repro/internal/power"
 	"repro/internal/store"
@@ -176,9 +177,12 @@ func (s *server) persistModel(key trainKey, entry *modelEntry, workloads []strin
 	s.metrics.storeSaves.Add(1)
 }
 
-// persistMonitor writes a live monitor's full serving bundle and indexes
-// it. Best-effort, like persistModel.
-func (s *server) persistMonitor(e *monitorEntry, rs *residentState, model *core.Model) {
+// persistMonitor writes a live monitor's full serving bundle — including
+// the drift calibration and adaptation lineage when the monitor is
+// calibrated — and indexes it. Best-effort, like persistModel. The basis
+// and energy come from rs, not the model cache: an adapted generation's
+// basis is its own.
+func (s *server) persistMonitor(e *monitorEntry, rs *residentState) {
 	if s.storeDir == "" {
 		return
 	}
@@ -188,17 +192,30 @@ func (s *server) persistMonitor(e *monitorEntry, rs *residentState, model *core.
 	meta.Rho = e.rho
 	rec := rs.mon.Reconstructor()
 	op, opBias := rec.Operator()
-	if err := store.SaveFile(s.monitorPath(e.id), &store.Record{
+	record := &store.Record{
 		Meta:      meta,
-		Basis:     model.Basis,
+		Basis:     rs.basis,
 		Floorplan: e.fp,
-		Energy:    model.Energy,
+		Energy:    rs.energy,
 		Sensors:   rec.Sensors(),
 		K:         rec.K(),
 		QR:        rec.QR(),
 		Op:        op,
 		OpBias:    opBias,
-	}); err != nil {
+	}
+	if rs.drift != nil {
+		cal := rs.drift.cal
+		record.Drift = &store.DriftInfo{
+			CalibMean:   cal.Mean,
+			CalibStd:    cal.Std,
+			SensorMean:  cal.SensorMean,
+			SensorStd:   cal.SensorStd,
+			ParentKey:   rs.parentKey,
+			Generation:  rs.generation,
+			OrigSensors: rs.origSensors,
+		}
+	}
+	if err := store.SaveFile(s.monitorPath(e.id), record); err != nil {
 		s.metrics.storeFailures.Add(1)
 		s.logf("persist monitor", "id", e.id, "err", err)
 		return
@@ -464,13 +481,51 @@ func buildMonitorState(rec *store.Record) (*loadedRecord, error) {
 		}
 	}
 	pcfg := power.ConfigFor(rec.Floorplan, rec.Meta.LoadCoupling)
+	rs := &residentState{mon: mon, kf: kf, basis: rec.Basis, energy: rec.Energy}
+	if rec.Drift != nil {
+		// Drift detection resumes exactly where the saving daemon left off:
+		// same calibration, same lineage, same surviving-sensor compaction.
+		cal := drift.Calibration{
+			Mean: rec.Drift.CalibMean, Std: rec.Drift.CalibStd,
+			SensorMean: rec.Drift.SensorMean, SensorStd: rec.Drift.SensorStd,
+		}
+		ds, err := newDriftState(cal, rec.Basis, rec.Energy, key.Snapshots)
+		if err != nil {
+			return nil, fmt.Errorf("restoring drift detector: %w", err)
+		}
+		rs.drift = ds
+		rs.generation = rec.Drift.Generation
+		rs.parentKey = rec.Drift.ParentKey
+		if len(rec.Drift.OrigSensors) > 0 {
+			rs.origSensors = rec.Drift.OrigSensors
+			rs.clientM = len(rec.Drift.OrigSensors)
+			if len(rec.Drift.OrigSensors) != len(rec.Sensors) {
+				rs.keep = keepPositions(rec.Drift.OrigSensors, rec.Sensors)
+			}
+		}
+	}
 	return &loadedRecord{
-		rs:    &residentState{mon: mon, kf: kf},
+		rs:    rs,
 		key:   key,
 		specs: specs,
 		pcfg:  pcfg,
 		rec:   rec,
 	}, nil
+}
+
+// keepPositions maps the serving sensor subset back onto positions in the
+// client-facing original list (both ordered; store validation guarantees
+// serving ⊆ orig in order).
+func keepPositions(orig, serving []int) []int {
+	keep := make([]int, 0, len(serving))
+	j := 0
+	for i, c := range orig {
+		if j < len(serving) && serving[j] == c {
+			keep = append(keep, i)
+			j++
+		}
+	}
+	return keep
 }
 
 // descFor summarizes a record as its index entry.
@@ -506,8 +561,13 @@ func (e *monitorEntry) fillMeta(lr *loadedRecord) {
 
 // seedModelCache re-seeds the model cache from a loaded record so a later
 // create with this key places sensors without retraining (the ensemble
-// itself stays lazy). Callers must not hold s.mu.
+// itself stays lazy). Adapted generations are skipped: their basis has
+// diverged from what the train key means, and seeding it would hand a
+// future create the wrong subspace. Callers must not hold s.mu.
 func (s *server) seedModelCache(lr *loadedRecord) {
+	if lr.rs.generation > 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.models[lr.key]; !ok && len(s.models) < s.maxModels {

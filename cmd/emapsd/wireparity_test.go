@@ -92,9 +92,12 @@ func TestBinaryEstimateParity(t *testing.T) {
 			if got := resp.Header.Get("Content-Type"); got != wire.ContentType {
 				t.Fatalf("binary response Content-Type %q, want %q", got, wire.ContentType)
 			}
-			bresp, err := wire.DecodeEstimateResponse(raw)
+			bresp, quality, err := wire.DecodeEstimateResponse(raw)
 			if err != nil {
 				t.Fatalf("decode binary response: %v", err)
+			}
+			if quality != wire.QualityOK {
+				t.Fatalf("healthy monitor served quality %v, want ok", quality)
 			}
 
 			if len(bresp) != len(jresp.Results) {

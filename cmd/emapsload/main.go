@@ -48,10 +48,29 @@
 // and are excluded from the latency population; a run with any errors
 // exits 1 (after writing its report), so CI load gates fail loudly instead
 // of gating on a partially failed run.
+//
+// Fault mode: -fault injects deterministic sensor faults into the generated
+// readings (same grammar as emapsd -fault-inject):
+//
+//	emapsload -fault stuck:3,drop:0.01,drift:web->compute@30s
+//
+// stuck:IDX[:VALUE] freezes one sensor, drop:RATE zeroes readings with the
+// given probability, offset:IDX:DELTA biases one sensor, and
+// drift:FROM->TO@DUR switches the synthetic workload family mid-run — the
+// whole point being to drive the daemon's drift detector. Each worker owns
+// an injector seeded -fault-seed+worker, so runs are reproducible. Every
+// response's quality verdict (the "quality" JSON field or the binary flags
+// word) is counted in the report's "quality" section; -fail-on-degraded
+// makes the run exit 1 when any response carried quality "degraded", so a
+// CI drift gate can assert the daemon adapted before serving degraded
+// estimates. Fault mode builds a fresh corrupted body per request, so its
+// latency numbers include generation cost — use fault runs for robustness
+// gates, clean runs for throughput baselines.
 package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -68,6 +87,7 @@ import (
 	"time"
 
 	"repro/internal/benchjson"
+	"repro/internal/drift"
 	"repro/internal/wire"
 )
 
@@ -87,6 +107,9 @@ func main() {
 	flag.IntVar(&cfg.Requests, "requests", 0, "stop after this many requests instead of -duration (0 = use -duration)")
 	flag.Float64Var(&cfg.SNRdB, "snr-db", 20, "sensor SNR for the simulate endpoint")
 	flag.BoolVar(&cfg.Keep, "keep", false, "keep the created monitor instead of deleting it")
+	flag.StringVar(&cfg.Fault, "fault", "", "fault spec injected into generated readings, e.g. stuck:3,drop:0.01,drift:web->compute@30s")
+	flag.Int64Var(&cfg.FaultSeed, "fault-seed", 1, "base seed for the per-worker fault injectors")
+	flag.BoolVar(&cfg.FailOnDegraded, "fail-on-degraded", false, `exit 1 when any response carried quality "degraded"`)
 	format := flag.String("format", "json", "report format: json, prom or bench")
 	out := flag.String("out", "", "write the report here instead of stdout")
 	flag.Parse()
@@ -109,6 +132,10 @@ func main() {
 	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "emapsload: %d of %d requests failed\n", rep.Errors, rep.Requests)
+		os.Exit(1)
+	}
+	if cfg.FailOnDegraded && rep.Quality.Degraded > 0 {
+		fmt.Fprintf(os.Stderr, "emapsload: %d of %d responses carried quality \"degraded\"\n", rep.Quality.Degraded, rep.Requests)
 		os.Exit(1)
 	}
 }
@@ -135,6 +162,13 @@ func renderReport(rep *Report, format string) ([]byte, error) {
 		counter("emapsload_requests_total", "Requests issued by the load run.", float64(rep.Requests))
 		counter("emapsload_errors_total", "Requests that failed (non-2xx or transport error).", float64(rep.Errors))
 		counter("emapsload_snapshots_total", "Snapshots served across all successful requests.", float64(rep.Snapshots))
+		fmt.Fprintf(&buf, "# HELP emapsload_quality_total Successful responses by daemon-reported quality verdict.\n# TYPE emapsload_quality_total counter\n")
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{{"ok", rep.Quality.OK}, {"drifting", rep.Quality.Drifting}, {"degraded", rep.Quality.Degraded}} {
+			fmt.Fprintf(&buf, "emapsload_quality_total{quality=%q} %d\n", q.label, q.v)
+		}
 		gauge("emapsload_requests_per_second", "Successful requests per second.", rep.RequestsPerS)
 		gauge("emapsload_snapshots_per_second", "Snapshots per second — the serving throughput headline.", rep.SnapshotsPS)
 		gauge("emapsload_duration_seconds", "Wall-clock duration of the load phase.", rep.DurationS)
@@ -180,20 +214,23 @@ func renderReport(rep *Report, format string) ([]byte, error) {
 const defaultCreateBody = `{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":80,"seed":1,"kmax":8,"k":4,"m":8,"tracking":true}`
 
 type config struct {
-	Addr        string
-	Addrs       string
-	Monitor     string
-	Monitors    int
-	Zipf        float64
-	Proto       string
-	CreateBody  string
-	Endpoint    string
-	Batch       int
-	Concurrency int
-	Duration    time.Duration
-	Requests    int
-	SNRdB       float64
-	Keep        bool
+	Addr           string
+	Addrs          string
+	Monitor        string
+	Monitors       int
+	Zipf           float64
+	Proto          string
+	CreateBody     string
+	Endpoint       string
+	Batch          int
+	Concurrency    int
+	Duration       time.Duration
+	Requests       int
+	SNRdB          float64
+	Keep           bool
+	Fault          string
+	FaultSeed      int64
+	FailOnDegraded bool
 }
 
 // Report is the machine-readable result. CI archives it as the serving
@@ -215,6 +252,20 @@ type Report struct {
 	RequestsPerS float64   `json:"requests_per_s"`
 	SnapshotsPS  float64   `json:"snapshots_per_s"`
 	LatencyMS    Latencies `json:"latency_ms"`
+
+	// Fault is the injected fault spec (empty = clean run); Quality counts
+	// successful responses by the daemon's stamped verdict. A clean run
+	// against a healthy daemon reports every response under "ok".
+	Fault   string        `json:"fault,omitempty"`
+	Quality QualityCounts `json:"quality"`
+}
+
+// QualityCounts buckets successful responses by the daemon's quality
+// verdict.
+type QualityCounts struct {
+	OK       int64 `json:"ok"`
+	Drifting int64 `json:"drifting"`
+	Degraded int64 `json:"degraded"`
 }
 
 // Latencies summarizes the per-request latency population in milliseconds.
@@ -236,6 +287,7 @@ type target struct {
 	body        []byte
 	contentType string
 	perReq      int
+	m           int // sensors per reading vector (fault mode rebuilds bodies)
 	created     bool
 }
 
@@ -269,6 +321,14 @@ func run(cfg config) (*Report, error) {
 		}
 	default:
 		return nil, fmt.Errorf("unknown proto %q (want json or binary)", cfg.Proto)
+	}
+
+	faults, err := drift.ParseFaults(cfg.Fault)
+	if err != nil {
+		return nil, err
+	}
+	if len(faults) > 0 && cfg.Endpoint == "simulate" {
+		return nil, fmt.Errorf("-fault corrupts generated readings; the simulate endpoint has none")
 	}
 
 	bases, err := resolveBases(cfg)
@@ -305,6 +365,7 @@ func run(cfg config) (*Report, error) {
 		issued    atomic.Int64 // request-budget ticket counter
 		errs      atomic.Int64
 		snapshots atomic.Int64
+		quality   [3]atomic.Int64 // indexed by wire.Quality
 		lats      = make([][]float64, cfg.Concurrency)
 	)
 	deadline := time.Now().Add(cfg.Duration)
@@ -316,6 +377,13 @@ func run(cfg config) (*Report, error) {
 			// Per-worker deterministic sampler: reruns hit the same monitor
 			// sequence, so run-to-run variance is the daemon's alone.
 			pick := newPicker(len(targets), cfg.Zipf, int64(w)+1)
+			// Per-worker deterministic injector: the same spec, seed and
+			// request sequence corrupt identically across reruns.
+			var inj *drift.Injector
+			if len(faults) > 0 {
+				inj = drift.NewInjector(faults, cfg.FaultSeed+int64(w))
+			}
+			var prefix [256]byte
 			for {
 				if cfg.Requests > 0 {
 					if issued.Add(1) > int64(cfg.Requests) {
@@ -325,12 +393,22 @@ func run(cfg config) (*Report, error) {
 					return
 				}
 				tg := targets[pick()]
+				body, contentType := tg.body, tg.contentType
+				if inj != nil {
+					b, ct, err := faultBody(cfg, tg.m, inj, time.Since(start))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					body, contentType = b, ct
+				}
 				t0 := time.Now()
-				resp, err := client.Post(tg.url, tg.contentType, bytes.NewReader(tg.body))
+				resp, err := client.Post(tg.url, contentType, bytes.NewReader(body))
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
+				n, _ := io.ReadFull(resp.Body, prefix[:])
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode/100 != 2 {
@@ -339,6 +417,9 @@ func run(cfg config) (*Report, error) {
 				}
 				lats[w] = append(lats[w], time.Since(t0).Seconds())
 				snapshots.Add(int64(tg.perReq))
+				if q := classifyQuality(prefix[:n]); int(q) < len(quality) {
+					quality[q].Add(1)
+				}
 			}
 		}(w)
 	}
@@ -358,6 +439,12 @@ func run(cfg config) (*Report, error) {
 		Errors:    errs.Load(),
 		Snapshots: snapshots.Load(),
 		LatencyMS: summarizeLatencies(all),
+		Fault:     cfg.Fault,
+		Quality: QualityCounts{
+			OK:       quality[wire.QualityOK].Load(),
+			Drifting: quality[wire.QualityDrifting].Load(),
+			Degraded: quality[wire.QualityDegraded].Load(),
+		},
 	}
 	if cfg.Addrs != "" {
 		rep.Replicas = strings.Split(cfg.Addrs, ",")
@@ -520,14 +607,8 @@ func finishTarget(cfg config, tg target, m int) (target, error) {
 		if m < 1 {
 			return tg, fmt.Errorf("monitor %s reports %d sensors", tg.id, m)
 		}
-		readings := make([][]float64, cfg.Batch)
-		for i := range readings {
-			row := make([]float64, m)
-			for j := range row {
-				row[j] = 55 + 8*math.Sin(0.3*float64(i)+0.7*float64(j))
-			}
-			readings[i] = row
-		}
+		tg.m = m
+		readings := syntheticReadings(cfg.Batch, m, "")
 		if cfg.Proto == "binary" {
 			frame, err := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Readings: readings})
 			tg.body, tg.contentType = frame, wire.ContentType
@@ -537,6 +618,101 @@ func finishTarget(cfg config, tg target, m int) (target, error) {
 		tg.body = body
 		return tg, err
 	}
+}
+
+// familyShape maps a workload family name onto the synthetic pattern's
+// parameters (mean °C, amplitude, snapshot and sensor frequencies). The
+// named families match the robustness harness's so a drift fault spec like
+// drift:web->compute@30s reads naturally; unknown names get a distinct
+// deterministic shape so any spelling produces a regime change.
+func familyShape(family string) (mean, amp, fi, fj float64) {
+	switch family {
+	case "", "web":
+		return 55, 8, 0.3, 0.7
+	case "compute":
+		return 72, 14, 0.5, 1.3
+	case "idle":
+		return 42, 3, 0.15, 0.4
+	case "bursty":
+		return 60, 16, 1.1, 0.5
+	case "wave":
+		return 58, 10, 0.25, 2.1
+	case "dvfs":
+		return 65, 12, 0.7, 0.9
+	}
+	h := 0
+	for _, c := range family {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return 50 + float64(h%30), 6 + float64(h%9), 0.2 + float64(h%5)/10, 0.3 + float64(h%7)/10
+}
+
+// syntheticReadings builds one batch of finite, plausible sensor readings
+// for the given workload family.
+func syntheticReadings(batch, m int, family string) [][]float64 {
+	mean, amp, fi, fj := familyShape(family)
+	rows := make([][]float64, batch)
+	for i := range rows {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = mean + amp*math.Sin(fi*float64(i)+fj*float64(j))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// faultBody builds one corrupted request body: fresh synthetic readings for
+// the workload family active at elapsed (drift faults switch it mid-run),
+// run through the worker's injector.
+func faultBody(cfg config, m int, inj *drift.Injector, elapsed time.Duration) ([]byte, string, error) {
+	family := ""
+	if f, ok := inj.Workload(elapsed); ok {
+		family = f
+	}
+	rows := syntheticReadings(cfg.Batch, m, family)
+	for _, row := range rows {
+		inj.Apply(row)
+	}
+	if cfg.Proto == "binary" {
+		frame, err := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Readings: rows})
+		return frame, wire.ContentType, err
+	}
+	body, err := json.Marshal(map[string]any{"readings": rows})
+	return body, "application/json", err
+}
+
+// classifyQuality extracts the daemon's quality verdict from a response
+// body prefix without parsing the whole document: the JSON protocol renders
+// the quality field first, and the binary protocol carries it in the flags
+// word right after the 16-byte envelope header. Responses without a verdict
+// (older daemons, endpoints that predate the field) count as OK.
+func classifyQuality(prefix []byte) wire.Quality {
+	if len(prefix) >= 20 && string(prefix[:4]) == "EMRS" {
+		if binary.LittleEndian.Uint32(prefix[4:8]) < 2 {
+			return wire.QualityOK // version 1 predates the flags word
+		}
+		switch q := wire.Quality(binary.LittleEndian.Uint32(prefix[16:20])); q {
+		case wire.QualityDrifting, wire.QualityDegraded:
+			return q
+		}
+		return wire.QualityOK
+	}
+	i := bytes.Index(prefix, []byte(`"quality":"`))
+	if i < 0 {
+		return wire.QualityOK
+	}
+	rest := prefix[i+len(`"quality":"`):]
+	switch {
+	case bytes.HasPrefix(rest, []byte("drifting")):
+		return wire.QualityDrifting
+	case bytes.HasPrefix(rest, []byte("degraded")):
+		return wire.QualityDegraded
+	}
+	return wire.QualityOK
 }
 
 // summarizeLatencies reduces the latency population (seconds) to

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/wire"
 )
 
@@ -215,6 +216,193 @@ func TestRequestBodyShapes(t *testing.T) {
 	}
 	if err := json.Unmarshal(tg.body, &sim); err != nil || sim.Count != 7 || sim.SNR != 15 {
 		t.Fatalf("simulate body %s", tg.body)
+	}
+}
+
+// TestClassifyQuality pins the prefix classifier against both protocols:
+// the JSON quality field (rendered first by the daemon), the binary flags
+// word, and the absent-field default.
+func TestClassifyQuality(t *testing.T) {
+	jsonCases := []struct {
+		body string
+		want wire.Quality
+	}{
+		{`{"quality":"ok","results":[]}`, wire.QualityOK},
+		{`{"quality":"drifting","results":[]}`, wire.QualityDrifting},
+		{`{"quality":"degraded","results":[]}`, wire.QualityDegraded},
+		{`{"results":[]}`, wire.QualityOK}, // pre-drift daemons
+		{`{"filtered":true,"quality":"degraded"}`, wire.QualityDegraded},
+		{``, wire.QualityOK},
+	}
+	for _, tc := range jsonCases {
+		if got := classifyQuality([]byte(tc.body)); got != tc.want {
+			t.Errorf("classifyQuality(%q) = %v, want %v", tc.body, got, tc.want)
+		}
+	}
+	for _, q := range []wire.Quality{wire.QualityOK, wire.QualityDrifting, wire.QualityDegraded} {
+		frame := wire.AppendEstimateResponse(nil, []wire.Summary{{MaxC: 1}}, q)
+		n := len(frame)
+		if n > 256 {
+			n = 256
+		}
+		if got := classifyQuality(frame[:n]); got != q {
+			t.Errorf("classifyQuality(binary %v) = %v", q, got)
+		}
+	}
+}
+
+// TestFaultBodyInjection: the per-request body carries the injected faults
+// and the drift entry switches the workload family at its set time.
+func TestFaultBodyInjection(t *testing.T) {
+	faults, err := drift.ParseFaults("stuck:0:99,drift:web->compute@10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := drift.NewInjector(faults, 1)
+	cfg := config{Endpoint: "estimate", Batch: 3, Proto: "json"}
+
+	body, ct, err := faultBody(cfg, 8, inj, 0)
+	if err != nil || ct != "application/json" {
+		t.Fatalf("faultBody: ct=%q err=%v", ct, err)
+	}
+	var req struct {
+		Readings [][]float64 `json:"readings"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Readings) != 3 {
+		t.Fatalf("fault body %s: %v", body, err)
+	}
+	for i, row := range req.Readings {
+		if len(row) != 8 || row[0] != 99 {
+			t.Fatalf("row %d: stuck sensor not pinned: %v", i, row)
+		}
+	}
+
+	// Before the switch the family is web; after, compute — the bodies must
+	// differ in the healthy sensors.
+	pre, _, _ := faultBody(cfg, 8, inj, 0)
+	post, _, _ := faultBody(cfg, 8, inj, 30*time.Second)
+	if string(pre) == string(post) {
+		t.Fatal("drift fault did not change the workload pattern")
+	}
+	var postReq struct {
+		Readings [][]float64 `json:"readings"`
+	}
+	if err := json.Unmarshal(post, &postReq); err != nil || postReq.Readings[0][0] != 99 {
+		t.Fatalf("post-switch body lost the stuck sensor: %s", post)
+	}
+
+	// Binary fault bodies decode to the same corrupted readings.
+	bin, ct, err := faultBody(config{Endpoint: "estimate", Batch: 2, Proto: "binary"}, 8, inj, 0)
+	if err != nil || ct != wire.ContentType {
+		t.Fatalf("binary fault body: ct=%q err=%v", ct, err)
+	}
+	var scratch wire.ReadingsBuf
+	breq, err := wire.DecodeEstimateRequest(bin, &scratch)
+	if err != nil || breq.Readings[0][0] != 99 {
+		t.Fatalf("binary fault body: %v", err)
+	}
+
+	// Distinct families produce distinct shapes; repeats are deterministic.
+	for _, fam := range []string{"web", "compute", "idle", "bursty", "wave", "dvfs", "mystery"} {
+		a := syntheticReadings(2, 4, fam)
+		b := syntheticReadings(2, 4, fam)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("family %q not deterministic", fam)
+				}
+				if math.IsNaN(a[i][j]) || math.IsInf(a[i][j], 0) {
+					t.Fatalf("family %q produced a non-finite reading", fam)
+				}
+			}
+		}
+	}
+	web, compute := syntheticReadings(1, 8, "web"), syntheticReadings(1, 8, "compute")
+	same := true
+	for j := range web[0] {
+		if web[0][j] != compute[0][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("web and compute families produced identical readings")
+	}
+}
+
+// TestRunCountsQuality drives a stub daemon that degrades under a stuck
+// sensor, and checks the run counts verdicts and rejects fault specs that
+// cannot apply.
+func TestRunCountsQuality(t *testing.T) {
+	var estimates atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/v1/monitors", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"id":"mon-9","m":8,"sensors":[1,2,3,4,5,6,7,8]}`)
+	})
+	mux.HandleFunc("/v1/monitors/mon-9/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Readings [][]float64 `json:"readings"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		// A drift-aware daemon in miniature: a pinned sensor 0 degrades the
+		// verdict, clean readings stay ok.
+		quality := "ok"
+		if len(req.Readings) > 0 && req.Readings[0][0] == 99 {
+			if estimates.Add(1)%2 == 0 {
+				quality = "degraded"
+			} else {
+				quality = "drifting"
+			}
+		}
+		fmt.Fprintf(w, `{"quality":%q,"results":[]}`, quality)
+	})
+	mux.HandleFunc("/v1/monitors/mon-9", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"deleted":"mon-9"}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := run(config{
+		Addr: ts.URL, Endpoint: "estimate", Batch: 2, Fault: "stuck:0:99",
+		Concurrency: 2, Requests: 40, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests != 40 {
+		t.Fatalf("requests=%d errors=%d, want 40/0", rep.Requests, rep.Errors)
+	}
+	if rep.Quality.OK != 0 || rep.Quality.Drifting != 20 || rep.Quality.Degraded != 20 {
+		t.Fatalf("quality counts %+v, want 0/20/20", rep.Quality)
+	}
+	if rep.Fault != "stuck:0:99" {
+		t.Fatalf("report fault %q", rep.Fault)
+	}
+
+	// A clean run against the same stub is all-ok.
+	rep, err = run(config{
+		Addr: ts.URL, Endpoint: "estimate", Batch: 2,
+		Concurrency: 1, Requests: 10, Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quality.OK != 10 || rep.Quality.Drifting != 0 || rep.Quality.Degraded != 0 {
+		t.Fatalf("clean-run quality counts %+v, want 10/0/0", rep.Quality)
+	}
+
+	// Bad specs and inapplicable endpoints fail before any load.
+	if _, err := run(config{Addr: ts.URL, Endpoint: "estimate", Batch: 1, Concurrency: 1, Fault: "bogus:1"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+	if _, err := run(config{Addr: ts.URL, Endpoint: "simulate", Batch: 1, Concurrency: 1, Fault: "stuck:0"}); err == nil {
+		t.Fatal("fault spec accepted for simulate")
 	}
 }
 

@@ -1,0 +1,101 @@
+package eigenmaps
+
+import (
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+)
+
+// StreamOptions parameterize NewStreamTrainer.
+type StreamOptions struct {
+	// KMax is the number of basis vectors the trainer retains. Default 40
+	// (same as TrainOptions.KMax).
+	KMax int
+	// BufCap is the merge granularity: snapshots accumulate in a buffer of
+	// this capacity and are folded into the factorization when it fills.
+	// Larger buffers merge less often and lose less tail energy per merge
+	// (a buffer at least as large as the whole stream makes the result
+	// exactly the batch PCA). Default max(2·KMax, 16).
+	BufCap int
+}
+
+// StreamTrainer learns an EigenMaps model from a *stream* of thermal maps
+// without storing the stream — incremental PCA with mean update (Ross, Lim,
+// Lin, Yang — IJCV 2008). It extends the paper's design-time Train to two
+// deployment shapes:
+//
+//   - ensembles too large to hold in memory: feed maps one at a time and
+//     call Model when the stream ends;
+//   - in-field adaptation: seed the trainer with a deployed model
+//     (Model.StreamFrom) and absorb reconstruction-grade maps so the
+//     subspace drifts toward the live workload — the mechanism behind the
+//     serving daemon's online adaptation.
+//
+// Each merge is exact for the retained rank: the factorization equals the
+// batch PCA of (previous rank-KMax approximation ∪ buffer), the only loss
+// being the discarded eigenvalue tail. A StreamTrainer is not safe for
+// concurrent use; serialize Add calls externally.
+type StreamTrainer struct {
+	inc *basis.Incremental
+}
+
+// NewStreamTrainer creates an empty streaming trainer on the grid.
+func NewStreamTrainer(g Grid, opt StreamOptions) (*StreamTrainer, error) {
+	kmax := opt.KMax
+	if kmax == 0 {
+		kmax = 40
+	}
+	inc, err := basis.NewIncremental(g.internal(), kmax, opt.BufCap)
+	if err != nil {
+		return nil, fmt.Errorf("eigenmaps: %w", err)
+	}
+	return &StreamTrainer{inc: inc}, nil
+}
+
+// StreamFrom seeds a streaming trainer with this trained model standing in
+// for seedWeight already-absorbed snapshots — the adaptation entry point.
+// The retained rank is the model's KMax (StreamOptions.KMax is ignored);
+// smaller seed weights let the absorbed stream dominate the stale basis
+// sooner. The model itself is not modified.
+func (m *Model) StreamFrom(seedWeight int, opt StreamOptions) (*StreamTrainer, error) {
+	inc, err := basis.NewIncrementalFrom(m.m.Basis, m.m.Energy, seedWeight, opt.BufCap)
+	if err != nil {
+		return nil, fmt.Errorf("eigenmaps: %w", err)
+	}
+	return &StreamTrainer{inc: inc}, nil
+}
+
+// Add absorbs one thermal map (°C, column-stacked, length Grid.N()). The
+// map is copied.
+func (st *StreamTrainer) Add(x []float64) error {
+	if err := st.inc.Add(x); err != nil {
+		return fmt.Errorf("eigenmaps: %w", err)
+	}
+	return nil
+}
+
+// AddEnsemble absorbs every map of the ensemble in order.
+func (st *StreamTrainer) AddEnsemble(e *Ensemble) error {
+	for j := 0; j < e.T(); j++ {
+		if err := st.Add(e.Map(j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of snapshots absorbed so far (seed weight and
+// buffered maps included).
+func (st *StreamTrainer) Count() int { return st.inc.Count() }
+
+// Model merges any buffered snapshots and returns the current trained
+// model. The result is independent of future Adds — the trainer keeps
+// streaming, and Model can be called again later.
+func (st *StreamTrainer) Model() (*Model, error) {
+	b, err := st.inc.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("eigenmaps: %w", err)
+	}
+	return &Model{m: &core.Model{Basis: b, Energy: st.inc.Energy(), Grid: b.Grid}}, nil
+}

@@ -1,0 +1,206 @@
+package eigenmaps_test
+
+import (
+	"math"
+	"testing"
+
+	eigenmaps "repro"
+)
+
+// subspaceResidual returns the Frobenius norm of B − A·(AᵀB) where A and B
+// hold the two models' leading k basis vectors as columns — an upper bound
+// on the sine of the largest principal angle between the spanned subspaces
+// (A is orthonormal, so A·AᵀB is the projection of B onto span(A)).
+func subspaceResidual(t *testing.T, a, b *eigenmaps.Model, k int) float64 {
+	t.Helper()
+	av := make([][]float64, k)
+	bv := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		var err error
+		if av[i], err = a.EigenMap(i); err != nil {
+			t.Fatal(err)
+		}
+		if bv[i], err = b.EigenMap(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dot := func(x, y []float64) float64 {
+		var s float64
+		for i := range x {
+			s += x[i] * y[i]
+		}
+		return s
+	}
+	var frob2 float64
+	for j := 0; j < k; j++ {
+		// r = b_j − Σ_i a_i·(a_i·b_j)
+		r := append([]float64(nil), bv[j]...)
+		for i := 0; i < k; i++ {
+			c := dot(av[i], bv[j])
+			for n := range r {
+				r[n] -= c * av[i][n]
+			}
+		}
+		frob2 += dot(r, r)
+	}
+	return math.Sqrt(frob2)
+}
+
+// TestStreamTrainerMatchesBatch pins the merge-vs-batch agreement of the
+// streaming trainer: with a buffer covering the whole stream (one merge),
+// the incremental factorization IS the batch PCA, so the leading subspaces
+// must coincide to numerical precision — principal angles below 1e-8.
+func TestStreamTrainerMatchesBatch(t *testing.T) {
+	ens, _ := fixture(t)
+	const kmax = 12
+	batch, err := eigenmaps.Train(ens, eigenmaps.TrainOptions{
+		KMax: kmax, Seed: 5, Method: eigenmaps.GramMethod,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eigenmaps.NewStreamTrainer(ens.Grid(), eigenmaps.StreamOptions{
+		KMax: kmax, BufCap: ens.T() + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddEnsemble(ens); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != ens.T() {
+		t.Fatalf("Count() = %d, want %d", st.Count(), ens.T())
+	}
+	streamed, err := st.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.KMax() != kmax {
+		t.Fatalf("streamed KMax %d, want %d", streamed.KMax(), kmax)
+	}
+	// Spectra agree to relative 1e-9.
+	bs, ss := batch.Spectrum(), streamed.Spectrum()
+	for i := 0; i < kmax; i++ {
+		if rel := math.Abs(bs[i]-ss[i]) / bs[0]; rel > 1e-9 {
+			t.Fatalf("λ%d: batch %v vs streamed %v (rel %g)", i, bs[i], ss[i], rel)
+		}
+	}
+	// The leading 8-dimensional subspaces coincide: every principal angle
+	// sine is bounded by the projection residual, which must sit at the
+	// eigensolver's numerical floor.
+	if r := subspaceResidual(t, batch, streamed, 8); r > 1e-8 {
+		t.Fatalf("principal angles between batch and streamed subspaces: residual %g > 1e-8", r)
+	}
+}
+
+// TestStreamTrainerMultiMergeQuality checks the lossy multi-merge regime:
+// with a small buffer (many truncating merges) the streamed subspace still
+// reconstructs nearly as well as the batch subspace.
+func TestStreamTrainerMultiMergeQuality(t *testing.T) {
+	ens, batch := fixture(t)
+	st, err := eigenmaps.NewStreamTrainer(ens.Grid(), eigenmaps.StreamOptions{
+		KMax: 12, BufCap: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddEnsemble(ens); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := st.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, m = 4, 6
+	sensors, err := batch.PlaceSensors(m, eigenmaps.PlaceOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalMon := func(mdl *eigenmaps.Model) float64 {
+		mon, err := mdl.NewMonitor(k, sensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := mon.Evaluate(ens, eigenmaps.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.MSE
+	}
+	bm, sm := evalMon(batch), evalMon(streamed)
+	if sm > bm*1.5+1e-9 {
+		t.Fatalf("multi-merge streamed MSE %g vs batch %g", sm, bm)
+	}
+}
+
+// TestStreamFromAdaptsDeployedModel exercises the adaptation entry point:
+// a model seeded from the fixture and fed a differently-seeded stream must
+// produce a valid model whose monitor reconstructs the new stream better
+// than the stale model does.
+func TestStreamFromAdaptsDeployedModel(t *testing.T) {
+	_, stale := fixture(t)
+	shifted, err := eigenmaps.SimulateT1(eigenmaps.SimOptions{
+		Grid: eigenmaps.Grid{W: 16, H: 14}, Snapshots: 120, Seed: 99,
+		Workloads: []eigenmaps.Workload{"wave"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stale.StreamFrom(2, eigenmaps.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 2 {
+		t.Fatalf("seeded Count() = %d, want 2", st.Count())
+	}
+	if err := st.AddEnsemble(shifted); err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := st.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapted.KMax() != stale.KMax() {
+		t.Fatalf("adapted KMax %d, want the seed's %d", adapted.KMax(), stale.KMax())
+	}
+	const k, m = 6, 8
+	sensors, err := stale.PlaceSensors(m, eigenmaps.PlaceOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := func(mdl *eigenmaps.Model) float64 {
+		mon, err := mdl.NewMonitor(k, sensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := mon.Evaluate(shifted, eigenmaps.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.MSE
+	}
+	staleMSE, adaptedMSE := mse(stale), mse(adapted)
+	if !(adaptedMSE < staleMSE) {
+		t.Fatalf("adaptation did not help: adapted MSE %g vs stale %g", adaptedMSE, staleMSE)
+	}
+}
+
+func TestStreamTrainerValidation(t *testing.T) {
+	if _, err := eigenmaps.NewStreamTrainer(eigenmaps.Grid{}, eigenmaps.StreamOptions{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	st, err := eigenmaps.NewStreamTrainer(eigenmaps.Grid{W: 4, H: 4}, eigenmaps.StreamOptions{KMax: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(make([]float64, 3)); err == nil {
+		t.Fatal("wrong-length map accepted")
+	}
+	if _, err := st.Model(); err == nil {
+		t.Fatal("Model() before any Add should fail")
+	}
+	_, stale := fixture(t)
+	if _, err := stale.StreamFrom(0, eigenmaps.StreamOptions{}); err == nil {
+		t.Fatal("zero seed weight accepted")
+	}
+}

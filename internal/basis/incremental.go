@@ -29,6 +29,13 @@ type Incremental struct {
 	count int       // snapshots absorbed so far
 	mean  []float64 // running mean (exact)
 
+	// Exact per-cell first and second moments over *every* absorbed snapshot
+	// (buffered ones included), maintained so the trainer can report the
+	// energy map E[(x−μ)²] = E[x²] − μ² that sensor placement and the store
+	// format require alongside the basis.
+	sum   []float64
+	sumSq []float64
+
 	// Current factorization of the centered scatter: scatter ≈ U·diag(s)·Uᵀ
 	// with s holding *scatter* eigenvalues (covariance eigenvalue × count).
 	u *mat.Matrix // N×r, orthonormal columns; nil until the first merge
@@ -59,8 +66,52 @@ func NewIncremental(grid floorplan.Grid, kmax, bufCap int) (*Incremental, error)
 		kmax:   kmax,
 		bufCap: bufCap,
 		mean:   make([]float64, grid.N()),
+		sum:    make([]float64, grid.N()),
+		sumSq:  make([]float64, grid.N()),
 		buf:    mat.New(bufCap, grid.N()),
 	}, nil
+}
+
+// NewIncrementalFrom creates a streaming trainer seeded with an existing
+// trained basis standing in for count already-absorbed snapshots — the
+// in-field adaptation entry point: a deployed monitor's design-time basis
+// becomes the starting factorization and subsequent Adds drift it toward the
+// live workload. energy, when non-nil, is the per-cell training energy
+// E[(x−μ)²] (length N) so the seeded trainer's Energy output stays exact;
+// nil seeds zero second moments and Energy reflects only post-seed snapshots'
+// spread around the seeded mean. The retained rank is b.KMax().
+func NewIncrementalFrom(b *Basis, energy []float64, count, bufCap int) (*Incremental, error) {
+	if b == nil {
+		return nil, fmt.Errorf("basis: nil seed basis")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("basis: seed count %d < 1", count)
+	}
+	if energy != nil && len(energy) != b.N() {
+		return nil, fmt.Errorf("basis: energy length %d, want %d", len(energy), b.N())
+	}
+	inc, err := NewIncremental(b.Grid, b.KMax(), bufCap)
+	if err != nil {
+		return nil, err
+	}
+	inc.count = count
+	copy(inc.mean, b.Mean)
+	inc.u = b.Psi.Clone()
+	inc.s = make([]float64, b.KMax())
+	for j, imp := range b.Importance {
+		inc.s[j] = imp * float64(count) // covariance eigenvalue → scatter
+	}
+	nA := float64(count)
+	for i, m := range b.Mean {
+		inc.sum[i] = nA * m
+		inc.sumSq[i] = nA * m * m
+	}
+	if energy != nil {
+		for i, e := range energy {
+			inc.sumSq[i] += nA * e
+		}
+	}
+	return inc, nil
 }
 
 // Count returns the number of snapshots absorbed (including buffered ones).
@@ -73,10 +124,36 @@ func (inc *Incremental) Add(x []float64) error {
 	}
 	inc.buf.SetRow(inc.nb, x)
 	inc.nb++
+	for i, v := range x {
+		inc.sum[i] += v
+		inc.sumSq[i] += v * v
+	}
 	if inc.nb == inc.bufCap {
 		inc.merge()
 	}
 	return nil
+}
+
+// Energy returns the per-cell mean squared centered temperature
+// E[(x−μ)²] = E[x²] − μ² over every absorbed snapshot (buffered ones
+// included) — the same energy map batch training reports, which sensor
+// placement and the monitor store require alongside the basis. Returns nil
+// before the first Add (or seed).
+func (inc *Incremental) Energy() []float64 {
+	total := float64(inc.Count())
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, inc.n)
+	for i := range out {
+		m := inc.sum[i] / total
+		e := inc.sumSq[i]/total - m*m
+		if e < 0 {
+			e = 0 // second-moment cancellation noise
+		}
+		out[i] = e
+	}
+	return out
 }
 
 // merge folds the buffered snapshots into the factorization.

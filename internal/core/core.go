@@ -321,6 +321,27 @@ func (m *Monitor) Cond() (float64, error) { return m.rec.Cond() }
 // Reconstructor exposes the underlying estimator for evaluation code.
 func (m *Monitor) Reconstructor() *recon.Reconstructor { return m.rec }
 
+// ResidualInto computes the sensor-space reprojection residual of one reading
+// vector (the drift statistic): the per-sensor residual goes into dst (length
+// M) and the normalized residual norm ∈ [0, 1] is returned. See
+// recon.Reconstructor.ResidualInto.
+func (m *Monitor) ResidualInto(dst, readings []float64) (float64, error) {
+	return m.rec.ResidualInto(dst, readings)
+}
+
+// ResidualStats scores a whole batch of reading vectors for drift in one
+// pass — see recon.Reconstructor.ResidualStats.
+func (m *Monitor) ResidualStats(energy []float64, rows [][]float64) (float64, int, error) {
+	return m.rec.ResidualStats(energy, rows)
+}
+
+// ResidualStatsFromEstimates scores a served batch using its
+// already-computed reconstructions — see
+// recon.Reconstructor.ResidualStatsFromEstimates.
+func (m *Monitor) ResidualStatsFromEstimates(energy []float64, rows, maps [][]float64) (float64, int, error) {
+	return m.rec.ResidualStatsFromEstimates(energy, rows, maps)
+}
+
 // ErrNoUsableK is returned by BestK when no K in range yields a full-rank
 // sensing matrix.
 var ErrNoUsableK = errors.New("core: no usable subspace dimension for this sensor set")

@@ -97,3 +97,56 @@ func TestRobustSmallCustomConfig(t *testing.T) {
 		t.Fatalf("names %v", res.Names)
 	}
 }
+
+// TestRobustAdaptArmCutsGap is the adaptation acceptance pin: absorbing an
+// adaptation stream of the deployed family (same sensors, re-folded
+// operator) must cut the worst-case generalization gap by at least an order
+// of magnitude on the small two-family configuration — the quantitative
+// claim behind the daemon's online adaptation path.
+func TestRobustAdaptArmCutsGap(t *testing.T) {
+	fp, err := floorplan.Manycore(16, 4, floorplan.Grid{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compute vs wave is the most thermally divergent small pair: a scarce
+	// training budget (16 snapshots) leaves a large cross-family gap, and a
+	// long adaptation stream (160 snapshots, seed weight 2 so the stream
+	// dominates the stale basis) recovers it.
+	compute, _ := workload.Parse("compute")
+	wave, _ := workload.Parse("wave")
+	res, err := Robust(RobustConfig{
+		Floorplan: fp, Grid: floorplan.Grid{W: 12, H: 12},
+		Snapshots: 16, KMax: 6, K: 4, M: 6, Seed: 11,
+		Specs: []*workload.Spec{compute, wave},
+		Adapt: true, AdaptSnapshots: 160, AdaptSeedWeight: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdaptedMSE == nil || len(res.AdaptedMSE) != 2 {
+		t.Fatalf("adapt arm produced no matrix: %+v", res.AdaptedMSE)
+	}
+	for i := range res.AdaptedMSE {
+		for j, v := range res.AdaptedMSE[i] {
+			if !(v > 0) || math.IsInf(v, 0) {
+				t.Fatalf("AdaptedMSE[%d][%d] = %v", i, j, v)
+			}
+			// Adaptation must actually help on the mismatched pairs.
+			if i != j && v >= res.MSE[i][j] {
+				t.Errorf("adaptation did not improve %s→%s: %g >= %g",
+					res.Names[i], res.Names[j], v, res.MSE[i][j])
+			}
+		}
+	}
+	gap, adapted := res.GeneralizationGap(), res.AdaptedGeneralizationGap()
+	cut := res.GapCut()
+	t.Logf("gap %.3gx → adapted %.3gx (cut %.3gx)", gap, adapted, cut)
+	if cut < 10 {
+		t.Fatalf("adaptation cut the generalization gap only %.3gx (gap %.3gx → %.3gx), want >= 10x",
+			cut, gap, adapted)
+	}
+	// The adapt arm must not perturb the base matrix contract.
+	if s := res.String(); !strings.Contains(s, "gap cut") {
+		t.Fatalf("String() omits the adaptation summary:\n%s", s)
+	}
+}

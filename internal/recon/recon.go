@@ -82,6 +82,9 @@ type Reconstructor struct {
 	op     *mat.Matrix // N×M folded operator R = Ψ_K (Ψ̃_K)⁺
 	opBias []float64   // N: c = mean − R·mean_S, so x̃ = c + R·x_S
 
+	resid *mat.Matrix // M×M residual projector P = I_M − Ψ̃_K (Ψ̃_K)⁺
+	zeroM []float64   // all-zero length-M bias for residual matvecs
+
 	scratch sync.Pool // *solveScratch, reused across ReconstructInto calls
 }
 
@@ -177,12 +180,12 @@ func build(b *basis.Basis, k int, sensors []int, qr *mat.QR, op *mat.Matrix, opB
 	for i, s := range sensors {
 		meanS[i] = b.Mean[s]
 	}
+	pinv, err := pinvFromQR(qr)
+	if err != nil {
+		return nil, err
+	}
 	if op == nil {
-		var err error
-		op, opBias, err = fold(psiK, qr, b.Mean, meanS)
-		if err != nil {
-			return nil, err
-		}
+		op, opBias = fold(psiK, pinv, b.Mean, meanS)
 	} else if rows, cols := op.Dims(); rows != b.N() || cols != len(sensors) || len(opBias) != b.N() {
 		return nil, fmt.Errorf("recon: restore: operator is %d×%d (+%d bias), want %d×%d (+%d)",
 			rows, cols, len(opBias), b.N(), len(sensors), b.N())
@@ -196,38 +199,68 @@ func build(b *basis.Basis, k int, sensors []int, qr *mat.QR, op *mat.Matrix, opB
 		meanS:    meanS,
 		op:       op,
 		opBias:   opBias,
+		resid:    residualProjector(psiTilde, pinv),
+		zeroM:    make([]float64, len(sensors)),
 	}, nil
 }
 
-// fold precomputes the affine reconstruction operator of Theorem 1:
-// R = Ψ_K (Ψ̃_K)⁺ (N×M) and c = mean − R·mean_S, so an estimate collapses to
-// x̃ = c + R·x_S — one matvec, no per-snapshot solve. The pseudoinverse is
-// extracted column-by-column from the cached QR factorization (column j is
-// the least-squares solution against the j-th unit vector), which makes the
-// fold deterministic: the same factorization always yields bit-identical R,
-// and therefore a re-folded operator matches a persisted one exactly.
-func fold(psiK *mat.Matrix, qr *mat.QR, mean, meanS []float64) (*mat.Matrix, []float64, error) {
+// pinvFromQR extracts the pseudoinverse (Ψ̃_K)⁺ (K×M) column-by-column from
+// the cached QR factorization: column j is the least-squares solution against
+// the j-th unit vector. The extraction is deterministic — the same
+// factorization always yields bit-identical values — which is what makes both
+// the folded operator and the residual projector reproducible across restore.
+func pinvFromQR(qr *mat.QR) (*mat.Matrix, error) {
 	m, k := qr.Dims()
-	pinv := mat.New(k, m) // (Ψ̃_K)⁺, K×M
+	pinv := mat.New(k, m)
 	e := make([]float64, m)
 	work := make([]float64, m)
 	col := make([]float64, k)
 	for j := 0; j < m; j++ {
 		e[j] = 1
 		if err := qr.SolveInto(col, e, work); err != nil {
-			return nil, nil, fmt.Errorf("recon: operator fold: %w", err)
+			return nil, fmt.Errorf("recon: pseudoinverse extraction: %w", err)
 		}
 		e[j] = 0
 		for i, v := range col {
 			pinv.Set(i, j, v)
 		}
 	}
+	return pinv, nil
+}
+
+// fold precomputes the affine reconstruction operator of Theorem 1:
+// R = Ψ_K (Ψ̃_K)⁺ (N×M) and c = mean − R·mean_S, so an estimate collapses to
+// x̃ = c + R·x_S — one matvec, no per-snapshot solve. The fold is
+// deterministic given the pseudoinverse, so a re-folded operator matches a
+// persisted one exactly.
+func fold(psiK, pinv *mat.Matrix, mean, meanS []float64) (*mat.Matrix, []float64) {
 	op := mat.Mul(psiK, pinv) // N×M
 	bias := mat.MulVec(op, meanS)
 	for i, v := range mean {
 		bias[i] = v - bias[i]
 	}
-	return op, bias, nil
+	return op, bias
+}
+
+// residualProjector folds the sensor-space reprojection residual operator
+// P = I_M − Ψ̃_K (Ψ̃_K)⁺ (M×M): applied to centered readings it yields the
+// component the subspace cannot explain, the raw signal of model drift. It
+// costs one extra M×M matvec per snapshot to apply — negligible next to the
+// N×M reconstruction.
+func residualProjector(psiTilde, pinv *mat.Matrix) *mat.Matrix {
+	m := psiTilde.Rows()
+	proj := mat.Mul(psiTilde, pinv) // Ψ̃_K (Ψ̃_K)⁺, M×M
+	out := mat.New(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			v := -proj.At(i, j)
+			if i == j {
+				v++
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
 }
 
 // K returns the subspace dimension.
@@ -353,6 +386,149 @@ func (r *Reconstructor) ReconstructArmInto(dst, xS []float64, arm Arm) error {
 	default:
 		return fmt.Errorf("%w: %d", ErrBadArm, int(arm))
 	}
+}
+
+// ResidualProjector returns the M×M sensor-space residual projector
+// P = I_M − Ψ̃_K(Ψ̃_K)⁺ (read-only; shared by every estimating goroutine).
+// P·(x_S − mean_S) is the component of a centered reading vector the trained
+// subspace cannot reproduce — zero (to rounding) on in-distribution data,
+// growing as the workload drifts away from the training ensemble.
+func (r *Reconstructor) ResidualProjector() *mat.Matrix { return r.resid }
+
+// ResidualInto computes the sensor-space reprojection residual of one reading
+// vector: it writes the per-sensor residual P·(x_S − mean_S) into dst (length
+// M) and returns the normalized residual norm ‖P·(x_S − mean_S)‖ / ‖x_S −
+// mean_S‖ ∈ [0, 1] — the drift statistic. Readings exactly at the training
+// mean score 0. Like ReconstructInto it is allocation-free in steady state
+// and safe for concurrent use.
+func (r *Reconstructor) ResidualInto(dst, xS []float64) (float64, error) {
+	m := len(r.sensors)
+	if len(dst) != m {
+		return 0, fmt.Errorf("recon: residual destination length %d != M %d", len(dst), m)
+	}
+	if err := r.checkReadings(xS); err != nil {
+		return 0, err
+	}
+	sc := r.getScratch()
+	var denom float64
+	for i, v := range xS {
+		c := v - r.meanS[i]
+		sc.centered[i] = c
+		denom += c * c
+	}
+	mat.MulVecBiasInto(dst, r.zeroM, r.resid, sc.centered)
+	r.scratch.Put(sc)
+	if denom == 0 {
+		return 0, nil
+	}
+	var num float64
+	for _, v := range dst {
+		num += v * v
+	}
+	return math.Sqrt(num / denom), nil
+}
+
+// ResidualStats scores a whole batch of reading vectors in one pass with
+// one scratch checkout: it zeroes energy (length M), accumulates each
+// scored row's squared per-sensor residual into it, and returns the mean
+// normalized residual norm over the rows it scored plus that count. Rows
+// that fail validation (wrong length, non-finite) are skipped rather than
+// failing the batch — this is the serving hot path's drift scorer, and a
+// malformed row has already produced its client-facing error elsewhere.
+func (r *Reconstructor) ResidualStats(energy []float64, rows [][]float64) (meanRho float64, n int, err error) {
+	m := len(r.sensors)
+	if len(energy) != m {
+		return 0, 0, fmt.Errorf("recon: energy length %d != M %d", len(energy), m)
+	}
+	for i := range energy {
+		energy[i] = 0
+	}
+	sc := r.getScratch()
+	defer r.scratch.Put(sc)
+	var sumRho float64
+	for _, xS := range rows {
+		if r.checkReadings(xS) != nil {
+			continue
+		}
+		var denom float64
+		for i, v := range xS {
+			c := v - r.meanS[i]
+			sc.centered[i] = c
+			denom += c * c
+		}
+		mat.MulVecBiasInto(sc.work, r.zeroM, r.resid, sc.centered)
+		var num float64
+		for i, v := range sc.work {
+			num += v * v
+			energy[i] += v * v
+		}
+		if denom > 0 {
+			sumRho += math.Sqrt(num / denom)
+		}
+		n++
+	}
+	if n > 0 {
+		meanRho = sumRho / float64(n)
+	}
+	return meanRho, n, nil
+}
+
+// ResidualStatsFromEstimates is ResidualStats for a batch whose
+// reconstructions are already in hand: because the least-squares estimate
+// sampled at the sensors is the orthogonal projection of the centered
+// readings onto the sensing subspace (x̂_S = Ψ̃_K·α + mean_S with
+// α = (Ψ̃_K)⁺(x_S − mean_S)), the per-sensor residual P·(x_S − mean_S)
+// equals x_S − x̂_S exactly — M subtractions per row instead of an M×M
+// matvec, which makes drift scoring nearly free on the serving hot path.
+// maps[i] is the reconstructed full map for rows[i]; rows that fail
+// validation are skipped like ResidualStats does.
+func (r *Reconstructor) ResidualStatsFromEstimates(energy []float64, rows, maps [][]float64) (meanRho float64, n int, err error) {
+	m := len(r.sensors)
+	if len(energy) != m {
+		return 0, 0, fmt.Errorf("recon: energy length %d != M %d", len(energy), m)
+	}
+	if len(rows) != len(maps) {
+		return 0, 0, fmt.Errorf("recon: %d rows with %d maps", len(rows), len(maps))
+	}
+	for i := range energy {
+		energy[i] = 0
+	}
+	var sumRho float64
+	for j, xS := range rows {
+		x := maps[j]
+		if len(xS) != m || len(x) != r.b.N() {
+			continue
+		}
+		var num, denom float64
+		bad := false
+		for i, v := range xS {
+			c := v - r.meanS[i]
+			denom += c * c
+			d := v - x[r.sensors[i]]
+			num += d * d
+			energy[i] += d * d
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			// Roll back the partial accumulation; re-zeroing is cheaper than
+			// branching per sensor on the (never-taken) hot path.
+			for i := range energy {
+				energy[i] = 0
+			}
+			return r.ResidualStats(energy, rows)
+		}
+		if denom > 0 {
+			sumRho += math.Sqrt(num / denom)
+		}
+		n++
+	}
+	if n > 0 {
+		meanRho = sumRho / float64(n)
+	}
+	return meanRho, n, nil
 }
 
 // Sample extracts the sensor readings from a full map.

@@ -11,7 +11,7 @@
 // An envelope frames a single payload:
 //
 //	magic   "EMST"            4 bytes
-//	version uint32 LE         format version (currently 2)
+//	version uint32 LE         format version (currently 3)
 //	length  uint64 LE         payload byte count
 //	payload length bytes
 //	crc     uint32 LE         IEEE CRC-32 of the payload
@@ -23,10 +23,16 @@
 // energy map and the optional monitor section (K, sensors, packed QR
 // factors). Version 2 adds one optional section after the monitor: the
 // folded reconstruction operator (N×M matrix plus length-N affine term),
-// so a warm-started daemon skips even the deterministic re-fold. A payload
-// without the operator section is byte-identical under both versions, and
-// this build still decodes version 1 files; the operator is simply re-folded
-// from the QR factors on load.
+// so a warm-started daemon skips even the deterministic re-fold. Version 3
+// adds one more optional section after the operator: the drift block —
+// the monitor's training residual calibration (the thresholds its drift
+// detector alarms against) and its adaptation lineage (parent train-key,
+// adaptation generation, and the original client-facing sensor list, which
+// differs from the serving sensors once a faulty sensor has been excluded).
+// A payload without the newer sections is byte-identical under all three
+// versions, and this build still decodes version 1 and 2 files; missing
+// sections are simply recomputed (operator) or absent (drift — the monitor
+// serves uncalibrated).
 //
 // # Decoding contract
 //
@@ -64,9 +70,9 @@ import (
 const (
 	magic = "EMST"
 	// Version is the current format version, the one Encode writes. Decode
-	// additionally accepts version 1 (identical except that it cannot carry
-	// the operator section).
-	Version = 2
+	// additionally accepts version 1 (no operator section) and version 2
+	// (no drift section).
+	Version = 3
 	// minVersion is the oldest format version Decode still reads.
 	minVersion = 1
 	// maxPayload caps the envelope length field so a corrupt header cannot
@@ -226,18 +232,50 @@ type Record struct {
 	// monitor section.
 	Op     *mat.Matrix
 	OpBias []float64
+
+	// Drift is the drift-calibration and adaptation-lineage block. Optional
+	// (version ≥ 3); only valid alongside the monitor section. A record
+	// without it serves with drift detection disabled.
+	Drift *DriftInfo
+}
+
+// DriftInfo persists what the serving layer's drift detector needs to resume
+// exactly where the saving daemon left off: the monitor's training residual
+// distribution (its alarm thresholds) and its adaptation lineage.
+type DriftInfo struct {
+	// CalibMean/CalibStd are the moments of the normalized reprojection
+	// residual over the ensemble the monitor was (re)calibrated on.
+	CalibMean float64
+	CalibStd  float64
+	// SensorMean/SensorStd are per-sensor moments of the absolute residual,
+	// aligned with the record's *serving* sensor list (Record.Sensors).
+	SensorMean []float64
+	SensorStd  []float64
+
+	// ParentKey is the train-key hash of the design-time ancestor this
+	// monitor adapted away from (empty at generation 0).
+	ParentKey string
+	// Generation counts hot-swap adaptations since design-time training.
+	Generation int
+	// OrigSensors is the client-facing sensor list the monitor was created
+	// with. It equals Record.Sensors until a faulty sensor is excluded, after
+	// which Record.Sensors (and the QR/operator shapes) cover only the
+	// surviving subset while clients keep sending len(OrigSensors) readings.
+	// Nil means "same as Record.Sensors".
+	OrigSensors []int
 }
 
 // HasMonitor reports whether the record carries the monitor section.
 func (rec *Record) HasMonitor() bool { return rec.QR != nil }
 
 // Section-presence bits in the payload's flags word. flagOperator is only
-// legal in version ≥ 2 envelopes.
+// legal in version ≥ 2 envelopes, flagDrift in version ≥ 3.
 const (
 	flagFloorplan = 1 << iota
 	flagEnergy
 	flagMonitor
 	flagOperator
+	flagDrift
 )
 
 // Encode writes rec in the store format. Only writer failures can error:
@@ -257,6 +295,14 @@ func Encode(w io.Writer, rec *Record) error {
 	}
 	if rec.Op != nil && rec.Op.Rows() != len(rec.OpBias) {
 		return errf(KindInvalid, "operator bias length %d for %d rows", len(rec.OpBias), rec.Op.Rows())
+	}
+	if rec.Drift != nil {
+		if rec.QR == nil {
+			return errf(KindInvalid, "drift section without monitor section")
+		}
+		if err := validateDrift(rec); err != nil {
+			return err
+		}
 	}
 	var payload bytes.Buffer
 	metaJSON, err := json.Marshal(rec.Meta)
@@ -281,6 +327,9 @@ func Encode(w io.Writer, rec *Record) error {
 	}
 	if rec.Op != nil {
 		flags |= flagOperator
+	}
+	if rec.Drift != nil {
+		flags |= flagDrift
 	}
 	putU32(&payload, flags)
 
@@ -326,6 +375,20 @@ func Encode(w io.Writer, rec *Record) error {
 		putU32(&payload, uint32(cols))
 		putFloats(&payload, rec.Op.Data())
 		putFloats(&payload, rec.OpBias)
+	}
+
+	if rec.Drift != nil {
+		d := rec.Drift
+		putFloats(&payload, []float64{d.CalibMean, d.CalibStd})
+		putU32(&payload, uint32(len(d.SensorMean)))
+		putFloats(&payload, d.SensorMean)
+		putFloats(&payload, d.SensorStd)
+		putString(&payload, d.ParentKey)
+		putU32(&payload, uint32(d.Generation))
+		putU32(&payload, uint32(len(d.OrigSensors)))
+		for _, s := range d.OrigSensors {
+			putU64(&payload, uint64(int64(s)))
+		}
 	}
 
 	head := make([]byte, 0, 16)
@@ -423,6 +486,9 @@ func parsePayload(payload []byte, version uint32) (*Record, error) {
 	if version >= 2 {
 		known |= flagOperator
 	}
+	if version >= 3 {
+		known |= flagDrift
+	}
 	if flags&^known != 0 {
 		return nil, errf(KindInvalid, "unknown section flags %#x for version %d", flags, version)
 	}
@@ -474,6 +540,15 @@ func parsePayload(payload []byte, version uint32) (*Record, error) {
 			return nil, errf(KindInvalid, "operator section without monitor section")
 		}
 		if err := p.operatorSection(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	if flags&flagDrift != 0 {
+		if flags&flagMonitor == 0 {
+			return nil, errf(KindInvalid, "drift section without monitor section")
+		}
+		if err := p.driftSection(rec); err != nil {
 			return nil, err
 		}
 	}
@@ -538,6 +613,67 @@ func validate(rec *Record) error {
 			if rows, cols := rec.Op.Dims(); rows != n || cols != len(rec.Sensors) {
 				return errf(KindInvalid, "operator is %d×%d for N=%d M=%d", rows, cols, n, len(rec.Sensors))
 			}
+		}
+		if rec.Drift != nil {
+			if err := validateDrift(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateDrift cross-checks the drift block against the monitor section;
+// the caller guarantees rec.Drift != nil and the monitor section is present.
+func validateDrift(rec *Record) error {
+	d := rec.Drift
+	m := len(rec.Sensors)
+	if len(d.SensorMean) != m || len(d.SensorStd) != m {
+		return errf(KindInvalid, "drift sensor moments %d/%d for M=%d",
+			len(d.SensorMean), len(d.SensorStd), m)
+	}
+	for _, v := range []float64{d.CalibMean, d.CalibStd} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errf(KindInvalid, "non-finite drift calibration")
+		}
+	}
+	if d.CalibStd <= 0 {
+		return errf(KindInvalid, "drift calibration std %v not positive", d.CalibStd)
+	}
+	for i := range d.SensorMean {
+		for _, v := range []float64{d.SensorMean[i], d.SensorStd[i]} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return errf(KindInvalid, "bad per-sensor drift moment at %d", i)
+			}
+		}
+	}
+	if d.Generation < 0 {
+		return errf(KindInvalid, "drift generation %d negative", d.Generation)
+	}
+	if d.OrigSensors != nil {
+		n := rec.Basis.N()
+		seen := make(map[int]struct{}, len(d.OrigSensors))
+		for _, s := range d.OrigSensors {
+			if s < 0 || s >= n {
+				return errf(KindInvalid, "original sensor %d outside grid [0,%d)", s, n)
+			}
+			if _, dup := seen[s]; dup {
+				return errf(KindInvalid, "duplicate original sensor %d", s)
+			}
+			seen[s] = struct{}{}
+		}
+		// The serving sensors must be an ordered subset of the original list:
+		// a surviving sensor's reading position in client traffic is its
+		// position in OrigSensors.
+		j := 0
+		for _, s := range rec.Sensors {
+			for j < len(d.OrigSensors) && d.OrigSensors[j] != s {
+				j++
+			}
+			if j == len(d.OrigSensors) {
+				return errf(KindInvalid, "serving sensor %d not an ordered subset of the original list", s)
+			}
+			j++
 		}
 	}
 	return nil
@@ -763,5 +899,63 @@ func (p *reader) operatorSection(rec *Record) error {
 	}
 	rec.Op = mat.NewFromData(int(rows), int(cols), data)
 	rec.OpBias = bias
+	return nil
+}
+
+func (p *reader) driftSection(rec *Record) error {
+	cal, err := p.floats(2, "drift calibration")
+	if err != nil {
+		return err
+	}
+	ms, err := p.u32("drift sensor count")
+	if err != nil {
+		return err
+	}
+	if ms > 1<<24 {
+		return errf(KindInvalid, "implausible drift sensor count %d", ms)
+	}
+	sensorMean, err := p.floats(int(ms), "drift sensor means")
+	if err != nil {
+		return err
+	}
+	sensorStd, err := p.floats(int(ms), "drift sensor stds")
+	if err != nil {
+		return err
+	}
+	parentKey, err := p.string("drift parent key")
+	if err != nil {
+		return err
+	}
+	gen, err := p.u32("drift generation")
+	if err != nil {
+		return err
+	}
+	norig, err := p.u32("original sensor count")
+	if err != nil {
+		return err
+	}
+	if norig > 1<<24 {
+		return errf(KindInvalid, "implausible original sensor count %d", norig)
+	}
+	var orig []int
+	if norig > 0 {
+		orig = make([]int, norig)
+		for i := range orig {
+			v, err := p.u64("original sensor index")
+			if err != nil {
+				return err
+			}
+			orig[i] = int(int64(v))
+		}
+	}
+	rec.Drift = &DriftInfo{
+		CalibMean:   cal[0],
+		CalibStd:    cal[1],
+		SensorMean:  sensorMean,
+		SensorStd:   sensorStd,
+		ParentKey:   parentKey,
+		Generation:  int(gen),
+		OrigSensors: orig,
+	}
 	return nil
 }

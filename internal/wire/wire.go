@@ -12,12 +12,13 @@
 // own magics:
 //
 //	magic   "EMRQ" (request) / "EMRS" (response)   4 bytes
-//	version uint32 LE                              protocol version (1)
+//	version uint32 LE                              protocol version (2; 1 accepted)
 //	length  uint64 LE                              payload byte count
 //	payload length bytes
 //	crc     uint32 LE                              IEEE CRC-32 of the payload
 //
-// Request payload (all integers uint32 LE, floats float64 LE):
+// Request payload, identical under versions 1 and 2 (all integers uint32 LE,
+// floats float64 LE):
 //
 //	flags     uint32   bit 0 = include_maps, bit 1 = arm "qr"
 //	workers   uint32   estimation worker-pool size (0 = default)
@@ -25,8 +26,9 @@
 //	cols      uint32   readings per snapshot (the batch is rectangular)
 //	readings  rows×cols float64, row-major
 //
-// Response payload:
+// Response payload (version 2):
 //
+//	flags     uint32   bits 0–1 = quality (0 ok, 1 drifting, 2 degraded)
 //	count     uint32   summaries (== request rows)
 //	per summary:
 //	  max_c   float64
@@ -35,6 +37,11 @@
 //	  max_cell uint32
 //	  map_len uint32   0 unless include_maps was set
 //	  map     map_len float64
+//
+// A version 1 response payload is the same without the leading flags word;
+// this build still decodes it (quality reads as ok — v1 daemons predate
+// drift detection). The quality bits mirror the JSON protocol's "quality"
+// field, so both protocols carry the same drift verdict per response.
 //
 // Decoded values are bit-identical to the JSON path's: both protocols move
 // the same float64s, one in decimal text, one in raw bits — which is what
@@ -56,8 +63,12 @@ import (
 // estimate route.
 const ContentType = "application/x-emaps"
 
-// Version is the protocol version both sides speak.
-const Version = 1
+// Version is the protocol version this build writes. Decode additionally
+// accepts version 1 (whose responses carry no quality word).
+const Version = 2
+
+// minVersion is the oldest protocol version Decode still reads.
+const minVersion = 1
 
 const (
 	reqMagic  = "EMRQ"
@@ -71,7 +82,40 @@ const (
 
 	flagIncludeMaps = 1 << 0
 	flagArmQR       = 1 << 1
+
+	// respQualityMask covers the quality bits of a version ≥ 2 response
+	// flags word.
+	respQualityMask = 0x3
 )
+
+// Quality is the drift verdict a response carries (bits 0–1 of the version 2
+// response flags word), mirroring the JSON protocol's "quality" field.
+type Quality uint32
+
+// Response quality values, ordered by severity.
+const (
+	// QualityOK: the serving monitor's residuals match its calibration.
+	QualityOK Quality = iota
+	// QualityDrifting: the monitor has drifted; estimates still serve but
+	// should be treated as reduced-fidelity while adaptation runs.
+	QualityDrifting
+	// QualityDegraded: residuals are far outside calibration; estimates are
+	// suspect until the monitor adapts or is retrained.
+	QualityDegraded
+)
+
+// String names the quality exactly as the JSON protocol spells it.
+func (q Quality) String() string {
+	switch q {
+	case QualityOK:
+		return "ok"
+	case QualityDrifting:
+		return "drifting"
+	case QualityDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("Quality(%d)", uint32(q))
+}
 
 // Summary is one snapshot's digest, shared by the JSON and binary codecs
 // (cmd/emapsd aliases its response struct to this type, so the two
@@ -146,7 +190,7 @@ func AppendEstimateRequest(buf []byte, req *EstimateRequest) ([]byte, error) {
 // ReadingsBuf makes the decode reuse its storage. The returned request's
 // rows alias scratch — recycle it only after the rows are dead.
 func DecodeEstimateRequest(data []byte, scratch *ReadingsBuf) (*EstimateRequest, error) {
-	payload, err := checkEnvelope(data, reqMagic, "request")
+	payload, _, err := checkEnvelope(data, reqMagic, "request")
 	if err != nil {
 		return nil, err
 	}
@@ -187,16 +231,17 @@ func DecodeEstimateRequest(data []byte, scratch *ReadingsBuf) (*EstimateRequest,
 	}, nil
 }
 
-// AppendEstimateResponse encodes the summaries onto buf and returns the
-// extended slice — the binary twin of the daemon's hand-rendered JSON
-// response.
-func AppendEstimateResponse(buf []byte, results []Summary) []byte {
-	payloadLen := 4
+// AppendEstimateResponse encodes the summaries and the response quality onto
+// buf and returns the extended slice — the binary twin of the daemon's
+// hand-rendered JSON response.
+func AppendEstimateResponse(buf []byte, results []Summary, quality Quality) []byte {
+	payloadLen := 4 + 4
 	for i := range results {
 		payloadLen += 8 + 8 + 8 + 4 + 4 + 8*len(results[i].Map)
 	}
 	buf = appendHeader(buf, respMagic, payloadLen)
 	payloadStart := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(quality)&respQualityMask)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(results)))
 	for i := range results {
 		r := &results[i]
@@ -210,24 +255,38 @@ func AppendEstimateResponse(buf []byte, results []Summary) []byte {
 	return appendCRC(buf, payloadStart)
 }
 
-// DecodeEstimateResponse decodes one binary estimate response.
-func DecodeEstimateResponse(data []byte) ([]Summary, error) {
-	payload, err := checkEnvelope(data, respMagic, "response")
+// DecodeEstimateResponse decodes one binary estimate response. The returned
+// quality is QualityOK for version 1 responses, which predate the flags word.
+func DecodeEstimateResponse(data []byte) ([]Summary, Quality, error) {
+	payload, version, err := checkEnvelope(data, respMagic, "response")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if len(payload) < 4 {
-		return nil, fmt.Errorf("wire: response payload %d bytes, want at least 4", len(payload))
+	quality := QualityOK
+	off := 0
+	if version >= 2 {
+		if len(payload) < 4 {
+			return nil, 0, fmt.Errorf("wire: response payload %d bytes, want at least 4 for the flags word", len(payload))
+		}
+		flags := binary.LittleEndian.Uint32(payload[0:4])
+		if flags&^uint32(respQualityMask) != 0 {
+			return nil, 0, fmt.Errorf("wire: unknown response flags %#x", flags)
+		}
+		quality = Quality(flags & respQualityMask)
+		off = 4
 	}
-	count := int(binary.LittleEndian.Uint32(payload[0:4]))
-	if count < 0 || count > (len(payload)-4)/32 {
-		return nil, fmt.Errorf("wire: %d summaries do not fit a %d-byte payload", count, len(payload))
+	if len(payload)-off < 4 {
+		return nil, 0, fmt.Errorf("wire: response payload %d bytes, want at least %d", len(payload), off+4)
+	}
+	count := int(binary.LittleEndian.Uint32(payload[off : off+4]))
+	if count < 0 || count > (len(payload)-off-4)/32 {
+		return nil, 0, fmt.Errorf("wire: %d summaries do not fit a %d-byte payload", count, len(payload))
 	}
 	out := make([]Summary, count)
-	off := 4
+	off += 4
 	for i := range out {
 		if len(payload)-off < 32 {
-			return nil, fmt.Errorf("wire: response payload ends inside summary %d", i)
+			return nil, 0, fmt.Errorf("wire: response payload ends inside summary %d", i)
 		}
 		out[i].MaxC = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
 		out[i].MinC = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
@@ -236,7 +295,7 @@ func DecodeEstimateResponse(data []byte) ([]Summary, error) {
 		mapLen := int(binary.LittleEndian.Uint32(payload[off+28:]))
 		off += 32
 		if len(payload)-off < 8*mapLen {
-			return nil, fmt.Errorf("wire: summary %d claims a %d-cell map beyond the payload", i, mapLen)
+			return nil, 0, fmt.Errorf("wire: summary %d claims a %d-cell map beyond the payload", i, mapLen)
 		}
 		if mapLen > 0 {
 			m := make([]float64, mapLen)
@@ -248,9 +307,9 @@ func DecodeEstimateResponse(data []byte) ([]Summary, error) {
 		}
 	}
 	if off != len(payload) {
-		return nil, fmt.Errorf("wire: %d trailing response payload bytes", len(payload)-off)
+		return nil, 0, fmt.Errorf("wire: %d trailing response payload bytes", len(payload)-off)
 	}
-	return out, nil
+	return out, quality, nil
 }
 
 // appendHeader writes the magic, version and payload length.
@@ -275,29 +334,30 @@ func appendFloats(buf []byte, fs []float64) []byte {
 }
 
 // checkEnvelope validates magic, version, length and CRC, returning the
-// payload slice (aliasing data).
-func checkEnvelope(data []byte, magic, what string) ([]byte, error) {
+// payload slice (aliasing data) and the envelope's version so callers can
+// decode version-dependent payload layouts.
+func checkEnvelope(data []byte, magic, what string) ([]byte, uint32, error) {
 	if len(data) < 16 {
-		return nil, fmt.Errorf("wire: %s shorter than its 16-byte header", what)
+		return nil, 0, fmt.Errorf("wire: %s shorter than its 16-byte header", what)
 	}
 	if string(data[:4]) != magic {
-		return nil, fmt.Errorf("wire: %s magic %q, want %q", what, data[:4], magic)
+		return nil, 0, fmt.Errorf("wire: %s magic %q, want %q", what, data[:4], magic)
 	}
 	version := binary.LittleEndian.Uint32(data[4:8])
-	if version != Version {
-		return nil, fmt.Errorf("wire: %s version %d (this build speaks %d)", what, version, Version)
+	if version < minVersion || version > Version {
+		return nil, 0, fmt.Errorf("wire: %s version %d (this build speaks %d..%d)", what, version, minVersion, Version)
 	}
 	length := binary.LittleEndian.Uint64(data[8:16])
 	if length > maxPayload {
-		return nil, fmt.Errorf("wire: %s payload length %d exceeds cap %d", what, length, int64(maxPayload))
+		return nil, 0, fmt.Errorf("wire: %s payload length %d exceeds cap %d", what, length, int64(maxPayload))
 	}
 	if uint64(len(data)) != 16+length+4 {
-		return nil, fmt.Errorf("wire: %s is %d bytes, envelope declares %d", what, len(data), 16+length+4)
+		return nil, 0, fmt.Errorf("wire: %s is %d bytes, envelope declares %d", what, len(data), 16+length+4)
 	}
 	payload := data[16 : 16+length]
 	want := binary.LittleEndian.Uint32(data[16+length:])
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("wire: %s crc32 %08x, envelope says %08x", what, got, want)
+		return nil, 0, fmt.Errorf("wire: %s crc32 %08x, envelope says %08x", what, got, want)
 	}
-	return payload, nil
+	return payload, version, nil
 }

@@ -102,21 +102,82 @@ func TestResponseRoundTrip(t *testing.T) {
 		{MaxC: 81.5, MinC: 44.25, MeanC: 60.125, MaxCell: 17, Map: []float64{60, 61, 62.5}},
 		{MaxC: 79, MinC: 45, MeanC: 59, MaxCell: 3},
 	}
-	buf := AppendEstimateResponse(nil, in)
-	got, err := DecodeEstimateResponse(buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, in) {
-		t.Fatalf("response round-trip:\n got %+v\nwant %+v", got, in)
+	for _, q := range []Quality{QualityOK, QualityDrifting, QualityDegraded} {
+		buf := AppendEstimateResponse(nil, in, q)
+		got, gotQ, err := DecodeEstimateResponse(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("response round-trip:\n got %+v\nwant %+v", got, in)
+		}
+		if gotQ != q {
+			t.Fatalf("quality round-trip: got %v want %v", gotQ, q)
+		}
 	}
 }
 
 func TestResponseEmpty(t *testing.T) {
-	buf := AppendEstimateResponse(nil, nil)
-	got, err := DecodeEstimateResponse(buf)
-	if err != nil || len(got) != 0 {
-		t.Fatalf("empty response: %v %v", got, err)
+	buf := AppendEstimateResponse(nil, nil, QualityOK)
+	got, q, err := DecodeEstimateResponse(buf)
+	if err != nil || len(got) != 0 || q != QualityOK {
+		t.Fatalf("empty response: %v %v %v", got, q, err)
+	}
+}
+
+// TestVersion1Frames: the request payload is identical under both versions,
+// and a v1 response is a v2 response without the leading quality word — this
+// build must read both (older clients and recorded traffic).
+func TestVersion1Frames(t *testing.T) {
+	req := sampleRequest()
+	reqBuf, err := AppendEstimateRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CRC covers only the payload, so rewriting the version word of a v2
+	// request frame reproduces a genuine v1 frame exactly.
+	v1req := append([]byte(nil), reqBuf...)
+	v1req[4] = 1
+	got, err := DecodeEstimateRequest(v1req, nil)
+	if err != nil {
+		t.Fatalf("v1 request decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Readings, req.Readings) {
+		t.Fatal("v1 request readings mismatched")
+	}
+
+	in := []Summary{{MaxC: 81.5, MinC: 44.25, MeanC: 60.125, MaxCell: 17}}
+	v2 := AppendEstimateResponse(nil, in, QualityDegraded)
+	// Strip the 4-byte quality word from the payload, patch the declared
+	// length and version, and re-CRC: a byte-exact v1 response frame.
+	payload := append([]byte(nil), v2[20:len(v2)-4]...)
+	v1resp := append([]byte(nil), v2[:4]...)
+	v1resp = append(v1resp, 1, 0, 0, 0)
+	var lenWord [8]byte
+	lenWord[0] = byte(len(payload))
+	v1resp = append(v1resp, lenWord[:]...)
+	v1resp = append(v1resp, payload...)
+	v1resp = append(v1resp, 0, 0, 0, 0)
+	recrc(v1resp, payload)
+	gotSum, q, err := DecodeEstimateResponse(v1resp)
+	if err != nil {
+		t.Fatalf("v1 response decode: %v", err)
+	}
+	if !reflect.DeepEqual(gotSum, in) {
+		t.Fatalf("v1 response summaries mismatched: %+v", gotSum)
+	}
+	if q != QualityOK {
+		t.Fatalf("v1 response quality %v, want ok (predates drift)", q)
+	}
+}
+
+func TestResponseUnknownFlagsRejected(t *testing.T) {
+	buf := AppendEstimateResponse(nil, []Summary{{MaxC: 1}}, QualityOK)
+	// Response flags live at payload offset 0 → frame offset 16.
+	buf[16] |= 0x80
+	recrc(buf, buf[16:len(buf)-4])
+	if _, _, err := DecodeEstimateResponse(buf); err == nil {
+		t.Fatal("accepted unknown response flags")
 	}
 }
 
@@ -128,7 +189,7 @@ func TestHostileBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	goodResp := AppendEstimateResponse(nil, []Summary{{MaxC: 1, Map: []float64{1, 2}}})
+	goodResp := AppendEstimateResponse(nil, []Summary{{MaxC: 1, Map: []float64{1, 2}}}, QualityOK)
 
 	t.Run("wrong magic", func(t *testing.T) {
 		bad := append([]byte(nil), goodReq...)
@@ -151,7 +212,7 @@ func TestHostileBytes(t *testing.T) {
 			}
 		}
 		for _, cut := range []int{0, 15, len(goodResp) / 2, len(goodResp) - 1} {
-			if _, err := DecodeEstimateResponse(goodResp[:cut]); err == nil {
+			if _, _, err := DecodeEstimateResponse(goodResp[:cut]); err == nil {
 				t.Fatalf("accepted response cut at %d", cut)
 			}
 		}
@@ -205,11 +266,11 @@ func TestHostileBytes(t *testing.T) {
 	})
 	t.Run("map length beyond payload", func(t *testing.T) {
 		bad := append([]byte(nil), goodResp...)
-		// map_len of summary 0 lives at payload offset 4+28 → frame 16+32.
-		bad[48] = 0xf0
+		// map_len of summary 0 lives at payload offset 4+4+28 → frame 16+36.
+		bad[52] = 0xf0
 		payload := bad[16 : len(bad)-4]
 		recrc(bad, payload)
-		if _, err := DecodeEstimateResponse(bad); err == nil {
+		if _, _, err := DecodeEstimateResponse(bad); err == nil {
 			t.Fatal("accepted map length beyond payload")
 		}
 	})
