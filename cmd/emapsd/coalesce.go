@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The request coalescer turns concurrent small estimate requests against one
@@ -37,12 +38,17 @@ type coalescer struct {
 }
 
 // coalesceCall is one blocked request: its readings in, its maps (or its own
-// error) out, published before done closes.
+// error) out, published before done closes. flushStart/flushEnd bracket the
+// shared solve, so each blocked request can attribute its own wait
+// (enqueue → flushStart) and its share of the GEMM (flushStart → flushEnd)
+// to the right trace stages.
 type coalesceCall struct {
-	readings [][]float64
-	maps     [][]float64
-	err      error
-	done     chan struct{}
+	readings   [][]float64
+	maps       [][]float64
+	err        error
+	flushStart time.Time
+	flushEnd   time.Time
+	done       chan struct{}
 }
 
 func newCoalescer(mon *core.Monitor, window time.Duration, max int, m *metricsSet) *coalescer {
@@ -53,9 +59,11 @@ func newCoalescer(mon *core.Monitor, window time.Duration, max int, m *metricsSe
 }
 
 // estimate queues readings and blocks until a flush (triggered by this call,
-// a peer, or the window timer) serves them.
-func (c *coalescer) estimate(readings [][]float64) ([][]float64, error) {
+// a peer, or the window timer) serves them, recording the queue wait and the
+// shared solve as trace stages (tr may be nil).
+func (c *coalescer) estimate(readings [][]float64, tr *obs.Trace) ([][]float64, error) {
 	call := &coalesceCall{readings: readings, done: make(chan struct{})}
+	enq := tr.Begin()
 	c.mu.Lock()
 	c.pending = append(c.pending, call)
 	c.queued += len(readings)
@@ -70,6 +78,8 @@ func (c *coalescer) estimate(readings [][]float64) ([][]float64, error) {
 		c.mu.Unlock()
 	}
 	<-call.done
+	tr.Between(obs.StageCoalesceWait, enq, call.flushStart)
+	tr.Between(obs.StageSolve, call.flushStart, call.flushEnd)
 	return call.maps, call.err
 }
 
@@ -103,9 +113,11 @@ func (c *coalescer) flush(batch []*coalesceCall) {
 	}
 	c.metrics.coalesceFlushes.Add(1)
 	c.metrics.coalesceRequests.Add(int64(len(batch)))
+	start := time.Now()
 	if len(batch) == 1 {
 		one := batch[0]
 		one.maps, one.err = c.mon.EstimateBatch(one.readings, 0)
+		one.flushStart, one.flushEnd = start, time.Now()
 		close(one.done)
 		return
 	}
@@ -123,14 +135,17 @@ func (c *coalescer) flush(batch []*coalesceCall) {
 		// so only the offending client sees the error.
 		for _, call := range batch {
 			call.maps, call.err = c.mon.EstimateBatch(call.readings, 0)
+			call.flushStart, call.flushEnd = start, time.Now()
 			close(call.done)
 		}
 		return
 	}
+	end := time.Now()
 	off := 0
 	for _, call := range batch {
 		call.maps = maps[off : off+len(call.readings)]
 		off += len(call.readings)
+		call.flushStart, call.flushEnd = start, end
 		close(call.done)
 	}
 }

@@ -62,7 +62,7 @@ func TestCoalescerSizeTriggeredFlush(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i], errs[i] = c.estimate(readings[2*i : 2*i+2])
+			got[i], errs[i] = c.estimate(readings[2*i:2*i+2], nil)
 		}(i)
 	}
 	wg.Wait()
@@ -95,7 +95,7 @@ func TestCoalescerWindowTriggeredFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.estimate(readings[:3])
+	got, err := c.estimate(readings[:3], nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +127,11 @@ func TestCoalescerFaultIsolation(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		goodMaps, goodErr = c.estimate(readings[:1])
+		goodMaps, goodErr = c.estimate(readings[:1], nil)
 	}()
 	go func() {
 		defer wg.Done()
-		badMaps, badErr = c.estimate([][]float64{bad})
+		badMaps, badErr = c.estimate([][]float64{bad}, nil)
 	}()
 	wg.Wait()
 	if goodErr != nil || len(goodMaps) != 1 {

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// GET /v1/debug/requests renders the flight recorder: the ring of recent
+// finished requests plus the top-N slowest, each with its per-stage
+// waterfall (offset + duration from the request's monotonic start). Query
+// parameters: ?n= caps the recent list (default 32), ?route= filters both
+// lists to one route label — `?route=estimate` is the slow-request triage
+// entry point, untouched by create or scrape traffic.
+
+// debugStage is one waterfall bar.
+type debugStage struct {
+	Stage    string  `json:"stage"`
+	OffsetMS float64 `json:"offset_ms"`
+	DurMS    float64 `json:"dur_ms"`
+}
+
+// debugTrace is one request's flight record on the wire. StageMSTotal is
+// the attributed share of DurMS — for estimate requests the two agree to
+// within the instrumentation's own overhead, which the waterfall pin in
+// obs_daemon_test.go holds to 10%.
+type debugTrace struct {
+	ID           string       `json:"id"`
+	Route        string       `json:"route"`
+	Monitor      string       `json:"monitor,omitempty"`
+	Time         string       `json:"time"`
+	Status       int          `json:"status"`
+	Bytes        int          `json:"bytes"`
+	DurMS        float64      `json:"dur_ms"`
+	StageMSTotal float64      `json:"stage_ms_total"`
+	Stages       []debugStage `json:"stages"`
+}
+
+func debugTraceOf(t *obs.Trace) debugTrace {
+	spans := t.Spans()
+	out := debugTrace{
+		ID:           t.ID,
+		Route:        t.Route,
+		Monitor:      t.Monitor,
+		Time:         t.Wall.UTC().Format("2006-01-02T15:04:05.000Z"),
+		Status:       t.Status,
+		Bytes:        t.Bytes,
+		DurMS:        ms(t.Dur),
+		StageMSTotal: ms(t.StageTotal()),
+		Stages:       make([]debugStage, len(spans)),
+	}
+	for i, sp := range spans {
+		out.Stages[i] = debugStage{Stage: sp.Stage.String(), OffsetMS: ms(sp.Offset), DurMS: ms(sp.Dur)}
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func (s *server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	route := r.URL.Query().Get("route")
+	keep := func(t *obs.Trace) bool { return route == "" || t.Route == route }
+
+	recent := make([]debugTrace, 0, n)
+	// Over-fetch when filtering so a busy scrape route doesn't push every
+	// filtered trace out of the response.
+	fetch := n
+	if route != "" {
+		fetch = 256
+	}
+	for _, t := range s.traces.Recent(fetch) {
+		if keep(&t) && len(recent) < n {
+			recent = append(recent, debugTraceOf(&t))
+		}
+	}
+	slowest := make([]debugTrace, 0, 32)
+	for _, t := range s.traces.Slowest() {
+		if keep(&t) {
+			slowest = append(slowest, debugTraceOf(&t))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recent":  recent,
+		"slowest": slowest,
+	})
+}
+
+// startPprof serves net/http/pprof on its own listener, accepted only on a
+// loopback address: profiles expose memory contents and must never ride
+// the public serving port or bind a routable interface.
+func startPprof(addr string, logger *slog.Logger) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %q: %v", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return fmt.Errorf("-pprof %q: address must be loopback (127.0.0.1, ::1 or localhost)", addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %q: %v", addr, err)
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logger.Error("pprof serve", "err", err)
+		}
+	}()
+	logger.Info("pprof listening", "addr", ln.Addr().String())
+	return nil
+}

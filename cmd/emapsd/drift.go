@@ -7,6 +7,7 @@ import (
 	"repro/internal/basis"
 	"repro/internal/core"
 	"repro/internal/drift"
+	"repro/internal/obs"
 	"repro/internal/track"
 	"repro/internal/wire"
 )
@@ -142,7 +143,7 @@ func (rs *residentState) compactReadings(rows [][]float64) [][]float64 {
 // of re-running the M×M residual matvec per row. Out-of-OK batches are
 // absorbed into the shadow basis; crossing the -adapt-after threshold (or a
 // confirmed faulty sensor) triggers the swap synchronously.
-func (s *server) feedDrift(e *monitorEntry, rs *residentState, rows, maps [][]float64) drift.State {
+func (s *server) feedDrift(e *monitorEntry, rs *residentState, rows, maps [][]float64, tr *obs.Trace) drift.State {
 	ds := rs.drift
 	if ds == nil || len(rows) == 0 {
 		return drift.StateOK
@@ -168,12 +169,14 @@ func (s *server) feedDrift(e *monitorEntry, rs *residentState, rows, maps [][]fl
 	}
 	driftScratchPool.Put(sc)
 	st := ds.det.State()
+	tr.Mark(obs.StageDriftScore)
 	if st != drift.StateOK {
 		if faulty := ds.det.FaultySensor(); faulty >= 0 {
 			s.excludeSensor(e, rs, faulty)
 		} else if s.adaptAfter > 0 {
 			s.absorbForAdaptation(e, rs, n)
 		}
+		tr.Mark(obs.StageAdapt)
 	}
 	return st
 }

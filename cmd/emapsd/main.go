@@ -97,6 +97,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/power"
 	"repro/internal/recon"
@@ -127,6 +128,8 @@ func main() {
 	adaptAfter := flag.Int("adapt-after", 64, "out-of-distribution snapshots absorbed before the shadow basis hot-swaps in (0 = never adapt)")
 	faultInject := flag.String("fault-inject", "", "deterministic sensor-fault spec applied to incoming readings, e.g. stuck:3,drop:0.01,offset:2:5 (dev/testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -fault-inject randomness (dropouts)")
+	logSample := flag.Int("log-sample", 1, "log 1 in N request lines at high QPS (errors always logged; 1 = every request)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback-only address, e.g. 127.0.0.1:8790 (empty = disabled)")
 	printRoutes := flag.Bool("print-routes", false, "print the /v1 route table and exit (CI docs gate)")
 	flag.Parse()
 
@@ -150,6 +153,16 @@ func main() {
 	srv.coalesceMax = *coalesceMax
 	srv.lockStale = *lockStale
 	srv.adaptAfter = *adaptAfter
+	if *logSample > 1 {
+		srv.logEvery = int64(*logSample)
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr, logger); err != nil {
+			logger.Error("pprof", "err", err)
+			logSink.Close()
+			os.Exit(1)
+		}
+	}
 	if *faultInject != "" {
 		faults, err := drift.ParseFaults(*faultInject)
 		if err != nil {
@@ -352,6 +365,16 @@ type server struct {
 	logger      *slog.Logger
 	metrics     *metricsSet
 
+	// traces is the flight recorder: the last 256 finished request traces
+	// plus the 32 slowest, served at GET /v1/debug/requests. logEvery
+	// samples request log lines (1 in N; errors always logged); noTrace
+	// strips per-request tracing entirely — it exists for the instrumented
+	// vs. stripped benchmark arm, not for production use.
+	traces   *obs.Ring
+	logEvery int64
+	logTick  atomic.Int64
+	noTrace  bool
+
 	// Sharding: this replica is shard shardIdx of shardN over a shared
 	// store directory; ring maps monitor IDs to owners. shardN < 2 means
 	// unsharded.
@@ -403,6 +426,8 @@ func newServer(maxBatch int) *server {
 		adaptAfter: 64,
 		lockStale:  time.Minute,
 		metrics:    newMetricsSet(),
+		traces:     obs.NewRing(256, 32),
+		logEvery:   1,
 		models:     make(map[trainKey]*modelEntry),
 		monitors:   make(map[string]*monitorEntry),
 		residents:  make(map[string]*monitorEntry),
@@ -421,17 +446,73 @@ func (s *server) logf(msg string, args ...any) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	s.requests.Add(1)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	var tr *obs.Trace
+	if !s.noTrace {
+		id := r.Header.Get(wire.HeaderRequestID)
+		if id == "" {
+			id = obs.NewID()
+		} else {
+			// A client-supplied id opts the response into Server-Timing;
+			// anonymous traffic still gets traced and ringed, just without
+			// the per-response header.
+			sw.wantTiming = true
+			if len(id) > 128 {
+				// Bound attacker-controlled header bytes before they reach
+				// logs, traces and response headers.
+				id = id[:128]
+			}
+		}
+		// The trace lives inside the statusWriter: per-request observability
+		// state rides the allocation the response path pays anyway.
+		tr = &sw.trace
+		tr.Reset(id, start)
+		sw.tr = tr
+		// Echo the effective id up front so even error responses carry it.
+		// Direct assignment — the constant is already canonical and Set's
+		// canonicalization shows up in the hot-path profile.
+		sw.idHolder[0] = id
+		w.Header()[wire.HeaderRequestID] = sw.idHolder[:]
+	}
 	route := s.dispatch(sw, r)
 	dur := time.Since(start)
 	s.metrics.observe(route, sw.status, dur)
-	if s.logger != nil {
+	if tr != nil {
+		tr.Route = route
+		tr.Finish(sw.status, sw.bytes, dur)
+		s.metrics.observeTrace(tr)
+		s.traces.Record(tr)
+	}
+	if s.logger != nil && s.shouldLog(sw.status) {
+		rid := ""
+		if tr != nil {
+			rid = tr.ID
+		}
 		s.logger.Info("request",
 			"method", r.Method, "path", r.URL.Path, "route", route,
 			"status", sw.status, "dur_ms", float64(dur.Microseconds())/1000,
-			"bytes", sw.bytes)
+			"bytes", sw.bytes, "request_id", rid)
 	}
+}
+
+// shouldLog applies -log-sample: 1 in logEvery request lines, with errors
+// (4xx/5xx) always logged so sampling never hides failures.
+func (s *server) shouldLog(status int) bool {
+	if s.logEvery <= 1 || status >= 400 {
+		return true
+	}
+	return s.logTick.Add(1)%s.logEvery == 1
+}
+
+// traceOf recovers the request trace from the wrapped response writer.
+// Returns nil — and every trace method no-ops — when the writer is not the
+// daemon's statusWriter (direct dispatch in tests) or tracing is stripped.
+func traceOf(w http.ResponseWriter) *obs.Trace {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.tr
+	}
+	return nil
 }
 
 // dispatch routes the request and returns the route label used by metrics
@@ -480,6 +561,9 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request) string {
 	case rest == "/monitors" && r.Method == http.MethodGet:
 		s.handleList(w)
 		return label("list")
+	case rest == "/debug/requests" && r.Method == http.MethodGet:
+		s.handleDebugRequests(w, r)
+		return label("debug")
 	case strings.HasPrefix(rest, "/monitors/"):
 		return label(s.handleMonitor(w, r, strings.TrimPrefix(rest, "/monitors/")))
 	default:
@@ -498,6 +582,7 @@ func (s *server) handleMetrics(w http.ResponseWriter) {
 	s.mu.Unlock()
 	g.requests = s.requests.Load()
 	g.snapshots = s.snapshots.Load()
+	g.fileOpens = s.fileOpens.Load()
 	// Drift verdicts are read outside s.mu (each detector has its own lock);
 	// paged-out or uncalibrated monitors have no verdict to report.
 	for _, e := range entries {
@@ -506,9 +591,8 @@ func (s *server) handleMetrics(w http.ResponseWriter) {
 		}
 	}
 	sort.Slice(g.driftStates, func(i, j int) bool { return g.driftStates[i].id < g.driftStates[j].id })
-	// Render to memory first: render briefly holds the metrics mutex that
-	// every completing request touches, so it must never block on a slow
-	// scraper's connection.
+	// Render to memory first so a slow scraper's connection never holds the
+	// response open mid-snapshot (and the scrape stays one Write).
 	var buf bytes.Buffer
 	s.metrics.render(&buf, g)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -864,7 +948,16 @@ func (s *server) handleStats(w http.ResponseWriter) {
 
 func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request, rest string) string {
 	id, action, _ := strings.Cut(rest, "/")
+	tr := traceOf(w)
+	if tr != nil {
+		tr.Monitor = id
+	}
+	// The shard_route span only exists on sharded replicas: unsharded
+	// routing is a map lookup, and stamping a ~0 span on every request
+	// would buy two clock reads of pure overhead.
+	sharded := s.shardN > 1
 	if !s.owns(id) {
+		tr.Mark(obs.StageShardRoute)
 		// 421: the monitor hashes to another replica. The owner index in the
 		// message is the routing hint a client-side router needs.
 		s.metrics.wrongShard.Add(1)
@@ -876,6 +969,9 @@ func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request, rest stri
 	s.mu.Lock()
 	entry := s.monitors[id]
 	s.mu.Unlock()
+	if sharded {
+		tr.Mark(obs.StageShardRoute)
+	}
 	if entry == nil {
 		httpError(w, http.StatusNotFound, "not_found", "no monitor %q", id)
 		return "notfound"
@@ -1020,7 +1116,7 @@ func (s *server) checkBatch(w http.ResponseWriter, readings [][]float64) bool {
 // 404 record_missing, anything else (corrupt record, mismatched ID) is a
 // 500 record_corrupt. Both reach the log with the typed *store.Error.
 func (s *server) residentHTTP(w http.ResponseWriter, e *monitorEntry) (*residentState, bool) {
-	rs, err := s.resident(e)
+	rs, err := s.resident(e, traceOf(w))
 	if err == nil {
 		return rs, true
 	}
@@ -1037,11 +1133,11 @@ func (s *server) residentHTTP(w http.ResponseWriter, e *monitorEntry) (*resident
 // estimateMaps is the compute path shared by the JSON and binary estimate
 // protocols. done releases pooled output buffers — call it exactly once,
 // after the maps are encoded.
-func (s *server) estimateMaps(e *monitorEntry, rs *residentState, readings [][]float64, workers int, arm recon.Arm) (maps [][]float64, done func(), err error) {
+func (s *server) estimateMaps(e *monitorEntry, rs *residentState, readings [][]float64, workers int, arm recon.Arm, tr *obs.Trace) (maps [][]float64, done func(), err error) {
 	if arm == recon.ArmOperator && s.coalesceWindow > 0 {
 		// Operator-arm requests share flushes; the QR ablation arm bypasses
 		// the queue so its latency reflects the per-snapshot solve.
-		maps, err = s.coalescerFor(rs).estimate(readings)
+		maps, err = s.coalescerFor(rs).estimate(readings, tr)
 		return maps, releaseNothing, err
 	}
 	// Pooled output buffers: the non-coalesced hot path reuses its
@@ -1051,6 +1147,7 @@ func (s *server) estimateMaps(e *monitorEntry, rs *residentState, readings [][]f
 		e.putMaps(buf)
 		return nil, releaseNothing, err
 	}
+	tr.Mark(obs.StageSolve)
 	return buf, func() { e.putMaps(buf) }, nil
 }
 
@@ -1063,8 +1160,10 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 		s.handleEstimateBinary(w, r, e, rs)
 		return
 	}
+	tr := traceOf(w)
 	var req estimateRequest
 	readings, release, err := decodeEstimateRequest(r.Body, &req)
+	tr.Mark(obs.StageDecode)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
 		return
@@ -1084,14 +1183,14 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 		}
 	}
 	readings = rs.compactReadings(readings)
-	maps, done, err := s.estimateMaps(e, rs, readings, req.Workers, arm)
+	maps, done, err := s.estimateMaps(e, rs, readings, req.Workers, arm, tr)
 	if err != nil {
 		// Wrong-length vectors, NaN/Inf readings: client error, never a panic.
 		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
 		return
 	}
 	defer done()
-	quality := s.feedDrift(e, rs, readings, maps)
+	quality := s.feedDrift(e, rs, readings, maps, tr)
 	s.snapshots.Add(int64(len(maps)))
 	e.snapshots.Add(int64(len(maps)))
 	out := make([]snapshotSummary, len(maps))
@@ -1100,6 +1199,11 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, e *monit
 	}
 	// Hand-rendered response (see codec.go): same bytes a json.Encoder would
 	// produce for {"quality":"...","results":[...]}, minus the reflection.
+	// Everything after the drift span — summarize, render, the body write —
+	// is the encode stage; Tail attributes it at Finish with zero clock
+	// reads (the already-sent Server-Timing header carries the interior
+	// stages; the flight-recorder waterfall includes encode).
+	tr.Tail(obs.StageEncode)
 	body := responsePool.Get().(*[]byte)
 	*body = appendEstimateResponse((*body)[:0], out, quality.String())
 	w.Header().Set("Content-Type", "application/json")
@@ -1120,6 +1224,7 @@ var wireBufPool = sync.Pool{New: func() any { return new(wire.ReadingsBuf) }}
 // regardless of the request protocol, so error handling is one client code
 // path.
 func (s *server) handleEstimateBinary(w http.ResponseWriter, r *http.Request, e *monitorEntry, rs *residentState) {
+	tr := traceOf(w)
 	body := bodyPool.Get().(*bytes.Buffer)
 	body.Reset()
 	defer bodyPool.Put(body)
@@ -1130,6 +1235,7 @@ func (s *server) handleEstimateBinary(w http.ResponseWriter, r *http.Request, e 
 	scratch := wireBufPool.Get().(*wire.ReadingsBuf)
 	defer wireBufPool.Put(scratch)
 	req, err := wire.DecodeEstimateRequest(body.Bytes(), scratch)
+	tr.Mark(obs.StageDecode)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_frame", "%v", err)
 		return
@@ -1148,19 +1254,20 @@ func (s *server) handleEstimateBinary(w http.ResponseWriter, r *http.Request, e 
 		}
 	}
 	readings = rs.compactReadings(readings)
-	maps, done, err := s.estimateMaps(e, rs, readings, req.Workers, arm)
+	maps, done, err := s.estimateMaps(e, rs, readings, req.Workers, arm, tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
 		return
 	}
 	defer done()
-	quality := s.feedDrift(e, rs, readings, maps)
+	quality := s.feedDrift(e, rs, readings, maps, tr)
 	s.snapshots.Add(int64(len(maps)))
 	e.snapshots.Add(int64(len(maps)))
 	out := make([]wire.Summary, len(maps))
 	for i, x := range maps {
 		out[i] = summarize(x, req.IncludeMaps)
 	}
+	tr.Tail(obs.StageEncode)
 	respBuf := responsePool.Get().(*[]byte)
 	*respBuf = wire.AppendEstimateResponse((*respBuf)[:0], out, qualityFor(quality))
 	w.Header().Set("Content-Type", wire.ContentType)
@@ -1180,8 +1287,10 @@ func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorE
 		httpError(w, http.StatusBadRequest, "no_tracker", "monitor %s has no tracker (create with \"tracking\": true)", e.id)
 		return
 	}
+	tr := traceOf(w)
 	var req estimateRequest
 	readings, release, err := decodeEstimateRequest(r.Body, &req)
+	tr.Mark(obs.StageDecode)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
 		return
@@ -1197,13 +1306,14 @@ func (s *server) handleTrack(w http.ResponseWriter, r *http.Request, e *monitorE
 	}
 	readings = rs.compactReadings(readings)
 	maps, err := rs.kf.StepBatch(readings)
+	tr.Mark(obs.StageSolve)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad_readings", "track: %v", err)
 		return
 	}
 	// Kalman-smoothed maps are not the least-squares projection, so the
 	// tracker path scores drift with the residual matvec, not the estimates.
-	quality := s.feedDrift(e, rs, readings, nil)
+	quality := s.feedDrift(e, rs, readings, nil, tr)
 	s.snapshots.Add(int64(len(maps)))
 	e.snapshots.Add(int64(len(maps)))
 	out := make([]snapshotSummary, len(maps))
@@ -1360,15 +1470,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // errorBody is the uniform error envelope every failure is written as:
-// {"error":{"code":"...","message":"..."}}. Codes are stable slugs clients
-// can switch on; messages are human-readable detail that may change.
+// {"error":{"code":"...","message":"...","request_id":"..."}}. Codes are
+// stable slugs clients can switch on; messages are human-readable detail
+// that may change; request_id (absent only when tracing is stripped) is
+// the handle that joins the failure to its slog line and debug trace.
 type errorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	var rid string
+	if tr := traceOf(w); tr != nil {
+		rid = tr.ID
+	}
 	writeJSON(w, status, map[string]errorBody{
-		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+		"error": {Code: code, Message: fmt.Sprintf(format, args...), RequestID: rid},
 	})
 }

@@ -4,21 +4,30 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
-	"sync"
+	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // metricsSet is the daemon's observability state: per-route request counts
-// (by status code) and latency histograms, plus counters for the model
-// cache and the persistence store. Rendered in the Prometheus text
-// exposition format at GET /metrics, so any scraper can derive request
-// rates, error ratios, cache hit ratios and snapshots/s without the daemon
-// having to compute windows itself.
+// (by status code) and latency histograms, per-stage latency histograms,
+// and counters for the model cache and the persistence store. Rendered in
+// the Prometheus text exposition format at GET /metrics, so any scraper
+// can derive request rates, error ratios, cache hit ratios and snapshots/s
+// without the daemon having to compute windows itself.
+//
+// The request-path side (observe, stage observation) is lock-free: routes
+// live in an obs.Registry (a sync.Map lookup plus atomic adds), stages in
+// a pre-built obs.StageSet indexed by stage number. The old mutexed
+// routeMetrics map serialized every request on one lock; under the
+// million-monitor load profile that lock was the only cross-request shared
+// write besides the counters, and it is gone.
 type metricsSet struct {
-	mu     sync.Mutex
-	routes map[string]*routeMetrics
+	routes *obs.Registry
+	stages *obs.StageSet
 
 	cacheHits       atomic.Int64 // model cache: key already resident
 	cacheMisses     atomic.Int64 // model cache: key absent (train or disk load)
@@ -41,48 +50,38 @@ type metricsSet struct {
 	sensorFaults atomic.Int64 // faulty sensors excluded from serving
 }
 
-// latencyBuckets are the histogram upper bounds in seconds. The serving
-// path spans ~100µs cached estimates to multi-second cold trainings, so the
-// buckets are log-spaced across that range.
+// latencyBuckets are the request-histogram upper bounds in seconds. The
+// serving path spans ~100µs cached estimates to multi-second cold
+// trainings, so the buckets are log-spaced across that range.
 var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// routeMetrics accumulates one route's counters. Guarded by metricsSet.mu —
-// the daemon's request handling cost (least-squares solves over whole
-// batches) dwarfs one short critical section per request.
-type routeMetrics struct {
-	byCode  map[int]int64
-	buckets []int64 // len(latencyBuckets)+1, +Inf bucket last
-	sum     float64 // seconds
-	count   int64
+// stageBuckets are the per-stage histogram bounds. Stages are slices of a
+// request, so the range shifts down: decode and shard routing sit in the
+// tens of microseconds, a coalesced solve in the milliseconds.
+var stageBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
 func newMetricsSet() *metricsSet {
-	return &metricsSet{routes: make(map[string]*routeMetrics)}
+	return &metricsSet{
+		routes: obs.NewRegistry(latencyBuckets),
+		stages: obs.NewStageSet(stageBuckets),
+	}
 }
 
-// observe records one completed request.
+// observe records one completed request. Lock-free: a sync.Map load plus
+// a handful of atomic adds.
 func (m *metricsSet) observe(route string, code int, d time.Duration) {
-	secs := d.Seconds()
-	m.mu.Lock()
-	rm := m.routes[route]
-	if rm == nil {
-		rm = &routeMetrics{byCode: make(map[int]int64), buckets: make([]int64, len(latencyBuckets)+1)}
-		m.routes[route] = rm
-	}
-	rm.byCode[code]++
-	rm.count++
-	rm.sum += secs
-	idx := len(latencyBuckets)
-	for i, ub := range latencyBuckets {
-		if secs <= ub {
-			idx = i
-			break
-		}
-	}
-	rm.buckets[idx]++
-	m.mu.Unlock()
+	rs := m.routes.Route(route)
+	rs.Latency.Observe(d)
+	rs.ObserveCode(code)
+}
+
+// observeTrace folds a finished trace's spans into the stage histograms.
+func (m *metricsSet) observeTrace(t *obs.Trace) {
+	m.stages.ObserveTrace(t)
 }
 
 // gauges is the point-in-time state rendered alongside the counters.
@@ -91,6 +90,7 @@ type gauges struct {
 	monitors  int
 	requests  int64
 	snapshots int64
+	fileOpens int64
 
 	// driftStates is one entry per calibrated resident monitor: its current
 	// verdict as a labeled gauge (0 = ok, 1 = drifting, 2 = degraded).
@@ -104,8 +104,10 @@ type driftGauge struct {
 }
 
 // render writes the Prometheus text exposition format. Output is
-// deterministic (routes and codes sorted) so tests and shell pipelines can
-// grep exact lines.
+// deterministic (routes, codes and stages sorted) so tests and shell
+// pipelines can grep exact lines. Counter and histogram reads are
+// eventually consistent with in-flight requests, which cumulative scrapes
+// tolerate by design.
 func (m *metricsSet) render(w io.Writer, g gauges) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -114,39 +116,25 @@ func (m *metricsSet) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 
-	m.mu.Lock()
-	names := make([]string, 0, len(m.routes))
-	for name := range m.routes {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
+	snaps := m.routes.Snapshot()
 	fmt.Fprintf(w, "# HELP emapsd_requests_total Requests served, by route and status code.\n# TYPE emapsd_requests_total counter\n")
-	for _, name := range names {
-		rm := m.routes[name]
-		codes := make([]int, 0, len(rm.byCode))
-		for c := range rm.byCode {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "emapsd_requests_total{route=%q,code=\"%d\"} %d\n", name, c, rm.byCode[c])
+	for _, rs := range snaps {
+		for _, cc := range rs.Codes {
+			fmt.Fprintf(w, "emapsd_requests_total{route=%q,code=\"%d\"} %d\n", rs.Label, cc.Code, cc.Count)
 		}
 	}
 	fmt.Fprintf(w, "# HELP emapsd_request_duration_seconds Request latency, by route.\n# TYPE emapsd_request_duration_seconds histogram\n")
-	for _, name := range names {
-		rm := m.routes[name]
-		var cum int64
-		for i, ub := range latencyBuckets {
-			cum += rm.buckets[i]
-			fmt.Fprintf(w, "emapsd_request_duration_seconds_bucket{route=%q,le=%q} %d\n", name, trimFloat(ub), cum)
-		}
-		cum += rm.buckets[len(latencyBuckets)]
-		fmt.Fprintf(w, "emapsd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "emapsd_request_duration_seconds_sum{route=%q} %g\n", name, rm.sum)
-		fmt.Fprintf(w, "emapsd_request_duration_seconds_count{route=%q} %d\n", name, rm.count)
+	for _, rs := range snaps {
+		writeHist(w, "emapsd_request_duration_seconds", "route", rs.Label, rs.Latency)
 	}
-	m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP emapsd_stage_duration_seconds Serving-stage latency, by stage (decode, shard_route, page_in, coalesce_wait, solve, drift_score, adapt, encode).\n# TYPE emapsd_stage_duration_seconds histogram\n")
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		snap := m.stages.Stage(st).Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		writeHist(w, "emapsd_stage_duration_seconds", "stage", st.String(), snap)
+	}
 
 	counter("emapsd_snapshots_total", "Snapshots estimated across all monitors (rate = snapshots/s).", g.snapshots)
 	counter("emapsd_model_cache_hits_total", "Model-cache lookups that found the training configuration resident.", m.cacheHits.Load())
@@ -173,6 +161,29 @@ func (m *metricsSet) render(w io.Writer, g gauges) {
 	gauge("emapsd_models", "Trained models resident in memory.", g.models)
 	gauge("emapsd_monitors", "Live monitors.", g.monitors)
 	counter("emapsd_http_requests_total", "All HTTP requests, any route.", g.requests)
+	counter("emapsd_file_opens_total", "Store files opened (reads and writes).", g.fileOpens)
+
+	// Runtime gauges: the process-health side of the flight recorder. Read
+	// at scrape time; ReadMemStats briefly stops the world, which a scrape
+	// cadence amortizes to nothing.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("emapsd_goroutines", "Live goroutines.", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP emapsd_heap_alloc_bytes Heap bytes allocated and in use.\n# TYPE emapsd_heap_alloc_bytes gauge\nemapsd_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP emapsd_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n# TYPE emapsd_gc_pause_seconds_total counter\nemapsd_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP emapsd_gc_cycles_total Completed GC cycles.\n# TYPE emapsd_gc_cycles_total counter\nemapsd_gc_cycles_total %d\n", ms.NumGC)
+}
+
+// writeHist emits one label's cumulative histogram series.
+func writeHist(w io.Writer, name, labelKey, labelVal string, snap obs.HistSnapshot) {
+	var cum int64
+	for i, ub := range snap.Bounds {
+		cum = snap.Cumulative[i]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, labelVal, trimFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, labelVal, snap.Count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, labelKey, labelVal, snap.Sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, labelVal, snap.Count)
 }
 
 // trimFloat renders a bucket bound the way Prometheus clients do (no
@@ -182,20 +193,67 @@ func trimFloat(f float64) string {
 }
 
 // statusWriter captures the status code and body size a handler produced,
-// for the request log and the per-route metrics.
+// for the request log and the per-route metrics, and injects the
+// Server-Timing stage breakdown just before the header is flushed. It
+// passes http.Flusher through so streaming handlers behind the wrapper can
+// still flush.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int
+	status      int
+	bytes       int
+	wroteHeader bool
+	// tr points at the embedded trace when the request is traced, nil when
+	// stripped — handlers fetch it via traceOf and every trace method is
+	// nil-safe, so the stripped path pays only this nil.
+	tr    *obs.Trace
+	trace obs.Trace
+	// wantTiming is set when the client identified the request with an
+	// X-Request-Id of its own: Server-Timing is an opt-in contract, so
+	// anonymous hot-path traffic skips the header's build cost and its
+	// ~60 bytes per response.
+	wantTiming bool
+	// Pre-sized backing arrays for the two header values the wrapper sets
+	// on every traced response, so neither costs a []string allocation.
+	idHolder [1]string
+	stHolder [1]string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
 	w.status = code
+	if w.wantTiming {
+		if v := w.tr.ServerTiming(); v != "" {
+			// Direct map assignment: the header name is already in canonical
+			// MIME form, so Set's canonicalization pass is pure overhead here.
+			w.stHolder[0] = v
+			w.Header()[wire.HeaderServerTiming] = w.stHolder[:]
+		}
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += n
 	return n, err
 }
+
+// Flush implements http.Flusher when the underlying writer does, so
+// wrapping a streaming response does not silently disable flushing.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if !w.wroteHeader {
+			w.WriteHeader(http.StatusOK)
+		}
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController pass-through.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

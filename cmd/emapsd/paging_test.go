@@ -214,7 +214,7 @@ func TestIndexedRecordDeleted(t *testing.T) {
 	srv.mu.Lock()
 	entry := srv.monitors[ids[2]]
 	srv.mu.Unlock()
-	_, err := srv.resident(entry)
+	_, err := srv.resident(entry, nil)
 	var serr *store.Error
 	if !errors.As(err, &serr) {
 		t.Fatalf("page-in of a vanished record returned %T (%v), want *store.Error", err, err)

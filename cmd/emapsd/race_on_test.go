@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with -race.
+// The race detector multiplies the cost of every atomic and clock read, so
+// timing pins (instrumentation overhead, waterfall coverage) are only
+// meaningful without it.
+const raceEnabled = true

@@ -24,6 +24,7 @@ var routeTable = []routeInfo{
 	{http.MethodGet, "/v1/shard", "shard"},
 	{http.MethodPost, "/v1/monitors", "create"},
 	{http.MethodGet, "/v1/monitors", "list"},
+	{http.MethodGet, "/v1/debug/requests", "debug"},
 	{http.MethodGet, "/v1/monitors/{id}", "monitor"},
 	{http.MethodDelete, "/v1/monitors/{id}", "delete"},
 	{http.MethodPost, "/v1/monitors/{id}/estimate", "estimate"},

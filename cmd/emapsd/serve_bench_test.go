@@ -14,14 +14,21 @@ import (
 // shape (batch 16). Drift scoring is on this path (fresh monitors are
 // calibrated); BenchmarkServeEstimateNoDrift is the same route with the
 // detector stripped, so the pair measures drift detection's overhead.
-func BenchmarkServeEstimate(b *testing.B) { benchServeEstimate(b, true) }
+func BenchmarkServeEstimate(b *testing.B) { benchServeEstimate(b, true, false) }
 
 // BenchmarkServeEstimateNoDrift serves the identical load with the drift
 // detector removed — the uncalibrated-monitor path. The gap between this
 // and BenchmarkServeEstimate is the cost of per-batch residual scoring.
-func BenchmarkServeEstimateNoDrift(b *testing.B) { benchServeEstimate(b, false) }
+func BenchmarkServeEstimateNoDrift(b *testing.B) { benchServeEstimate(b, false, false) }
 
-func benchServeEstimate(b *testing.B, withDrift bool) {
+// BenchmarkServeEstimateStripped serves the same load with per-request
+// tracing disabled (srv.noTrace): no trace allocation, no span clock reads,
+// no Server-Timing header, no flight-recorder insert. The gap between this
+// and BenchmarkServeEstimate is the total observability overhead, which
+// TestInstrumentationOverhead pins to 3% with an interleaved A/B run.
+func BenchmarkServeEstimateStripped(b *testing.B) { benchServeEstimate(b, true, true) }
+
+func benchServeEstimate(b *testing.B, withDrift, stripped bool) {
 	srv := newServer(1024)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -46,6 +53,7 @@ func benchServeEstimate(b *testing.B, withDrift bool) {
 	if !withDrift {
 		srv.monitors[cr.ID].res.Load().drift = nil
 	}
+	srv.noTrace = stripped
 	body, _ := json.Marshal(map[string]any{"readings": readings})
 	payload := string(body)
 	path := "/v1/monitors/" + cr.ID + "/estimate"

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/drift"
 	"repro/internal/floorplan"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/store"
 	"repro/internal/thermal"
@@ -582,14 +583,17 @@ func (s *server) seedModelCache(lr *loadedRecord) {
 }
 
 // resident returns e's serving state, paging the record in on first touch.
-// The fast path is one atomic load; the slow path is single-flight per
-// entry under e.mu. A missing record file (index/record disagreement)
-// surfaces as a typed *store.Error wrapping fs.ErrNotExist.
-func (s *server) resident(e *monitorEntry) (*residentState, error) {
+// The fast path is one atomic load (and records no page-in span); the slow
+// path is single-flight per entry under e.mu, and its trace span includes
+// any wait behind a concurrent page-in — that wait is latency the request
+// actually spent on paging. A missing record file (index/record
+// disagreement) surfaces as a typed *store.Error wrapping fs.ErrNotExist.
+func (s *server) resident(e *monitorEntry, tr *obs.Trace) (*residentState, error) {
 	if rs := e.res.Load(); rs != nil {
 		e.lastUse.Store(time.Now().UnixNano())
 		return rs, nil
 	}
+	defer tr.Mark(obs.StagePageIn)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if rs := e.res.Load(); rs != nil {

@@ -81,6 +81,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -180,6 +181,18 @@ func renderReport(rep *Report, format string) ([]byte, error) {
 		}
 		gauge("emapsload_latency_ms_mean", "Mean per-request latency in milliseconds.", rep.LatencyMS.Mean)
 		gauge("emapsload_latency_ms_max", "Worst per-request latency in milliseconds.", rep.LatencyMS.Max)
+		if st := rep.ServerTiming; st != nil {
+			counter("emapsload_server_timing_requests_total", "Successful responses carrying a Server-Timing header.", float64(st.Requests))
+			fmt.Fprintf(&buf, "# HELP emapsload_server_timing_ms Mean server-side stage latency from Server-Timing headers, in milliseconds.\n# TYPE emapsload_server_timing_ms gauge\n")
+			stages := make([]string, 0, len(st.MeanMS))
+			for stage := range st.MeanMS {
+				stages = append(stages, stage)
+			}
+			sort.Strings(stages)
+			for _, stage := range stages {
+				fmt.Fprintf(&buf, "emapsload_server_timing_ms{stage=%q} %g\n", stage, st.MeanMS[stage])
+			}
+		}
 		return buf.Bytes(), nil
 	case "bench":
 		doc := benchjson.Doc{
@@ -258,6 +271,19 @@ type Report struct {
 	// against a healthy daemon reports every response under "ok".
 	Fault   string        `json:"fault,omitempty"`
 	Quality QualityCounts `json:"quality"`
+
+	// ServerTiming is the client-visible stage breakdown aggregated from the
+	// daemon's Server-Timing response headers — where the request's time went
+	// on the server, as seen from the load generator. Omitted when the
+	// daemon sent no timing headers (older daemon, stripped tracing).
+	ServerTiming *ServerTimingReport `json:"server_timing,omitempty"`
+}
+
+// ServerTimingReport aggregates the daemon's per-stage Server-Timing
+// entries over every successful response that carried the header.
+type ServerTimingReport struct {
+	Requests int64              `json:"requests"` // responses carrying the header
+	MeanMS   map[string]float64 `json:"mean_ms"`  // per-stage mean milliseconds
 }
 
 // QualityCounts buckets successful responses by the daemon's quality
@@ -367,7 +393,14 @@ func run(cfg config) (*Report, error) {
 		snapshots atomic.Int64
 		quality   [3]atomic.Int64 // indexed by wire.Quality
 		lats      = make([][]float64, cfg.Concurrency)
+		// Per-worker Server-Timing accumulation, merged after the run like
+		// lats — the hot loop shares nothing across workers.
+		stageSums  = make([]map[string]float64, cfg.Concurrency)
+		stageTimed = make([]int64, cfg.Concurrency)
 	)
+	for w := range stageSums {
+		stageSums[w] = make(map[string]float64)
+	}
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -384,6 +417,7 @@ func run(cfg config) (*Report, error) {
 				inj = drift.NewInjector(faults, cfg.FaultSeed+int64(w))
 			}
 			var prefix [256]byte
+			seq := 0
 			for {
 				if cfg.Requests > 0 {
 					if issued.Add(1) > int64(cfg.Requests) {
@@ -402,8 +436,19 @@ func run(cfg config) (*Report, error) {
 					}
 					body, contentType = b, ct
 				}
+				seq++
 				t0 := time.Now()
-				resp, err := client.Post(tg.url, contentType, bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, tg.url, bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", contentType)
+				// Tag every request: the id correlates load-tool lines with
+				// daemon logs and debug traces, and opts the response into
+				// the Server-Timing breakdown the report consumes.
+				req.Header.Set(wire.HeaderRequestID, "emapsload-w"+strconv.Itoa(w)+"-"+strconv.Itoa(seq))
+				resp, err := client.Do(req)
 				if err != nil {
 					errs.Add(1)
 					continue
@@ -419,6 +464,12 @@ func run(cfg config) (*Report, error) {
 				snapshots.Add(int64(tg.perReq))
 				if q := classifyQuality(prefix[:n]); int(q) < len(quality) {
 					quality[q].Add(1)
+				}
+				if h := resp.Header.Get(wire.HeaderServerTiming); h != "" {
+					for _, t := range wire.ParseServerTiming(h) {
+						stageSums[w][t.Name] += t.DurMS
+					}
+					stageTimed[w]++
 				}
 			}
 		}(w)
@@ -453,7 +504,29 @@ func run(cfg config) (*Report, error) {
 		rep.RequestsPerS = float64(len(all)) / elapsed
 		rep.SnapshotsPS = float64(snapshots.Load()) / elapsed
 	}
+	rep.ServerTiming = mergeServerTiming(stageSums, stageTimed)
 	return rep, nil
+}
+
+// mergeServerTiming folds the per-worker stage sums into per-stage means.
+// Returns nil when no response carried a Server-Timing header, so the
+// report section (and its prom lines) vanish instead of reading as zeros.
+func mergeServerTiming(sums []map[string]float64, timed []int64) *ServerTimingReport {
+	var total int64
+	merged := make(map[string]float64)
+	for w, m := range sums {
+		total += timed[w]
+		for stage, sum := range m {
+			merged[stage] += sum
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	for stage := range merged {
+		merged[stage] /= float64(total)
+	}
+	return &ServerTimingReport{Requests: total, MeanMS: merged}
 }
 
 // newPicker returns a deterministic target sampler: zipfian over rank when

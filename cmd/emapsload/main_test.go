@@ -74,6 +74,7 @@ func stubDaemon(t *testing.T, failEvery int) (*httptest.Server, *atomic.Int64) {
 			w.WriteHeader(http.StatusInternalServerError)
 			return
 		}
+		w.Header().Set("Server-Timing", "decode;dur=0.2, solve;dur=1.5, encode;dur=0.3")
 		fmt.Fprint(w, `{"results":[]}`)
 	})
 	mux.HandleFunc("/v1/monitors/mon-9", func(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +110,17 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 	}
 	if rep.Monitor != "mon-9" || rep.Endpoint != "estimate" {
 		t.Fatalf("report identity: %+v", rep)
+	}
+	st := rep.ServerTiming
+	if st == nil || st.Requests != 60 {
+		t.Fatalf("server timing not aggregated: %+v", st)
+	}
+	// The stub stamps fixed durations; means match them to accumulation
+	// rounding.
+	for stage, want := range map[string]float64{"decode": 0.2, "solve": 1.5, "encode": 0.3} {
+		if got := st.MeanMS[stage]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("server timing mean for %s = %v, want %v", stage, got, want)
+		}
 	}
 }
 
@@ -599,6 +611,10 @@ func TestRenderFormats(t *testing.T) {
 		DurationS: 2, Requests: 100, Errors: 0, Snapshots: 1600,
 		RequestsPerS: 50, SnapshotsPS: 800,
 		LatencyMS: Latencies{Mean: 1.5, P50: 1.2, P90: 2.0, P99: 3.5, Max: 4.0},
+		ServerTiming: &ServerTimingReport{
+			Requests: 100,
+			MeanMS:   map[string]float64{"solve": 1.1, "decode": 0.2},
+		},
 	}
 
 	blob, err := renderReport(rep, "json")
@@ -618,6 +634,8 @@ func TestRenderFormats(t *testing.T) {
 		"emapsload_snapshots_per_second 800",
 		"emapsload_requests_total 100",
 		`emapsload_latency_ms{quantile="0.99"} 3.5`,
+		"emapsload_server_timing_requests_total 100",
+		`emapsload_server_timing_ms{stage="decode"} 0.2` + "\n" + `emapsload_server_timing_ms{stage="solve"} 1.1`,
 	} {
 		if !strings.Contains(string(blob), want) {
 			t.Errorf("prom output missing %q:\n%s", want, blob)

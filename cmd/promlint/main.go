@@ -1,0 +1,48 @@
+// Command promlint checks a Prometheus text exposition for the defects a
+// hand-rolled /metrics endpoint can drift into: samples without HELP or
+// TYPE, duplicate series, non-cumulative histogram buckets, a missing
+// +Inf bucket, or a _count that disagrees with it.
+//
+// Usage:
+//
+//	promlint [file]          # lint a saved scrape
+//	curl -s host/metrics | promlint   # lint a live scrape
+//
+// Exits 0 when the exposition is clean, 1 with one message per problem on
+// stderr otherwise. CI's daemon-e2e observability step runs it against a
+// live scrape under load; obs.Lint is the same checker the daemon's own
+// tests call in-process.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: promlint [file]")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	errs := obs.Lint(in)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", name, e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+}

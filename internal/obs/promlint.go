@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text-exposition stream for the failure modes a
+// hand-rolled /metrics endpoint can drift into: samples with no HELP or
+// TYPE, duplicate series, histograms whose buckets are not cumulative or
+// whose +Inf bucket disagrees with _count, and malformed sample lines. It
+// returns one message per problem, empty when the exposition is clean.
+//
+// The parser covers the subset of the text format the daemon emits (and
+// that real scrapers require): comment metadata, optional label sets with
+// quoted values, and float sample values. It is deliberately strict — a
+// line it cannot parse is an error, not a skip.
+func Lint(r io.Reader) []string {
+	var errs []string
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	series := map[string]int{}
+	// histogram family -> base label set -> le -> count
+	buckets := map[string]map[string]map[float64]float64{}
+	counts := map[string]map[string]float64{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment; the format allows it
+			}
+			switch kind {
+			case "HELP":
+				if helpSeen[name] {
+					errs = append(errs, fmt.Sprintf("line %d: duplicate HELP for %s", lineNo, name))
+				}
+				if rest == "" {
+					errs = append(errs, fmt.Sprintf("line %d: empty HELP text for %s", lineNo, name))
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				if _, dup := typeSeen[name]; dup {
+					errs = append(errs, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					errs = append(errs, fmt.Sprintf("line %d: invalid TYPE %q for %s", lineNo, rest, name))
+				}
+				typeSeen[name] = rest
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("line %d: %v", lineNo, err))
+			continue
+		}
+		family := familyOf(name, typeSeen)
+		if !helpSeen[family] {
+			errs = append(errs, fmt.Sprintf("line %d: sample %s has no HELP for family %s", lineNo, name, family))
+			helpSeen[family] = true // report once per family
+		}
+		if _, ok := typeSeen[family]; !ok {
+			errs = append(errs, fmt.Sprintf("line %d: sample %s has no TYPE for family %s", lineNo, name, family))
+			typeSeen[family] = "untyped"
+		}
+		key := name + "{" + canonicalLabels(labels) + "}"
+		series[key]++
+		if series[key] == 2 {
+			errs = append(errs, fmt.Sprintf("line %d: duplicate series %s", lineNo, key))
+		}
+
+		if typeSeen[family] == "histogram" {
+			base := canonicalLabels(withoutLE(labels))
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					errs = append(errs, fmt.Sprintf("line %d: histogram bucket %s missing le label", lineNo, name))
+					continue
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					errs = append(errs, fmt.Sprintf("line %d: bad le %q: %v", lineNo, le, err))
+					continue
+				}
+				if buckets[family] == nil {
+					buckets[family] = map[string]map[float64]float64{}
+				}
+				if buckets[family][base] == nil {
+					buckets[family][base] = map[float64]float64{}
+				}
+				buckets[family][base][bound] = value
+			case strings.HasSuffix(name, "_count"):
+				if counts[family] == nil {
+					counts[family] = map[string]float64{}
+				}
+				counts[family][base] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Sprintf("read: %v", err))
+	}
+
+	// Cross-line histogram checks: buckets cumulative, +Inf present and
+	// equal to _count.
+	for _, family := range sortedKeys(buckets) {
+		for _, base := range sortedKeys(buckets[family]) {
+			bs := buckets[family][base]
+			bounds := make([]float64, 0, len(bs))
+			for b := range bs {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			hasInf := false
+			prev := math.Inf(-1)
+			prevCount := -1.0
+			for _, b := range bounds {
+				if math.IsInf(b, 1) {
+					hasInf = true
+				}
+				if bs[b] < prevCount {
+					errs = append(errs, fmt.Sprintf("histogram %s{%s}: bucket le=%g count %g < previous le=%g count %g (not cumulative)",
+						family, base, b, bs[b], prev, prevCount))
+				}
+				prev, prevCount = b, bs[b]
+			}
+			if !hasInf {
+				errs = append(errs, fmt.Sprintf("histogram %s{%s}: missing le=\"+Inf\" bucket", family, base))
+			} else if c, ok := counts[family][base]; ok && c != bs[math.Inf(1)] {
+				errs = append(errs, fmt.Sprintf("histogram %s{%s}: _count %g != +Inf bucket %g", family, base, c, bs[math.Inf(1)]))
+			}
+		}
+	}
+	return errs
+}
+
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// "# HELP name text..." splits as ["", "HELP", "name", "text..."].
+	if len(fields) < 3 || fields[0] != "" {
+		return "", "", "", false
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", false
+	}
+	name = fields[2]
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, name, rest, true
+}
+
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if name == "" || !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = map[string]string{}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			key := rest[:eq]
+			val, n, perr := unquoteLabel(rest[eq+1:])
+			if perr != nil {
+				return "", nil, 0, fmt.Errorf("malformed label value in %q: %v", line, perr)
+			}
+			if _, dup := labels[key]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %s in %q", key, line)
+			}
+			labels[key] = val
+			rest = rest[eq+1+n:]
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return "", nil, 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// unquoteLabel parses a quoted label value starting at s[0] == '"',
+// returning the value and the number of input bytes consumed.
+func unquoteLabel(s string) (string, int, error) {
+	if s == "" || s[0] != '"' {
+		return "", 0, fmt.Errorf("expected opening quote")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("trailing backslash")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quote")
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf maps a sample name to its metric family: histogram samples
+// (_bucket/_sum/_count) belong to the base name when that base has a
+// declared histogram TYPE.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+func withoutLE(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// traceRec is a finished trace packed for ring storage: spans quantized to
+// microseconds in 32-bit words and the wall clock flattened to Unix
+// nanoseconds. A full Trace is ~300 bytes — five cache lines that are
+// always cold by construction, because consecutive requests write
+// consecutive slots of a buffer far larger than L2. Halving the record
+// halves the write misses on the only stretch of the publish path that
+// cannot stay cache-warm. Microsecond span precision is what the debug
+// API exposes anyway (milliseconds with three decimals).
+type traceRec struct {
+	id, route, monitor string
+	wallNanos          int64
+	dur                time.Duration
+	status, bytes      int32
+	used               uint32
+	spans              [NumStages]spanUS
+}
+
+// spanUS is one packed span: offset and duration in microseconds.
+type spanUS struct {
+	Offset, Dur uint32
+}
+
+// usClamp quantizes a duration to microseconds, saturating at ~71 minutes
+// — beyond any request the daemon would hold open.
+func usClamp(d time.Duration) uint32 {
+	us := d.Microseconds()
+	if us < 0 {
+		return 0
+	}
+	if us > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(us)
+}
+
+// pack flattens a sealed trace into ring storage.
+func (r *traceRec) pack(t *Trace) {
+	r.id, r.route, r.monitor = t.ID, t.Route, t.Monitor
+	r.wallNanos = t.Wall.UnixNano()
+	r.dur = t.Dur
+	r.status, r.bytes = int32(t.Status), int32(t.Bytes)
+	r.used = t.used
+	for st := range r.spans {
+		if t.used&(1<<st) != 0 {
+			r.spans[st] = spanUS{Offset: usClamp(t.spans[st].Offset), Dur: usClamp(t.spans[st].Dur)}
+		} else {
+			r.spans[st] = spanUS{}
+		}
+	}
+}
+
+// unpack reconstructs a standalone read-only Trace.
+func (r *traceRec) unpack() Trace {
+	t := Trace{
+		ID: r.id, Route: r.route, Monitor: r.monitor,
+		Wall:   time.Unix(0, r.wallNanos),
+		Status: int(r.status), Bytes: int(r.bytes),
+		Dur:  r.dur,
+		used: r.used,
+	}
+	for st := range t.spans {
+		if r.used&(1<<st) != 0 {
+			t.spans[st] = spanRec{
+				Offset: time.Duration(r.spans[st].Offset) * time.Microsecond,
+				Dur:    time.Duration(r.spans[st].Dur) * time.Microsecond,
+			}
+		}
+	}
+	return t
+}
+
+// ringSlot is one recent-trace cell: a packed trace guarded by its own
+// tiny mutex, taken with TryLock on both sides so neither the serving path
+// nor a debug reader ever blocks (an uncontended TryLock is one CAS — the
+// same cost as a seqlock claim, without the racing read a seqlock would
+// need). Storing values rather than pointers keeps published traces out
+// of the garbage collector's object graph and lets the request path
+// recycle its Trace through a pool — the flight recorder owns fixed
+// storage, the request owns a scratch object.
+type ringSlot struct {
+	mu   sync.Mutex
+	full bool
+	t    traceRec
+}
+
+// Ring is the flight recorder's trace store: a lock-free circular buffer
+// of the most recent finished traces plus a small mutex-guarded list of
+// the slowest ones seen. Record copies the trace into a slot under a
+// seqlock; readers copy it back out and retry if the sequence moved, so
+// neither side blocks the other.
+//
+// The slowest list's mutex is kept off the hot path by an atomic
+// threshold: once the list is full, a request only takes the lock if it
+// is actually slower than the current floor, so steady-state traffic
+// never contends on it.
+type Ring struct {
+	slots []ringSlot
+	head  atomic.Uint64
+
+	topN    int
+	slowMin atomic.Int64 // floor (ns) for entering slowest; 0 until full
+	mu      sync.Mutex
+	slowest []traceRec // sorted slowest-first, len <= topN
+}
+
+// NewRing builds a ring keeping the last `recent` traces and the `topN`
+// slowest.
+func NewRing(recent, topN int) *Ring {
+	if recent < 1 {
+		recent = 1
+	}
+	if topN < 1 {
+		topN = 1
+	}
+	return &Ring{slots: make([]ringSlot, recent), topN: topN}
+}
+
+// Record publishes a finished trace by value. The trace must be sealed
+// (Finish called); the caller keeps ownership and may recycle it once
+// Record returns. Nil-safe on both sides.
+func (r *Ring) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	i := (r.head.Add(1) - 1) % uint64(len(r.slots))
+	s := &r.slots[i]
+	// A failed claim means a reader is copying this slot out (or another
+	// writer lapped the whole ring); dropping one trace from a debug view
+	// beats ever stalling the serving path.
+	if s.mu.TryLock() {
+		s.t.pack(t)
+		s.full = true
+		s.mu.Unlock()
+	}
+
+	if int64(t.Dur) <= r.slowMin.Load() {
+		return
+	}
+	r.mu.Lock()
+	// Re-check under the lock: the floor may have risen while we waited.
+	if len(r.slowest) == r.topN && t.Dur <= r.slowest[len(r.slowest)-1].dur {
+		r.mu.Unlock()
+		return
+	}
+	pos := sort.Search(len(r.slowest), func(i int) bool { return r.slowest[i].dur < t.Dur })
+	if len(r.slowest) < r.topN {
+		r.slowest = append(r.slowest, traceRec{})
+	}
+	copy(r.slowest[pos+1:], r.slowest[pos:])
+	r.slowest[pos].pack(t)
+	if len(r.slowest) == r.topN {
+		r.slowMin.Store(int64(r.slowest[len(r.slowest)-1].dur))
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns up to n of the most recently recorded traces, newest
+// first, as independent copies. A slot mid-write (or overwritten during
+// the copy) is skipped — a debug view prefers a gap to a torn record.
+func (r *Ring) Recent(n int) []Trace {
+	if r == nil || n < 1 {
+		return nil
+	}
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	head := r.head.Load()
+	out := make([]Trace, 0, n)
+	for k := uint64(0); k < uint64(len(r.slots)) && len(out) < n; k++ {
+		// Walk backward from the most recently claimed slot. A slot being
+		// written right now is skipped — a debug view prefers a gap to a
+		// stall on the serving path.
+		i := (head + uint64(len(r.slots)) - 1 - k) % uint64(len(r.slots))
+		s := &r.slots[i]
+		if !s.mu.TryLock() {
+			continue
+		}
+		var cp traceRec
+		full := s.full
+		if full {
+			cp = s.t
+		}
+		s.mu.Unlock()
+		if full {
+			out = append(out, cp.unpack())
+		}
+	}
+	return out
+}
+
+// Slowest returns copies of the slowest traces seen, slowest first.
+func (r *Ring) Slowest() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Trace, len(r.slowest))
+	for i := range r.slowest {
+		out[i] = r.slowest[i].unpack()
+	}
+	r.mu.Unlock()
+	return out
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Request-id and stage-timing pass-through headers. These live in the wire
+// package because both sides speak them: emapsd emits them, emapsload (and
+// any other client) parses them, and the contract must not drift between
+// the two binaries.
+const (
+	// HeaderRequestID carries the client-chosen request id into the daemon
+	// and echoes the effective id (client's or generated) back on every
+	// response. The same id appears in slog request lines, error envelopes,
+	// and /v1/debug/requests traces.
+	HeaderRequestID = "X-Request-Id"
+
+	// HeaderServerTiming is the standard Server-Timing response header; the
+	// daemon uses it to expose the per-stage latency breakdown of the
+	// request that produced the response.
+	HeaderServerTiming = "Server-Timing"
+)
+
+// Timing is one Server-Timing entry: a stage name and its duration in
+// milliseconds.
+type Timing struct {
+	Name  string
+	DurMS float64
+}
+
+// FormatServerTiming renders timings as a Server-Timing header value:
+// `name;dur=1.234, name2;dur=0.5`. Durations are milliseconds with
+// microsecond precision — enough for stage attribution without bloating
+// every response header.
+func FormatServerTiming(ts []Timing) string {
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		b.WriteString(";dur=")
+		b.WriteString(strconv.FormatFloat(t.DurMS, 'f', -1, 64))
+	}
+	return b.String()
+}
+
+// ParseServerTiming parses a Server-Timing header value back into timings.
+// Entries without a dur parameter, or with one that does not parse, are
+// skipped — the header is advisory and a partial read is better than none.
+func ParseServerTiming(v string) []Timing {
+	var out []Timing
+	for _, entry := range strings.Split(v, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ";")
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			continue
+		}
+		for _, p := range parts[1:] {
+			p = strings.TrimSpace(p)
+			val, ok := strings.CutPrefix(p, "dur=")
+			if !ok {
+				continue
+			}
+			dur, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				break
+			}
+			out = append(out, Timing{Name: name, DurMS: dur})
+			break
+		}
+	}
+	return out
+}
+
+// SortTimings orders timings by name, for deterministic report output.
+func SortTimings(ts []Timing) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+}

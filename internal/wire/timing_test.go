@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestServerTimingRoundTrip(t *testing.T) {
+	in := []Timing{
+		{Name: "decode", DurMS: 0.123},
+		{Name: "solve", DurMS: 4.5},
+		{Name: "encode", DurMS: 0.001},
+	}
+	h := FormatServerTiming(in)
+	want := "decode;dur=0.123, solve;dur=4.5, encode;dur=0.001"
+	if h != want {
+		t.Fatalf("FormatServerTiming = %q, want %q", h, want)
+	}
+	out := ParseServerTiming(h)
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestFormatServerTimingEmpty(t *testing.T) {
+	if got := FormatServerTiming(nil); got != "" {
+		t.Fatalf("empty timings = %q", got)
+	}
+}
+
+func TestParseServerTimingLenient(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Timing
+	}{
+		{"", nil},
+		{"cache;desc=hit", nil}, // no dur: skipped
+		{"db;dur=abc, ok;dur=2", []Timing{{"ok", 2}}}, // bad dur: skipped
+		{" a ; dur=1 , b;dur=2", []Timing{{"a", 1}, {"b", 2}}},
+		{"x;desc=test;dur=3.5", []Timing{{"x", 3.5}}}, // dur after other params
+	}
+	for _, tc := range cases {
+		if got := ParseServerTiming(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseServerTiming(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSortTimings(t *testing.T) {
+	ts := []Timing{{"solve", 1}, {"decode", 2}, {"encode", 3}}
+	SortTimings(ts)
+	if ts[0].Name != "decode" || ts[1].Name != "encode" || ts[2].Name != "solve" {
+		t.Fatalf("sorted = %+v", ts)
+	}
+}
