@@ -1,0 +1,455 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/floorplan"
+	"repro/internal/governor"
+	"repro/internal/obs"
+	"repro/internal/recon"
+	"repro/internal/wire"
+)
+
+// POST /v1/monitors/{id}/govern — the streaming-control route. A client
+// (the platform's thermal-management agent) streams sensor readings exactly
+// as it would to /estimate; the daemon reconstructs the map, runs the
+// monitor's governor over it and returns, per snapshot, the estimate digest
+// it acted on plus the per-core DVFS cap decisions the client should apply
+// for the next interval. The first request must carry a "config" object
+// (policy, ceiling, optional ladder and tuning); later requests stream bare
+// readings through the installed governor, whose control state (hysteresis
+// latches, PI integrals, cumulative duty) persists across requests — and
+// across drift adaptations, which swap the estimator but never the cap
+// schedule the plant is already running under.
+//
+// Both protocols are served: JSON, and application/x-emaps wire v2 (EMGQ /
+// EMGS frames). The control step is stage-attributed as the "govern" span in
+// the flight recorder, between drift scoring and encode.
+
+// governorState is one monitor's installed governor: the controller plus
+// cumulative closed-loop counters. mu serializes control steps — cap
+// decisions are order-dependent state, so concurrent govern batches are
+// applied one at a time.
+type governorState struct {
+	mu        sync.Mutex
+	ctrl      *governor.Controller
+	ladder    []float64 // immutable response copy (Controller.Ladder allocates)
+	jsonHead  []byte    // pre-rendered `","ladder":[…],"cores":N,"decisions":[`
+	ceilingC  float64
+	snapshots uint64
+	throttled uint64 // throttled core-steps
+}
+
+// stats snapshots the governor's cumulative counters for the metrics
+// exposition: governed snapshots and the throttle duty over them.
+func (g *governorState) stats() (snapshots uint64, duty float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.snapshots > 0 {
+		duty = float64(g.throttled) / float64(g.snapshots*uint64(g.ctrl.Cores()))
+	}
+	return g.snapshots, duty
+}
+
+// governScratch is pooled per-request response state: the decision list and
+// one flat backing array for every decision's levels. The response is
+// encoded and written before the handler returns, so steady-state govern
+// requests reuse the same storage — mirroring readingsPool/responsePool on
+// the estimate route.
+type governScratch struct {
+	resp wire.GovernResponse
+	flat []int
+}
+
+var governPool = sync.Pool{New: func() any { return new(governScratch) }}
+
+// governHTTPRequest is the JSON shape of a govern request. Readings reuse
+// the pooled fast scanner; the config object (first request, or an explicit
+// reconfigure) goes through encoding/json — it is a dozen scalars.
+type governHTTPRequest struct {
+	Config   *wire.GovernConfig `json:"config"`
+	Readings json.RawMessage    `json:"readings"`
+}
+
+// parseGovernRequest scans a govern body of the common shape — an object
+// with only the keys config and readings, no escape sequences — in one
+// pass, reusing the estimate route's pooled scanner for the readings and
+// handing just the config object (a dozen scalars, absent entirely on
+// steady-state requests) to encoding/json. ok=false defers the whole body
+// to encoding/json; like parseEstimateRequest it never claims a document it
+// is not sure of. Later duplicate keys win, matching encoding/json.
+func parseGovernRequest(b *readingsBuf, data []byte) (rows [][]float64, cfg *wire.GovernConfig, ok bool) {
+	b.flat = b.flat[:0]
+	b.ends = b.ends[:0]
+	sawReadings := false
+	i := skipSpace(data, 0)
+	if i >= len(data) || data[i] != '{' {
+		return nil, nil, false
+	}
+	i = skipSpace(data, i+1)
+	if i < len(data) && data[i] == '}' {
+		return nil, nil, skipSpace(data, i+1) == len(data)
+	}
+	for {
+		key, next, kok := parseSimpleString(data, i)
+		if !kok {
+			return nil, nil, false
+		}
+		i = skipSpace(data, next)
+		if i >= len(data) || data[i] != ':' {
+			return nil, nil, false
+		}
+		i = skipSpace(data, i+1)
+		switch key {
+		case "readings":
+			b.flat = b.flat[:0]
+			b.ends = b.ends[:0]
+			var rok bool
+			i, rok = b.parseRowsAt(data, i)
+			if !rok {
+				return nil, nil, false
+			}
+			sawReadings = true
+		case "config":
+			if hasPrefixAt(data, i, "null") {
+				cfg, i = nil, skipSpace(data, i+4)
+				break
+			}
+			j, jok := skipJSONObject(data, i)
+			if !jok {
+				return nil, nil, false
+			}
+			cfg = new(wire.GovernConfig)
+			if err := json.Unmarshal(data[i:j], cfg); err != nil {
+				return nil, nil, false
+			}
+			i = skipSpace(data, j)
+		default:
+			// Unknown key: its value could be arbitrary JSON. Defer.
+			return nil, nil, false
+		}
+		if i >= len(data) {
+			return nil, nil, false
+		}
+		if data[i] == ',' {
+			i = skipSpace(data, i+1)
+			continue
+		}
+		if data[i] == '}' {
+			i = skipSpace(data, i+1)
+			break
+		}
+		return nil, nil, false
+	}
+	if i != len(data) {
+		return nil, nil, false
+	}
+	if !sawReadings {
+		return nil, cfg, true
+	}
+	return b.buildRows(), cfg, true
+}
+
+// skipJSONObject returns the index just past the object starting at i.
+// Escape sequences inside strings defer to the fallback (returns false),
+// keeping this a byte scan with no unescaping.
+func skipJSONObject(data []byte, i int) (int, bool) {
+	if i >= len(data) || data[i] != '{' {
+		return 0, false
+	}
+	depth := 0
+	for ; i < len(data); i++ {
+		switch data[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return i + 1, true
+			}
+		case '"':
+			for i++; i < len(data); i++ {
+				if data[i] == '\\' {
+					return 0, false
+				}
+				if data[i] == '"' {
+					break
+				}
+			}
+			if i >= len(data) {
+				return 0, false
+			}
+		}
+	}
+	return 0, false
+}
+
+// buildGovernor constructs a fresh governor from a config, mapping each
+// degenerate-config class onto its stable error code.
+func (s *server) buildGovernor(w http.ResponseWriter, e *monitorEntry, cfg *wire.GovernConfig) (*governorState, bool) {
+	if cfg.Ladder != nil {
+		if err := governor.ValidateLadder(cfg.Ladder); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_ladder", "%v", err)
+			return nil, false
+		}
+	}
+	policy, err := governor.NewPolicy(cfg.Policy, governor.Params{
+		CeilingC: cfg.CeilingC,
+		TripC:    cfg.TripC,
+		SetC:     cfg.SetC, ClearC: cfg.ClearC,
+		TargetC: cfg.TargetC, Kp: cfg.Kp, Ki: cfg.Ki,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_policy", "%v", err)
+		return nil, false
+	}
+	// e.fp and e.key are stable once residentHTTP has paged the monitor in
+	// (same access pattern as handleSimulate).
+	grid := floorplan.Grid{W: e.key.W, H: e.key.H}
+	raster := e.fp.Rasterize(grid)
+	ctrl, err := governor.NewController(policy, cfg.Ladder, governor.CoreCells(e.fp, raster))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_policy", "%v", err)
+		return nil, false
+	}
+	g := &governorState{ctrl: ctrl, ladder: ctrl.Ladder(), ceilingC: cfg.CeilingC}
+	// The ladder and core count never change for an installed governor, so
+	// their JSON rendering is computed once here, not per response.
+	g.jsonHead = append(g.jsonHead, `","ladder":[`...)
+	for i, f := range g.ladder {
+		if i > 0 {
+			g.jsonHead = append(g.jsonHead, ',')
+		}
+		g.jsonHead = strconv.AppendFloat(g.jsonHead, f, 'g', -1, 64)
+	}
+	g.jsonHead = append(g.jsonHead, `],"cores":`...)
+	g.jsonHead = strconv.AppendInt(g.jsonHead, int64(ctrl.Cores()), 10)
+	g.jsonHead = append(g.jsonHead, `,"decisions":[`...)
+	return g, true
+}
+
+// governorFor resolves the monitor's governor: install from cfg when one is
+// supplied, otherwise require one to exist already.
+func (s *server) governorFor(w http.ResponseWriter, e *monitorEntry, cfg *wire.GovernConfig) (*governorState, bool) {
+	if cfg != nil {
+		g, ok := s.buildGovernor(w, e, cfg)
+		if !ok {
+			return nil, false
+		}
+		e.gov.Store(g)
+		return g, true
+	}
+	g := e.gov.Load()
+	if g == nil {
+		httpError(w, http.StatusBadRequest, "no_governor",
+			"monitor %s has no governor; send a \"config\" object on the first govern request", e.id)
+		return nil, false
+	}
+	return g, true
+}
+
+// governBatch is the compute path shared by both protocols: estimate the
+// maps, score drift, then run the control step over each estimated map in
+// order. Returns the response to encode.
+func (s *server) governBatch(w http.ResponseWriter, e *monitorEntry, rs *residentState, g *governorState, readings [][]float64, tr *obs.Trace) (*governScratch, wire.Quality, bool) {
+	if !s.checkBatch(w, readings) {
+		return nil, 0, false
+	}
+	if s.injector != nil {
+		for _, row := range readings {
+			s.injector.Apply(row)
+		}
+	}
+	readings = rs.compactReadings(readings)
+	maps, done, err := s.estimateMaps(e, rs, readings, 0, recon.ArmOperator, tr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_readings", "estimate: %v", err)
+		return nil, 0, false
+	}
+	defer done()
+	quality := s.feedDrift(e, rs, readings, maps, tr)
+	s.snapshots.Add(int64(len(maps)))
+	e.snapshots.Add(int64(len(maps)))
+
+	g.mu.Lock()
+	ctrl := g.ctrl
+	cores := ctrl.Cores()
+	sc := governPool.Get().(*governScratch)
+	resp := &sc.resp
+	resp.Ladder = g.ladder
+	resp.Cores = cores
+	if cap(resp.Decisions) < len(maps) {
+		resp.Decisions = make([]wire.GovernDecision, len(maps))
+	}
+	resp.Decisions = resp.Decisions[:len(maps)]
+	if cap(sc.flat) < len(maps)*cores {
+		sc.flat = make([]int, len(maps)*cores)
+	}
+	flat := sc.flat[:len(maps)*cores]
+	for i, x := range maps {
+		sum := summarize(x, false)
+		levels := ctrl.Step(x)
+		d := &resp.Decisions[i]
+		d.MaxC, d.MinC, d.MeanC, d.MaxCell = sum.MaxC, sum.MinC, sum.MeanC, sum.MaxCell
+		d.Levels = flat[i*cores : (i+1)*cores : (i+1)*cores]
+		copy(d.Levels, levels)
+		g.throttled += uint64(ctrl.Throttled())
+	}
+	g.snapshots += uint64(len(maps))
+	resp.Snapshots = g.snapshots
+	resp.ThrottleDuty = 0
+	if g.snapshots > 0 && cores > 0 {
+		resp.ThrottleDuty = float64(g.throttled) / float64(g.snapshots*uint64(cores))
+	}
+	g.mu.Unlock()
+	tr.Mark(obs.StageGovern)
+	return sc, qualityFor(quality), true
+}
+
+// appendGovernResponseJSON renders the govern reply without reflection, in
+// the same hand-rendered style (and for the same profile-driven reason) as
+// appendEstimateResponse. The quality field leads for fixed-offset
+// classification; the remaining field order matches the struct tags. head
+// is the governor's pre-rendered ladder+cores segment.
+func appendGovernResponseJSON(buf []byte, resp *wire.GovernResponse, quality string, head []byte) []byte {
+	buf = append(buf, `{"quality":"`...)
+	buf = append(buf, quality...)
+	buf = append(buf, head...)
+	for i := range resp.Decisions {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		d := &resp.Decisions[i]
+		buf = append(buf, `{"max_c":`...)
+		buf = strconv.AppendFloat(buf, d.MaxC, 'g', -1, 64)
+		buf = append(buf, `,"min_c":`...)
+		buf = strconv.AppendFloat(buf, d.MinC, 'g', -1, 64)
+		buf = append(buf, `,"mean_c":`...)
+		buf = strconv.AppendFloat(buf, d.MeanC, 'g', -1, 64)
+		buf = append(buf, `,"max_cell":`...)
+		buf = strconv.AppendInt(buf, int64(d.MaxCell), 10)
+		buf = append(buf, `,"levels":[`...)
+		for k, l := range d.Levels {
+			if k > 0 {
+				buf = append(buf, ',')
+			}
+			// Ladder levels are tiny ints (almost always one digit).
+			if uint(l) < 10 {
+				buf = append(buf, byte('0'+l))
+			} else {
+				buf = strconv.AppendInt(buf, int64(l), 10)
+			}
+		}
+		buf = append(buf, ']', '}')
+	}
+	buf = append(buf, `],"snapshots":`...)
+	buf = strconv.AppendUint(buf, resp.Snapshots, 10)
+	buf = append(buf, `,"throttle_duty":`...)
+	buf = strconv.AppendFloat(buf, resp.ThrottleDuty, 'g', -1, 64)
+	return append(buf, '}', '\n')
+}
+
+func (s *server) handleGovern(w http.ResponseWriter, r *http.Request, e *monitorEntry) {
+	rs, ok := s.residentHTTP(w, e)
+	if !ok {
+		return
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType) {
+		s.handleGovernBinary(w, r, e, rs)
+		return
+	}
+	tr := traceOf(w)
+	body := bodyPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer bodyPool.Put(body)
+	if _, err := body.ReadFrom(r.Body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_json", "reading request: %v", err)
+		return
+	}
+	buf := readingsPool.Get().(*readingsBuf)
+	defer readingsPool.Put(buf)
+	readings, cfg, ok := parseGovernRequest(buf, body.Bytes())
+	if !ok {
+		var req governHTTPRequest
+		if err := json.Unmarshal(body.Bytes(), &req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_json", "bad JSON: %v", err)
+			return
+		}
+		cfg = req.Config
+		if len(req.Readings) > 0 && string(req.Readings) != "null" {
+			if err := json.Unmarshal(req.Readings, &readings); err != nil {
+				httpError(w, http.StatusBadRequest, "bad_json", "bad readings: %v", err)
+				return
+			}
+		}
+	}
+	tr.Mark(obs.StageDecode)
+	g, ok := s.governorFor(w, e, cfg)
+	if !ok {
+		return
+	}
+	sc, quality, ok := s.governBatch(w, e, rs, g, readings, tr)
+	if !ok {
+		return
+	}
+	defer governPool.Put(sc)
+	tr.Tail(obs.StageEncode)
+	respBuf := responsePool.Get().(*[]byte)
+	*respBuf = appendGovernResponseJSON((*respBuf)[:0], &sc.resp, quality.String(), g.jsonHead)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(*respBuf); err != nil && s.logger != nil {
+		s.logger.Error("write response", "err", err)
+	}
+	responsePool.Put(respBuf)
+}
+
+// handleGovernBinary serves one application/x-emaps govern request (EMGQ in,
+// EMGS out). Errors keep the JSON envelope, as on every binary route.
+func (s *server) handleGovernBinary(w http.ResponseWriter, r *http.Request, e *monitorEntry, rs *residentState) {
+	tr := traceOf(w)
+	body := bodyPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer bodyPool.Put(body)
+	if _, err := body.ReadFrom(r.Body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_frame", "reading request: %v", err)
+		return
+	}
+	scratch := wireBufPool.Get().(*wire.ReadingsBuf)
+	defer wireBufPool.Put(scratch)
+	req, err := wire.DecodeGovernRequest(body.Bytes(), scratch)
+	tr.Mark(obs.StageDecode)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_frame", "%v", err)
+		return
+	}
+	g, ok := s.governorFor(w, e, req.Config)
+	if !ok {
+		return
+	}
+	sc, quality, ok := s.governBatch(w, e, rs, g, req.Readings, tr)
+	if !ok {
+		return
+	}
+	defer governPool.Put(sc)
+	sc.resp.Quality = quality
+	tr.Tail(obs.StageEncode)
+	respBuf := responsePool.Get().(*[]byte)
+	defer responsePool.Put(respBuf)
+	out, err := wire.AppendGovernResponse((*respBuf)[:0], &sc.resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "internal", "encode: %v", err)
+		return
+	}
+	*respBuf = out
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(out); err != nil && s.logger != nil {
+		s.logger.Error("write response", "err", err)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// governBenchServer builds a server with one trained monitor, an installed
+// hysteresis governor, and JSON payloads for both the govern and estimate
+// routes over the identical 16×M batch — the same shape BenchmarkServeEstimate
+// measures, so the two arms differ only in the route.
+func governBenchServer(tb testing.TB) (srv *server, governPath, estimatePath, governBody, estimateBody string) {
+	tb.Helper()
+	srv = newServer(1024)
+	ts := httptest.NewServer(srv)
+	tb.Cleanup(ts.Close)
+	resp, err := ts.Client().Post(ts.URL+"/v1/monitors", "application/json",
+		strings.NewReader(`{"floorplan":"t1","grid_w":12,"grid_h":10,"snapshots":80,"seed":1,"kmax":8,"k":4,"m":8}`))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var cr createResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		tb.Fatal(err)
+	}
+	resp.Body.Close()
+	readings := make([][]float64, 16)
+	for i := range readings {
+		row := make([]float64, cr.M)
+		for j := range row {
+			row[j] = 50 + float64(i+j)
+		}
+		readings[i] = row
+	}
+	governPath = "/v1/monitors/" + cr.ID + "/govern"
+	estimatePath = "/v1/monitors/" + cr.ID + "/estimate"
+
+	body, _ := json.Marshal(map[string]any{"readings": readings})
+	estimateBody = string(body)
+	governBody = estimateBody // bare readings through the installed governor
+
+	// Install the governor once; the measured requests stream bare readings.
+	install, _ := json.Marshal(map[string]any{
+		"config":   map[string]any{"policy": "hysteresis", "ceiling_c": 70},
+		"readings": readings[:1],
+	})
+	serveOne(tb, srv, governPath, string(install))
+	return srv, governPath, estimatePath, governBody, estimateBody
+}
+
+func serveOne(tb testing.TB, srv *server, path, payload string) time.Duration {
+	start := time.Now()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(payload))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		tb.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	return time.Since(start)
+}
+
+// BenchmarkServeGovern measures the full in-process request path of the
+// closed-loop route — dispatch, decode, batched estimate, drift scoring,
+// control step, decision encode — at the load generator's default shape
+// (batch 16), directly comparable against BenchmarkServeEstimate. The
+// pinned comparison lives in TestGovernOverhead.
+func BenchmarkServeGovern(b *testing.B) {
+	srv, path, _, payload, _ := governBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOne(b, srv, path, payload)
+	}
+	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "snapshots/s")
+}
+
+// TestGovernOverhead pins the govern route's serving overhead to ≤10% over a
+// plain estimate of the same batch — the ISSUE's serving-cost budget for
+// closing the loop. The control step is O(core cells) comparisons per
+// snapshot against the O(N·M) reconstruction GEMM, so most of the budget is
+// headroom for the decision encode. Same interleaved median-pair-diff
+// technique as TestInstrumentationOverhead: this host's clock drifts too
+// much for per-arm aggregates, so each pair runs back to back, alternating
+// order, and the median pair difference cancels the drift.
+func TestGovernOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing pin is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive A/B benchmark")
+	}
+	srv, governPath, estimatePath, governBody, estimateBody := governBenchServer(t)
+
+	for i := 0; i < 300; i++ {
+		serveOne(t, srv, governPath, governBody)
+		serveOne(t, srv, estimatePath, estimateBody)
+	}
+
+	const pairs = 4000
+	runtime.GC()
+	diffs := make([]float64, 0, pairs)
+	bases := make([]float64, 0, pairs)
+	for p := 0; p < pairs; p++ {
+		var tg, te time.Duration
+		if p%2 == 0 {
+			tg = serveOne(t, srv, governPath, governBody)
+			te = serveOne(t, srv, estimatePath, estimateBody)
+		} else {
+			te = serveOne(t, srv, estimatePath, estimateBody)
+			tg = serveOne(t, srv, governPath, governBody)
+		}
+		diffs = append(diffs, float64(tg-te))
+		bases = append(bases, float64(te))
+	}
+	sort.Float64s(diffs)
+	sort.Float64s(bases)
+	ratio := 1 + diffs[pairs/2]/bases[pairs/2]
+	t.Logf("median pair diff %.0fns on a %.0fns estimate request: ratio %.4f",
+		diffs[pairs/2], bases[pairs/2], ratio)
+	if ratio > 1.10 {
+		t.Fatalf("govern overhead %.1f%% exceeds the 10%% budget (median pair diff %.0fns vs estimate median %.0fns over %d interleaved pairs)",
+			(ratio-1)*100, diffs[pairs/2], bases[pairs/2], pairs)
+	}
+}

@@ -334,6 +334,12 @@ type monitorEntry struct {
 
 	snapshots atomic.Int64
 
+	// gov is the monitor's closed-loop governor (POST …/govern), installed
+	// by the first request that carries a config. Control state survives
+	// resident hot-swaps — a drift adaptation replaces the estimator, not
+	// the cap schedule the plant is already running under.
+	gov atomic.Pointer[governorState]
+
 	// mapsPool recycles per-request estimate output buffers (batch × N
 	// floats): the serving hot path must not allocate a fresh ~60 KB of maps
 	// per request at tens of thousands of snapshots per second.
@@ -589,8 +595,13 @@ func (s *server) handleMetrics(w http.ResponseWriter) {
 		if rs := e.res.Load(); rs != nil && rs.drift != nil {
 			g.driftStates = append(g.driftStates, driftGauge{id: e.id, state: int(rs.drift.det.State())})
 		}
+		if gov := e.gov.Load(); gov != nil {
+			snaps, duty := gov.stats()
+			g.governors = append(g.governors, governGauge{id: e.id, snapshots: snaps, duty: duty})
+		}
 	}
 	sort.Slice(g.driftStates, func(i, j int) bool { return g.driftStates[i].id < g.driftStates[j].id })
+	sort.Slice(g.governors, func(i, j int) bool { return g.governors[i].id < g.governors[j].id })
 	// Render to memory first so a slow scraper's connection never holds the
 	// response open mid-snapshot (and the scrape stays one Write).
 	var buf bytes.Buffer
@@ -997,6 +1008,9 @@ func (s *server) handleMonitor(w http.ResponseWriter, r *http.Request, rest stri
 	case action == "simulate" && r.Method == http.MethodPost:
 		s.handleSimulate(w, r, entry)
 		return "simulate"
+	case action == "govern" && r.Method == http.MethodPost:
+		s.handleGovern(w, r, entry)
+		return "govern"
 	default:
 		httpError(w, http.StatusNotFound, "not_found", "no route %s %s", r.Method, r.URL.Path)
 		return "notfound"

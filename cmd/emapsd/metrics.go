@@ -95,12 +95,24 @@ type gauges struct {
 	// driftStates is one entry per calibrated resident monitor: its current
 	// verdict as a labeled gauge (0 = ok, 1 = drifting, 2 = degraded).
 	driftStates []driftGauge
+
+	// governors is one entry per monitor with an installed governor: its
+	// cumulative governed snapshots and throttle duty.
+	governors []governGauge
 }
 
 // driftGauge is one monitor's drift verdict for the exposition.
 type driftGauge struct {
 	id    string
 	state int
+}
+
+// governGauge is one governed monitor's closed-loop counters for the
+// exposition.
+type governGauge struct {
+	id        string
+	snapshots uint64
+	duty      float64
 }
 
 // render writes the Prometheus text exposition format. Output is
@@ -127,7 +139,7 @@ func (m *metricsSet) render(w io.Writer, g gauges) {
 	for _, rs := range snaps {
 		writeHist(w, "emapsd_request_duration_seconds", "route", rs.Label, rs.Latency)
 	}
-	fmt.Fprintf(w, "# HELP emapsd_stage_duration_seconds Serving-stage latency, by stage (decode, shard_route, page_in, coalesce_wait, solve, drift_score, adapt, encode).\n# TYPE emapsd_stage_duration_seconds histogram\n")
+	fmt.Fprintf(w, "# HELP emapsd_stage_duration_seconds Serving-stage latency, by stage (decode, shard_route, page_in, coalesce_wait, solve, drift_score, adapt, govern, encode).\n# TYPE emapsd_stage_duration_seconds histogram\n")
 	for st := obs.Stage(0); st < obs.NumStages; st++ {
 		snap := m.stages.Stage(st).Snapshot()
 		if snap.Count == 0 {
@@ -157,6 +169,16 @@ func (m *metricsSet) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# HELP emapsd_drift_state Per-monitor drift verdict (0 = ok, 1 = drifting, 2 = degraded).\n# TYPE emapsd_drift_state gauge\n")
 	for _, dg := range g.driftStates {
 		fmt.Fprintf(w, "emapsd_drift_state{monitor=%q} %d\n", dg.id, dg.state)
+	}
+	if len(g.governors) > 0 {
+		fmt.Fprintf(w, "# HELP emapsd_governed_snapshots_total Snapshots run through each monitor's governor.\n# TYPE emapsd_governed_snapshots_total counter\n")
+		for _, gg := range g.governors {
+			fmt.Fprintf(w, "emapsd_governed_snapshots_total{monitor=%q} %d\n", gg.id, gg.snapshots)
+		}
+		fmt.Fprintf(w, "# HELP emapsd_govern_throttle_duty Cumulative fraction of governed core-intervals capped below nominal frequency. Pinned near 1 with temperatures still over the ceiling = control authority exhausted.\n# TYPE emapsd_govern_throttle_duty gauge\n")
+		for _, gg := range g.governors {
+			fmt.Fprintf(w, "emapsd_govern_throttle_duty{monitor=%q} %g\n", gg.id, gg.duty)
+		}
 	}
 	gauge("emapsd_models", "Trained models resident in memory.", g.models)
 	gauge("emapsd_monitors", "Live monitors.", g.monitors)

@@ -30,6 +30,7 @@ var routeTable = []routeInfo{
 	{http.MethodPost, "/v1/monitors/{id}/estimate", "estimate"},
 	{http.MethodPost, "/v1/monitors/{id}/track", "track"},
 	{http.MethodPost, "/v1/monitors/{id}/simulate", "simulate"},
+	{http.MethodPost, "/v1/monitors/{id}/govern", "govern"},
 }
 
 // handleShard reports this replica's shard assignment and the monitor IDs

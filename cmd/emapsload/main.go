@@ -1,5 +1,5 @@
 // Command emapsload is the serving layer's load generator: it hammers a
-// running emapsd daemon's estimate, track or simulate endpoint from a
+// running emapsd daemon's estimate, track, simulate or govern endpoint from a
 // configurable number of concurrent clients for a fixed duration (or
 // request budget) and reports throughput and latency percentiles as JSON —
 // the end-to-end number the serving path is optimized against.
@@ -22,6 +22,7 @@
 // page-in tail) pass the ids instead: -monitor mon-1,mon-4,mon-7 — each id
 // is located on whichever replica lists it, and the -monitor order is the
 // zipf rank order (first id hottest). -proto binary switches the estimate
+// and govern
 // payloads to the application/x-emaps wire protocol.
 //
 // The report goes to stdout or -out, in one of three formats (-format):
@@ -101,7 +102,7 @@ func main() {
 	flag.Float64Var(&cfg.Zipf, "zipf", 0, "zipf exponent for monitor selection (> 1 = skewed; <= 1 = uniform)")
 	flag.StringVar(&cfg.Proto, "proto", "json", "estimate request encoding: json or binary (application/x-emaps)")
 	flag.StringVar(&cfg.CreateBody, "create-body", defaultCreateBody, "JSON body used to create the monitor when -monitor is empty")
-	flag.StringVar(&cfg.Endpoint, "endpoint", "estimate", "endpoint to load: estimate, track or simulate")
+	flag.StringVar(&cfg.Endpoint, "endpoint", "estimate", "endpoint to load: estimate, track, simulate or govern")
 	flag.IntVar(&cfg.Batch, "batch", 16, "snapshots per request (readings per batch, or simulate count)")
 	flag.IntVar(&cfg.Concurrency, "concurrency", 4, "concurrent client goroutines")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to generate load")
@@ -111,6 +112,7 @@ func main() {
 	flag.StringVar(&cfg.Fault, "fault", "", "fault spec injected into generated readings, e.g. stuck:3,drop:0.01,drift:web->compute@30s")
 	flag.Int64Var(&cfg.FaultSeed, "fault-seed", 1, "base seed for the per-worker fault injectors")
 	flag.BoolVar(&cfg.FailOnDegraded, "fail-on-degraded", false, `exit 1 when any response carried quality "degraded"`)
+	flag.StringVar(&cfg.GovernConfig, "govern-config", `{"policy":"hysteresis","ceiling_c":70}`, "governor config JSON installed once per monitor before a -endpoint govern run")
 	format := flag.String("format", "json", "report format: json, prom or bench")
 	out := flag.String("out", "", "write the report here instead of stdout")
 	flag.Parse()
@@ -244,6 +246,7 @@ type config struct {
 	Fault          string
 	FaultSeed      int64
 	FailOnDegraded bool
+	GovernConfig   string
 }
 
 // Report is the machine-readable result. CI archives it as the serving
@@ -335,15 +338,15 @@ func run(cfg config) (*Report, error) {
 		cfg.Proto = "json"
 	}
 	switch cfg.Endpoint {
-	case "estimate", "track", "simulate":
+	case "estimate", "track", "simulate", "govern":
 	default:
-		return nil, fmt.Errorf("unknown endpoint %q (want estimate, track or simulate)", cfg.Endpoint)
+		return nil, fmt.Errorf("unknown endpoint %q (want estimate, track, simulate or govern)", cfg.Endpoint)
 	}
 	switch cfg.Proto {
 	case "json":
 	case "binary":
-		if cfg.Endpoint != "estimate" {
-			return nil, fmt.Errorf("-proto binary speaks the estimate endpoint only (got %q)", cfg.Endpoint)
+		if cfg.Endpoint != "estimate" && cfg.Endpoint != "govern" {
+			return nil, fmt.Errorf("-proto binary speaks the estimate and govern endpoints only (got %q)", cfg.Endpoint)
 		}
 	default:
 		return nil, fmt.Errorf("unknown proto %q (want json or binary)", cfg.Proto)
@@ -370,6 +373,16 @@ func run(cfg config) (*Report, error) {
 	targets, err := resolveTargets(client, bases, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Endpoint == "govern" {
+		// Install the governor once per monitor before the measured run; the
+		// workers then stream bare readings through it, so a fault-mode run
+		// never trips the route's no-governor rejection.
+		for _, tg := range targets {
+			if err := installGovernor(client, tg, cfg); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if !cfg.Keep {
 		defer func() {
@@ -676,14 +689,20 @@ func finishTarget(cfg config, tg target, m int) (target, error) {
 		})
 		tg.body = body
 		return tg, err
-	default: // estimate, track
+	default: // estimate, track, govern
 		if m < 1 {
 			return tg, fmt.Errorf("monitor %s reports %d sensors", tg.id, m)
 		}
 		tg.m = m
 		readings := syntheticReadings(cfg.Batch, m, "")
 		if cfg.Proto == "binary" {
-			frame, err := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Readings: readings})
+			var frame []byte
+			var err error
+			if cfg.Endpoint == "govern" {
+				frame, err = wire.AppendGovernRequest(nil, &wire.GovernRequest{Readings: readings})
+			} else {
+				frame, err = wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Readings: readings})
+			}
 			tg.body, tg.contentType = frame, wire.ContentType
 			return tg, err
 		}
@@ -751,11 +770,42 @@ func faultBody(cfg config, m int, inj *drift.Injector, elapsed time.Duration) ([
 		inj.Apply(row)
 	}
 	if cfg.Proto == "binary" {
-		frame, err := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Readings: rows})
+		var frame []byte
+		var err error
+		if cfg.Endpoint == "govern" {
+			frame, err = wire.AppendGovernRequest(nil, &wire.GovernRequest{Readings: rows})
+		} else {
+			frame, err = wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Readings: rows})
+		}
 		return frame, wire.ContentType, err
 	}
 	body, err := json.Marshal(map[string]any{"readings": rows})
 	return body, "application/json", err
+}
+
+// installGovernor posts -govern-config plus one seed reading row to the
+// monitor's govern route, so every subsequent bare-readings request (fixed
+// or fault-generated) flows through an already-configured governor.
+func installGovernor(client *http.Client, tg target, cfg config) error {
+	var jcfg json.RawMessage
+	if err := json.Unmarshal([]byte(cfg.GovernConfig), &jcfg); err != nil {
+		return fmt.Errorf("-govern-config: %w", err)
+	}
+	row := syntheticReadings(1, tg.m, "")
+	body, err := json.Marshal(map[string]any{"config": jcfg, "readings": row})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(tg.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("install governor on %s: %w", tg.id, err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("install governor on %s: status %d: %s", tg.id, resp.StatusCode, blob)
+	}
+	return nil
 }
 
 // classifyQuality extracts the daemon's quality verdict from a response
@@ -764,8 +814,8 @@ func faultBody(cfg config, m int, inj *drift.Injector, elapsed time.Duration) ([
 // word right after the 16-byte envelope header. Responses without a verdict
 // (older daemons, endpoints that predate the field) count as OK.
 func classifyQuality(prefix []byte) wire.Quality {
-	if len(prefix) >= 20 && string(prefix[:4]) == "EMRS" {
-		if binary.LittleEndian.Uint32(prefix[4:8]) < 2 {
+	if len(prefix) >= 20 && (string(prefix[:4]) == "EMRS" || string(prefix[:4]) == "EMGS") {
+		if string(prefix[:4]) == "EMRS" && binary.LittleEndian.Uint32(prefix[4:8]) < 2 {
 			return wire.QualityOK // version 1 predates the flags word
 		}
 		switch q := wire.Quality(binary.LittleEndian.Uint32(prefix[16:20])); q {

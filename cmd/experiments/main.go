@@ -91,11 +91,11 @@ func main() {
 			want[f] = true
 		}
 	}
-	// The robust harness generates its own ensembles and models; only the
-	// other figures need the shared paper-scale environment.
+	// The robust and governor harnesses generate their own ensembles and
+	// models; only the other figures need the shared paper-scale environment.
 	needEnv := false
 	for f := range want {
-		if f != "robust" {
+		if f != "robust" && f != "governor" {
 			needEnv = true
 		}
 	}
@@ -177,10 +177,23 @@ func main() {
 	run("6", func() (fmt.Stringer, error) { return env.Fig6() })
 	run("headline", func() (fmt.Stringer, error) { return env.Headline() })
 	// Extensions beyond the paper's figures (off by default; enable with
-	// -figs ...,stability,tracking,crossfloorplan,robust).
+	// -figs ...,stability,tracking,crossfloorplan,robust,governor).
 	run("stability", func() (fmt.Stringer, error) { return env.Stability() })
 	run("tracking", func() (fmt.Stringer, error) { return env.Tracking() })
 	run("crossfloorplan", func() (fmt.Stringer, error) { return env.CrossFloorplan() })
+	run("governor", func() (fmt.Stringer, error) {
+		// Closed-loop control quality on the generated 256-core die: the
+		// monitor-in-the-loop governor's M×K sweep against the oracle and
+		// ungoverned arms, plus the drift-faulted repeat. -scenario-spec
+		// files override the four-scenario default catalog cross-section.
+		return experiments.Governor(experiments.GovernorConfig{
+			Seed:         env.Cfg.Seed,
+			Specs:        env.Cfg.Specs,
+			LoadCoupling: env.Cfg.LoadCoupling,
+			SimSolver:    env.Cfg.SimSolver,
+			SimWorkers:   env.Cfg.SimWorkers,
+		})
+	})
 	run("robust", func() (fmt.Stringer, error) {
 		// Cross-scenario robustness on the generated 256-core die; the
 		// environment's specs (e.g. from -scenario-spec) override the

@@ -7,6 +7,13 @@
 //	         [-scenarios web,compute,mixed,idle] [-scenario-spec a.json,b.json]
 //	         [-floorplan t1|athlon|manycore-<cores>c] [-leakage]
 //	         [-solver auto|cg|direct] [-workers N] [-list-scenarios]
+//	thermsim -govern hysteresis [-govern-ceiling C] [-govern-steps N]
+//	         [-govern-m M -govern-k K] [-govern-faults spec] ...
+//
+// With -govern, thermsim runs the monitor-in-the-loop thermal governor over
+// each scenario instead of writing a dataset: the chosen policy caps
+// per-core DVFS from the estimated map (-govern-m sensors; 0 = ground-truth
+// oracle) and the run's closed-loop control metrics are printed.
 //
 // Scenario names resolve against the workload registry (see
 // -list-scenarios); -scenario-spec loads declarative JSON workload specs
@@ -46,6 +53,13 @@ func main() {
 		solver    = flag.String("solver", "auto", "transient linear solver: auto, cg or direct")
 		workers   = flag.Int("workers", 0, "goroutine cap for simulating scenario segments (0 = all CPUs)")
 		list      = flag.Bool("list-scenarios", false, "print the workload registry and exit")
+
+		govern     = flag.String("govern", "", "closed-loop mode: run this control policy (threshold, hysteresis or pi) instead of writing a dataset")
+		govCeiling = flag.Float64("govern-ceiling", 0, "thermal ceiling in C (0 = auto: 2 C below each scenario's ungoverned core peak)")
+		govSteps   = flag.Int("govern-steps", 120, "closed-loop transient steps per scenario")
+		govM       = flag.Int("govern-m", 0, "sensors for the estimated arm (0 = oracle: govern from ground truth)")
+		govK       = flag.Int("govern-k", 4, "monitor subspace dimension when -govern-m > 0")
+		govFaults  = flag.String("govern-faults", "", "drift fault spec injected into the estimated arm's readings")
 	)
 	flag.Parse()
 
@@ -74,6 +88,22 @@ func main() {
 		log.Fatal(err)
 	}
 	pcfg := power.ConfigFor(fp, *coupling)
+
+	if *govern != "" {
+		err := runGovern(fp, floorplan.Grid{W: *w, H: *h}, specs, pcfg, sv, *workers, *t, *seed,
+			governConfig{
+				Policy:   *govern,
+				CeilingC: *govCeiling,
+				Steps:    *govSteps,
+				M:        *govM,
+				K:        *govK,
+				Faults:   *govFaults,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := dataset.GenConfig{
 		Grid:             floorplan.Grid{W: *w, H: *h},

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGovernorDefaultSweep pins the acceptance criteria of the closed-loop
+// control harness: the default configuration covers the M×K matrix across
+// four catalog scenarios on the generated 256-core die in well under the
+// 60-second budget, every scenario's governor actually engages (the ceiling
+// is keyed to the ungoverned CORE peak, so it binds even when a cache or NoC
+// block carries the global peak), and the estimated-map arm at the
+// paper-scale sensor budget holds peak core temperature within 2 °C of the
+// ground-truth oracle arm.
+func TestGovernorDefaultSweep(t *testing.T) {
+	start := time.Now()
+	res, err := Governor(GovernorConfig{Seed: 2012})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 60*time.Second {
+		t.Fatalf("default sweep took %v, budget is 60s", el)
+	}
+	if res.Floorplan != "manycore-256c" {
+		t.Fatalf("floorplan %q, want the generated 256-core die", res.Floorplan)
+	}
+	if len(res.Scenarios) < 4 {
+		t.Fatalf("sweep covers %d scenarios, want >= 4 (%v)", len(res.Scenarios), res.Scenarios)
+	}
+	for si, name := range res.Scenarios {
+		if res.CeilingC[si] >= res.UngovernedCorePeakC[si] {
+			t.Fatalf("%s: ceiling %.2f not below ungoverned core peak %.2f",
+				name, res.CeilingC[si], res.UngovernedCorePeakC[si])
+		}
+		o := res.Oracle[si]
+		if !(o.ThrottleDuty > 0) {
+			t.Fatalf("%s: oracle governor never engaged (duty %v)", name, o.ThrottleDuty)
+		}
+		if o.EstPeakErrC != 0 {
+			t.Fatalf("%s: oracle arm reports estimation error %v", name, o.EstPeakErrC)
+		}
+		if o.CorePeakC > res.UngovernedCorePeakC[si]+1e-9 {
+			t.Fatalf("%s: oracle core peak %.3f above ungoverned %.3f — capping made it hotter",
+				name, o.CorePeakC, res.UngovernedCorePeakC[si])
+		}
+		for mi := range res.Ms {
+			for ki := range res.Ks {
+				for arm, a := range []GovernorArm{res.Est[si][mi][ki], res.Faulted[si][mi][ki]} {
+					if math.IsNaN(a.CorePeakC) || math.IsInf(a.CorePeakC, 0) {
+						t.Fatalf("%s arm %d M=%d K=%d: core peak %v", name, arm, res.Ms[mi], res.Ks[ki], a.CorePeakC)
+					}
+					if !(a.PerfRetained > 0 && a.PerfRetained <= 1+1e-9) {
+						t.Fatalf("%s arm %d M=%d K=%d: perf retained %v", name, arm, res.Ms[mi], res.Ks[ki], a.PerfRetained)
+					}
+				}
+				if e := res.Est[si][mi][ki]; !(e.EstPeakErrC > 0) {
+					t.Fatalf("%s M=%d K=%d: estimated arm reports zero estimation error", name, res.Ms[mi], res.Ks[ki])
+				}
+			}
+		}
+	}
+
+	// Paper-scale budget: the largest configured M and K (24 sensors, K=8 —
+	// the regime the paper's manycore evaluation runs at).
+	mi, ki := len(res.Ms)-1, len(res.Ks)-1
+	if gap := res.PeakGapC(mi, ki); !(gap <= 2) {
+		t.Fatalf("estimated-map governor peak gap %.3f °C vs oracle at M=%d K=%d, budget is 2 °C",
+			gap, res.Ms[mi], res.Ks[ki])
+	}
+
+	out := res.String()
+	for _, want := range []string{"manycore-256c", "ungoverned peak", "oracle:", "faulted", "worst est-vs-oracle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGovernorPIRetainsPerformance pins the performance half of the
+// acceptance bar: with the PI cap policy under a gentler 1 °C ceiling drop,
+// the estimated-map governor retains >= 90% of demanded performance in every
+// scenario while still tracking the oracle within the 2 °C budget — capping
+// from M=24 sensors costs less than a tenth of throughput.
+func TestGovernorPIRetainsPerformance(t *testing.T) {
+	res, err := Governor(GovernorConfig{
+		Seed:         0,
+		Policy:       "pi",
+		CeilingDropC: 1,
+		Ms:           []int{24},
+		Ks:           []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf := res.MinPerfRetained(0, 0); !(perf >= 0.9) {
+		t.Fatalf("PI policy retains %.3f of demanded performance, want >= 0.9", perf)
+	}
+	if gap := res.PeakGapC(0, 0); !(gap <= 2) {
+		t.Fatalf("PI estimated-arm peak gap %.3f °C, budget is 2 °C", gap)
+	}
+	// Engagement sanity: a 1 °C drop must still bind somewhere.
+	var engaged bool
+	for si := range res.Scenarios {
+		if res.Est[si][0][0].ThrottleDuty > 0 {
+			engaged = true
+		}
+	}
+	if !engaged {
+		t.Fatal("PI governor never throttled in any scenario")
+	}
+}
+
+// TestGovernorRejectsBadConfig covers the sweep's validation surface.
+func TestGovernorRejectsBadConfig(t *testing.T) {
+	if _, err := Governor(GovernorConfig{Policy: "nope"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Governor(GovernorConfig{Faults: "bogus:spec"}); err == nil {
+		t.Fatal("malformed fault spec accepted")
+	}
+}

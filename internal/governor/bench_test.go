@@ -1,0 +1,39 @@
+package governor
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// BenchmarkGovernStep measures one control step — per-core hottest-cell
+// extraction plus the policy's cap decisions — on the manycore-256c die at
+// the robustness suite's 32×32 grid. This is the increment the daemon's
+// govern route adds per snapshot over a plain estimate.
+// NOTE: ungated until the next documented BENCH_baseline.json re-baseline
+// (benchdiff never gates benches present in only one file).
+func BenchmarkGovernStep(b *testing.B) {
+	fp, err := floorplan.Manycore(256, 256, floorplan.Grid{W: 16, H: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raster := fp.Rasterize(floorplan.Grid{W: 32, H: 32})
+	pol, err := NewPolicy("hysteresis", Params{CeilingC: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := NewController(pol, nil, CoreCells(fp, raster))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapC := make([]float64, 32*32)
+	for i := range mapC {
+		mapC[i] = 60 + 25*float64(i%7)/7 // straddles the band so latches flip
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapC[i%len(mapC)] += 1e-9 // defeat any memoization without realloc
+		ctrl.Step(mapC)
+	}
+}

@@ -55,6 +55,9 @@ const (
 	// StageAdapt is shadow-basis absorption and any hot-swap triggered by an
 	// out-of-distribution batch.
 	StageAdapt
+	// StageGovern is the closed-loop control step on the govern route:
+	// per-core temperature extraction and the policy's cap decisions.
+	StageGovern
 	// StageEncode is response rendering: summaries plus the JSON or binary
 	// encode and the body write.
 	StageEncode
@@ -65,7 +68,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"decode", "shard_route", "page_in", "coalesce_wait",
-	"solve", "drift_score", "adapt", "encode",
+	"solve", "drift_score", "adapt", "govern", "encode",
 }
 
 // String returns the stage's snake_case label, as used in histogram labels,

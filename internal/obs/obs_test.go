@@ -9,7 +9,7 @@ import (
 )
 
 func TestStageNames(t *testing.T) {
-	want := []string{"decode", "shard_route", "page_in", "coalesce_wait", "solve", "drift_score", "adapt", "encode"}
+	want := []string{"decode", "shard_route", "page_in", "coalesce_wait", "solve", "drift_score", "adapt", "govern", "encode"}
 	if int(NumStages) != len(want) {
 		t.Fatalf("NumStages = %d, want %d", NumStages, len(want))
 	}

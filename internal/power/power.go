@@ -146,6 +146,16 @@ func (c *Config) defaults() {
 	}
 }
 
+// WithDefaults returns a copy of c with every unset power budget resolved to
+// its default. Callers that need the *effective* budgets — the thermal
+// governor inverts CoreIdleW/CoreBusyW to recover per-core activity from a
+// demand power vector — resolve through here so they see exactly the numbers
+// the Generator will use.
+func (c Config) WithDefaults() Config {
+	c.defaults()
+	return c
+}
+
 // ManycoreConfig returns a Config whose per-block power budgets are scaled
 // for a generated many-core die (floorplan.Manycore): per-core and per-bank
 // budgets shrink with the core/bank counts so the total die power stays in

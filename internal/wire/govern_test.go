@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func governTestRequest() *GovernRequest {
+	return &GovernRequest{
+		Readings: [][]float64{{70.5, 71.25, 69}, {72, 73.5, 70.125}},
+		Config: &GovernConfig{
+			Policy:   "hysteresis",
+			CeilingC: 80,
+			SetC:     79,
+			ClearC:   76,
+			Ladder:   []float64{0.5, 0.7, 0.85, 1.0},
+		},
+	}
+}
+
+func TestGovernRequestRoundTrip(t *testing.T) {
+	req := governTestRequest()
+	buf, err := AppendGovernRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGovernRequest(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Readings, req.Readings) {
+		t.Errorf("readings: %v != %v", got.Readings, req.Readings)
+	}
+	if !reflect.DeepEqual(got.Config, req.Config) {
+		t.Errorf("config: %+v != %+v", got.Config, req.Config)
+	}
+}
+
+func TestGovernRequestNoConfig(t *testing.T) {
+	req := &GovernRequest{Readings: [][]float64{{1, 2}}}
+	buf, err := AppendGovernRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGovernRequest(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != nil {
+		t.Errorf("config round-tripped as %+v, want nil", got.Config)
+	}
+	if !reflect.DeepEqual(got.Readings, req.Readings) {
+		t.Errorf("readings: %v != %v", got.Readings, req.Readings)
+	}
+}
+
+func TestGovernRequestScratchReuse(t *testing.T) {
+	req := governTestRequest()
+	buf, err := AppendGovernRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := &ReadingsBuf{}
+	a, err := DecodeGovernRequest(buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([][]float64(nil), a.Readings...)
+	for i := range want {
+		want[i] = append([]float64(nil), want[i]...)
+	}
+	b, err := DecodeGovernRequest(buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Readings, want) {
+		t.Errorf("scratch reuse corrupted readings")
+	}
+}
+
+func TestGovernRequestRejects(t *testing.T) {
+	if _, err := AppendGovernRequest(nil, &GovernRequest{
+		Readings: [][]float64{{1, 2}, {3}},
+	}); err == nil {
+		t.Error("ragged batch encoded")
+	}
+	if _, err := AppendGovernRequest(nil, &GovernRequest{
+		Config: &GovernConfig{Policy: "bogus", CeilingC: 80},
+	}); err == nil {
+		t.Error("unknown policy encoded")
+	}
+	good, err := AppendGovernRequest(nil, governTestRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte: the CRC must catch it.
+	bad := append([]byte(nil), good...)
+	bad[20] ^= 0xff
+	if _, err := DecodeGovernRequest(bad, nil); err == nil {
+		t.Error("corrupt payload decoded")
+	}
+	// Truncation.
+	if _, err := DecodeGovernRequest(good[:len(good)-5], nil); err == nil {
+		t.Error("truncated frame decoded")
+	}
+	// Wrong magic (an estimate frame is not a govern frame).
+	est, err := AppendEstimateRequest(nil, &EstimateRequest{Readings: [][]float64{{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGovernRequest(est, nil); err == nil {
+		t.Error("EMRQ frame decoded as a govern request")
+	}
+}
+
+func governTestResponse() *GovernResponse {
+	return &GovernResponse{
+		Quality: QualityDrifting,
+		Ladder:  []float64{0.5, 0.7, 0.85, 1.0},
+		Cores:   3,
+		Decisions: []GovernDecision{
+			{MaxC: 81.5, MinC: 60.25, MeanC: 70.5, MaxCell: 17, Levels: []int{0, 3, 3}},
+			{MaxC: 79, MinC: 59, MeanC: 69, MaxCell: 4, Levels: []int{1, 3, 2}},
+		},
+		Snapshots:    42,
+		ThrottleDuty: 0.375,
+	}
+}
+
+func TestGovernResponseRoundTrip(t *testing.T) {
+	resp := governTestResponse()
+	buf, err := AppendGovernResponse(nil, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGovernResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, resp)
+	}
+}
+
+func TestGovernResponseRejects(t *testing.T) {
+	resp := governTestResponse()
+	resp.Decisions[0].Levels = []int{0, 3} // wrong core count
+	if _, err := AppendGovernResponse(nil, resp); err == nil {
+		t.Error("mismatched level count encoded")
+	}
+	resp = governTestResponse()
+	resp.Decisions[1].Levels[0] = 300 // does not fit a byte
+	if _, err := AppendGovernResponse(nil, resp); err == nil {
+		t.Error("level > 255 encoded")
+	}
+	good, err := AppendGovernResponse(nil, governTestResponse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[25] ^= 0x01
+	if _, err := DecodeGovernResponse(bad); err == nil {
+		t.Error("corrupt response decoded")
+	}
+}
+
+func TestGovernFloatsAreBitExact(t *testing.T) {
+	// The binary protocol's whole point: floats survive bit-for-bit,
+	// including values decimal text would round.
+	v := math.Nextafter(80, 81)
+	req := &GovernRequest{Readings: [][]float64{{v}}}
+	buf, err := AppendGovernRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGovernRequest(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Readings[0][0]) != math.Float64bits(v) {
+		t.Errorf("reading bits changed in transit")
+	}
+}
